@@ -1,0 +1,181 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  1. aggregate vs time-expanded formulation (same optimum, solve cost),
+//  2. branching rule (most-fractional vs pseudo-cost),
+//  3. root rounding heuristic on/off (node counts),
+//  4. optimizer vs greedy vs fixed-frequency baselines (objective quality).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/greedy.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/scheduler/validator.hpp"
+#include "insched/support/random.hpp"
+#include "insched/support/table.hpp"
+
+namespace {
+
+using namespace insched;
+
+scheduler::ScheduleProblem random_problem(Rng& rng, long steps) {
+  scheduler::ScheduleProblem p;
+  p.steps = steps;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  const int n = static_cast<int>(rng.uniform_int(2, 4));
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) {
+    scheduler::AnalysisParams a;
+    a.name = "a" + std::to_string(i);
+    a.ct = rng.uniform(0.2, 4.0);
+    a.ot = rng.uniform(0.0, 1.0);
+    a.ft = rng.uniform(0.0, 1.0);
+    a.itv = rng.uniform_int(1, std::max<long>(1, steps / 4));
+    a.weight = rng.uniform(0.5, 3.0);
+    scale += a.ct + a.ot;
+    p.analyses.push_back(a);
+  }
+  p.threshold = rng.uniform(1.0, 4.0) * scale;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace insched;
+  bench::banner("Ablation 1 — aggregate vs time-expanded formulation");
+  {
+    Table table;
+    table.set_header({"steps", "objective (agg)", "objective (time-exp)", "solve agg (ms)",
+                      "solve time-exp (ms)", "nodes agg", "nodes time-exp"});
+    Rng rng(99);
+    for (long steps : {6L, 10L, 16L, 20L}) {
+      const scheduler::ScheduleProblem p = random_problem(rng, steps);
+      scheduler::SolveOptions agg;
+      agg.formulation = scheduler::Formulation::kAggregate;
+      scheduler::SolveOptions te;
+      te.formulation = scheduler::Formulation::kTimeExpanded;
+      te.mip.time_limit_s = 10.0;  // the per-step program explodes quickly
+      const auto sa = scheduler::solve_schedule(p, agg);
+      const auto st = scheduler::solve_schedule(p, te);
+      table.add_row({format("%ld", steps), format("%.2f", sa.objective),
+                     format("%.2f", st.objective), format("%.2f", sa.solver_seconds * 1e3),
+                     format("%.2f", st.solver_seconds * 1e3), format("%ld", sa.nodes),
+                     format("%ld", st.nodes)});
+    }
+    table.print();
+  }
+
+  bench::banner("Ablation 2/3 — branching rule and root heuristic (paper instances)");
+  {
+    Table table;
+    table.set_header({"instance", "rule", "heuristic", "nodes", "lp iters", "ms"});
+    const auto run = [&](const char* name, const scheduler::ScheduleProblem& p,
+                         mip::Branching rule, bool heur) {
+      scheduler::SolveOptions opt;
+      opt.mip.branching = rule;
+      opt.mip.use_rounding_heuristic = heur;
+      const auto sol = scheduler::solve_schedule(p, opt);
+      table.add_row({name, rule == mip::Branching::kPseudoCost ? "pseudo-cost" : "most-frac",
+                     heur ? "on" : "off", format("%ld", sol.nodes), "-",
+                     format("%.2f", sol.solver_seconds * 1e3)});
+    };
+    const auto water = casestudy::water_ions_problem(16384, 0.10);
+    const auto rhodo = casestudy::rhodopsin_problem(100.0);
+    for (const auto rule : {mip::Branching::kPseudoCost, mip::Branching::kMostFractional})
+      for (const bool heur : {true, false}) {
+        run("water 10%", water, rule, heur);
+        run("rhodo 100s", rhodo, rule, heur);
+      }
+    table.print();
+  }
+
+  bench::banner(
+      "Ablation 4 — output-count expansion vs conservative memory bound\n"
+      "(memory-constrained instances with the optimized output policy)");
+  {
+    Table table;
+    table.set_header({"instance", "objective (expansion)", "objective (conservative)",
+                      "binaries (exp)", "binaries (cons)"});
+    Rng rng(123);
+    for (int trial = 0; trial < 4; ++trial) {
+      scheduler::ScheduleProblem p;
+      p.steps = 200;
+      p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+      p.output_policy = scheduler::OutputPolicy::kOptimized;
+      p.mth = rng.uniform(500.0, 2500.0);
+      double scale = 0.0;
+      const int n = 2;
+      for (int i = 0; i < n; ++i) {
+        scheduler::AnalysisParams a;
+        a.name = "m" + std::to_string(i);
+        a.ct = rng.uniform(0.5, 2.0);
+        a.ot = rng.uniform(0.2, 1.0);
+        a.im = rng.uniform(1.0, 10.0);
+        a.cm = rng.uniform(0.0, 50.0);
+        a.om = rng.uniform(0.0, 100.0);
+        a.itv = rng.uniform_int(5, 20);
+        scale += a.ct + a.ot;
+        p.analyses.push_back(a);
+      }
+      p.threshold = rng.uniform(4.0, 12.0) * scale;
+
+      const auto count_binaries = [](const lp::Model& m) {
+        int binaries = 0;
+        for (int j = 0; j < m.num_columns(); ++j)
+          if (m.column(j).type == lp::VarType::kBinary) ++binaries;
+        return binaries;
+      };
+      const auto built_exp = scheduler::build_aggregate_milp(p);
+      scheduler::AggregateBuildOptions cons;
+      cons.allow_expansion = false;
+      const auto built_cons = scheduler::build_aggregate_milp(p, {}, cons);
+      const auto res_exp = mip::solve_mip(built_exp.model);
+      const auto res_cons = mip::solve_mip(built_cons.model);
+      table.add_row({format("mth=%.0f", p.mth),
+                     res_exp.has_solution ? format("%.1f", res_exp.objective) : "-",
+                     res_cons.has_solution ? format("%.1f", res_cons.objective) : "-",
+                     format("%d", count_binaries(built_exp.model)),
+                     format("%d", count_binaries(built_cons.model))});
+    }
+    table.print();
+    std::printf(
+        "\nThe expansion spends extra binaries to know the reset gap per output\n"
+        "count; the conservative bound assumes the worst and schedules less.\n");
+  }
+
+  bench::banner("Ablation 5 — optimizer vs greedy vs fixed-frequency baselines");
+  {
+    Table table;
+    table.set_header({"instance", "method", "objective", "budget used %", "feasible"});
+    const auto report = [&](const char* inst, const char* method,
+                            const scheduler::ScheduleProblem& p,
+                            const scheduler::Schedule& s) {
+      std::vector<double> w;
+      for (const auto& a : p.analyses) w.push_back(a.weight);
+      const auto rep = scheduler::validate_schedule(p, s);
+      table.add_row({inst, method, format("%.2f", s.objective(w)),
+                     format("%.1f", 100.0 * rep.utilization()),
+                     rep.feasible ? "yes" : "NO"});
+    };
+    const auto cases = {std::make_pair("water 10%", casestudy::water_ions_problem(16384, 0.10)),
+                        std::make_pair("rhodo 100s", casestudy::rhodopsin_problem(100.0))};
+    for (const auto& [name, problem] : cases) {
+      const auto opt = scheduler::solve_schedule(problem);
+      report(name, "MILP (optimal)", problem, opt.schedule);
+      report(name, "greedy", problem, scheduler::greedy_schedule(problem));
+      report(name, "fixed every 100", problem, scheduler::fixed_frequency(problem, 100));
+      report(name, "fixed every 250", problem, scheduler::fixed_frequency(problem, 250));
+    }
+    table.print();
+    std::printf(
+        "\nfixed-frequency rows may be infeasible (budget exceeded) — that is\n"
+        "the point: today's hand-picked frequencies either overrun the\n"
+        "threshold or leave budget unused; the MILP tracks it optimally.\n");
+  }
+  return 0;
+}

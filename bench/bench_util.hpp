@@ -1,0 +1,33 @@
+#pragma once
+
+// Shared helpers for the experiment report benches.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string freq_list(const std::vector<long>& freq) {
+  std::string out;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (i) out += " / ";
+    out += format("%ld", freq[i]);
+  }
+  return out;
+}
+
+inline long total_of(const std::vector<long>& freq) {
+  return std::accumulate(freq.begin(), freq.end(), 0L);
+}
+
+}  // namespace insched::bench

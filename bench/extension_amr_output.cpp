@@ -1,0 +1,83 @@
+// Extension study: AMR-driven output sizes and their scheduling consequence.
+// FLASH writes block-structured AMR checkpoints, so the output size (om, and
+// with it ot = om/bw) is not a constant — it tracks the refined-block count,
+// which grows as the Sedov shock shell expands. This bench evolves the blast,
+// rebuilds the AMR hierarchy at intervals, and shows (1) the checkpoint size
+// over time, and (2) how re-solving the scheduling problem with the current
+// om changes the recommended output frequency.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/sim/grid/amr.hpp"
+#include "insched/sim/grid/sedov.hpp"
+#include "insched/support/table.hpp"
+#include "insched/support/units.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Extension — AMR checkpoint size drives the schedule\n"
+      "Sedov blast on a 64^3 grid, 16^3 cells/block (FLASH layout), 10 mesh\n"
+      "variables; the scheduler re-plans as the shock refines more blocks");
+
+  sim::EulerSolver solver(sim::GridGeometry{64, 1.0}, sim::EulerParams{});
+  sim::initialize_sedov(solver, sim::SedovSpec{});
+  sim::AmrConfig amr_config;
+  amr_config.cells_per_block = 16;
+  amr_config.refine_threshold = 0.08;
+
+  // Paper-scale scheduling problem: the "checkpoint analysis" writes the AMR
+  // mesh; its om is taken from the current hierarchy (scaled up to the 100x
+  // larger production mesh the virtual run represents).
+  const double scale_up = 1.0e3;  // laptop 64^3 -> production-size mesh
+  const auto schedule_with_om = [&](double om_bytes) {
+    scheduler::ScheduleProblem p;
+    p.steps = 1000;
+    p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+    p.threshold = 60.0;
+    p.output_policy = scheduler::OutputPolicy::kEveryAnalysis;
+    p.bw = 10.0 * GB;
+    scheduler::AnalysisParams checkpoint;
+    checkpoint.name = "AMR checkpoint";
+    checkpoint.ct = 0.5;
+    checkpoint.om = om_bytes;
+    checkpoint.itv = 20;
+    p.analyses.push_back(checkpoint);
+    scheduler::AnalysisParams stats;
+    stats.name = "descriptive stats";
+    stats.ct = 0.05;
+    stats.om = 1e6;
+    stats.itv = 10;
+    p.analyses.push_back(stats);
+    return scheduler::solve_schedule(p);
+  };
+
+  Table table;
+  table.set_header({"sim step", "t", "refined blocks", "leaf cells", "compression",
+                    "checkpoint", "scheduled: ckpt x / stats x"});
+  for (int phase = 0; phase <= 5; ++phase) {
+    const sim::AmrMesh mesh(solver.density(), solver.geometry(), amr_config);
+    const double om = mesh.checkpoint_bytes() * scale_up;
+    const auto sol = schedule_with_om(om);
+    table.add_row({format("%ld", solver.current_step()), format("%.3f", solver.time()),
+                   format("%zu / %zu", mesh.refined_blocks() / 8, mesh.blocks_per_axis() *
+                                                                       mesh.blocks_per_axis() *
+                                                                       mesh.blocks_per_axis()),
+                   format("%zu", mesh.leaf_cells()), format("%.2fx", mesh.compression_ratio()),
+                   format_bytes(om),
+                   sol.solved ? format("%ld / %ld", sol.frequencies[0], sol.frequencies[1])
+                              : "infeasible"});
+    if (phase < 5) {
+      for (int s = 0; s < 12; ++s) solver.step();
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading the table: as the shock shell grows, more blocks refine and\n"
+      "the checkpoint gets more expensive, so the optimizer dials the\n"
+      "checkpoint frequency down while the cheap statistics stay frequent —\n"
+      "the adaptive re-scheduling the paper's conclusion anticipates.\n");
+  return 0;
+}

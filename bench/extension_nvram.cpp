@@ -1,0 +1,68 @@
+// Extension study (paper Section 5.3.5): "Decrease in output time is also
+// possible by using a higher bandwidth storage like NVRAM. Thus, by
+// selecting a different resource for storing output, one can perform more
+// number of in-situ analyses in the same time."
+//
+// Re-runs the Table-7 trade-off across storage tiers: GPFS (the measured
+// 4.54 GB/s effective), a burst buffer, and node-local NVRAM. Both the
+// simulation's own output time (which frees threshold budget) and the
+// analyses' output times (om / bw) shrink with faster storage.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/scheduler/recommend.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/support/table.hpp"
+#include "insched/support/units.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Extension — storage tiers for in-situ output (paper Section 5.3.5)\n"
+      "rhodopsin 1G atoms: 91 GB sim output every 100 steps, 50 s base\n"
+      "analysis budget; faster storage frees budget for more analyses");
+
+  struct Tier {
+    const char* name;
+    double bw;
+  };
+  const Tier tiers[] = {
+      {"GPFS (measured eff.)", casestudy::rhodopsin_write_bw()},
+      {"burst buffer", 40.0 * GB},
+      {"node-local NVRAM", 400.0 * GB},
+  };
+
+  Table table;
+  table.set_header({"storage tier", "bandwidth", "sim output (s)", "threshold (s)",
+                    "R1 R2 R3", "total analyses"});
+  for (const Tier& tier : tiers) {
+    // Simulation output time at this tier (10 outputs of 91 GB).
+    const double sim_output_seconds =
+        casestudy::kRhodoSimOutputBytes * 10.0 / tier.bw;
+    // Budget: 50 s base + whatever the faster tier saves vs GPFS.
+    const double gpfs_output_seconds =
+        casestudy::kRhodoSimOutputBytes * 10.0 / casestudy::rhodopsin_write_bw();
+    const double budget = 50.0 + (gpfs_output_seconds - sim_output_seconds);
+
+    scheduler::ScheduleProblem problem = casestudy::rhodopsin_problem(budget);
+    problem.bw = tier.bw;  // analyses' own outputs also get faster
+    const scheduler::ScheduleSolution sol = scheduler::solve_schedule(problem);
+    if (!sol.solved) {
+      std::printf("solver failed on tier %s\n", tier.name);
+      return 1;
+    }
+    table.add_row({tier.name, format_bytes(tier.bw) + "/s",
+                   format("%.1f", sim_output_seconds), format("%.1f", budget),
+                   bench::freq_list(sol.frequencies),
+                   format("%ld", bench::total_of(sol.frequencies))});
+  }
+  table.print();
+  std::printf(
+      "\nShape: the GPFS row is Table 7's first row (12 analyses); moving the\n"
+      "output stream to a burst buffer or NVRAM converts nearly all of the\n"
+      "200 s of I/O into additional analyses, beyond even Table 7's best row\n"
+      "(21): the histograms approach their maximum frequency of 10.\n");
+  return 0;
+}

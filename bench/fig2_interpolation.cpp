@@ -1,0 +1,169 @@
+// Figure 2 / Section 4 reproduction: bilinear-interpolation performance
+// prediction. Builds synthetic compute/communication/memory cost surfaces
+// shaped like the paper's kernels, samples them on coarse factor-2
+// measurement grids, and reports prediction error on dense off-grid points.
+// Paper claims: < 6% compute error, < 8% communication error.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "insched/machine/collectives.hpp"
+#include "insched/machine/topology.hpp"
+#include "insched/perfmodel/bilinear.hpp"
+#include "insched/perfmodel/predictor.hpp"
+#include "insched/support/random.hpp"
+#include "insched/support/stats.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  using perfmodel::AxisScale;
+  using perfmodel::BilinearInterpolator;
+  using perfmodel::sample_function;
+
+  bench::banner(
+      "Figure 2 / Section 4 — bilinear interpolation prediction error\n"
+      "paper: <6% compute-time error (y = process count), <8% communication\n"
+      "error (y = network diameter), memory via problem size x process count");
+
+  Rng rng(2024);
+  Table table;
+  table.set_header({"surface", "grid", "eval points", "mean err %", "max err %", "bound %"});
+
+  // --- Compute-time surfaces: t = a n/p + b log2 p + c --------------------
+  {
+    Accumulator mean_err, max_err;
+    for (int trial = 0; trial < 50; ++trial) {
+      const double a = rng.uniform(1e-7, 5e-7);
+      const double b = rng.uniform(1e-3, 5e-3);
+      const double c = rng.uniform(0.01, 0.05);
+      const auto fn = [&](double n, double p) { return a * n / p + b * std::log2(p) + c; };
+      std::vector<double> ns, ps;
+      for (double n = 16e6; n <= 1024e6 + 1; n *= 2.0) ns.push_back(n);
+      for (double p = 2048; p <= 32768 + 1; p *= 2.0) ps.push_back(p);
+      const BilinearInterpolator f(sample_function(ns, ps, fn), AxisScale::kLog,
+                                   AxisScale::kLog, AxisScale::kLog);
+      std::vector<double> pred, act;
+      for (double n = 16e6; n <= 1024e6; n *= 1.37)
+        for (double p = 2048; p <= 32768; p *= 1.29) {
+          pred.push_back(f(n, p));
+          act.push_back(fn(n, p));
+        }
+      mean_err.add(100.0 * mean_relative_error(pred, act));
+      max_err.add(100.0 * max_relative_error(pred, act));
+    }
+    table.add_row({"compute t(n, p)", "7 sizes x 5 proc counts", "50 surfaces x ~180 pts",
+                   format("%.2f", mean_err.mean()), format("%.2f", max_err.max()), "6.0"});
+  }
+
+  // --- Communication surfaces: t = alpha d + beta n^(2/3) d + gamma -------
+  {
+    Accumulator mean_err, max_err;
+    // Use real BG/Q partition diameters as the y-variable, as the paper does.
+    std::vector<double> ds;
+    for (long nodes : {512L, 2048L, 8192L, 32768L})
+      ds.push_back(static_cast<double>(machine::bgq_partition(nodes).diameter()));
+    for (int trial = 0; trial < 50; ++trial) {
+      const double alpha = rng.uniform(1e-6, 5e-6);
+      const double beta = rng.uniform(1e-9, 4e-9);
+      const double gamma = rng.uniform(1e-5, 1e-4);
+      const auto fn = [&](double n, double d) {
+        return alpha * d + beta * std::pow(n, 2.0 / 3.0) * d + gamma;
+      };
+      std::vector<double> ns;
+      for (double n = 16e6; n <= 1024e6 + 1; n *= 2.0) ns.push_back(n);
+      const BilinearInterpolator f(sample_function(ns, ds, fn), AxisScale::kLog,
+                                   AxisScale::kLinear, AxisScale::kLog);
+      std::vector<double> pred, act;
+      for (double n = 16e6; n <= 1024e6; n *= 1.43)
+        for (double d = ds.front(); d <= ds.back(); d += 1.7) {
+          pred.push_back(f(n, d));
+          act.push_back(fn(n, d));
+        }
+      mean_err.add(100.0 * mean_relative_error(pred, act));
+      max_err.add(100.0 * max_relative_error(pred, act));
+    }
+    table.add_row({"communication t(n, diam)", "7 sizes x 4 diameters",
+                   "50 surfaces x ~160 pts", format("%.2f", mean_err.mean()),
+                   format("%.2f", max_err.max()), "8.0"});
+  }
+
+  // --- Allreduce surface from the torus collective model -------------------
+  // Not a synthetic formula: the "truth" here is the CollectiveModel's
+  // closed-form allreduce cost on real BG/Q partitions; the interpolator
+  // sees only the coarse measurement grid.
+  {
+    const machine::NetworkParams net;
+    const std::vector<long> nodes{512, 1024, 2048, 4096, 8192, 16384, 32768};
+    std::vector<double> ds;
+    for (long n : nodes) ds.push_back(static_cast<double>(machine::bgq_partition(n).diameter()));
+    // Deduplicate equal diameters (partition shapes can tie).
+    std::vector<double> uniq;
+    std::vector<long> uniq_nodes;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (uniq.empty() || ds[i] > uniq.back() + 0.5) {
+        uniq.push_back(ds[i]);
+        uniq_nodes.push_back(nodes[i]);
+      }
+    }
+    const auto truth = [&](double bytes, double diameter) {
+      // Look up the partition with this diameter.
+      for (std::size_t i = 0; i < uniq.size(); ++i) {
+        if (std::fabs(uniq[i] - diameter) < 1e-9) {
+          const machine::CollectiveModel model(machine::bgq_partition(uniq_nodes[i]), net);
+          return model.allreduce_seconds(bytes);
+        }
+      }
+      // Interpolated diameter: evaluate the closed form directly.
+      const double latency = 2.0 * net.link_latency_s * diameter;
+      const double transfer = 2.0 * bytes / net.link_bw * std::max(1.0, diameter * 0.5);
+      const double combine = bytes * net.reduce_flops_per_byte / net.node_flops * diameter;
+      return latency + transfer + combine;
+    };
+    std::vector<double> bytes_axis;
+    for (double b = 1e4; b <= 1e8 + 1; b *= 4.0) bytes_axis.push_back(b);
+    const BilinearInterpolator f(sample_function(bytes_axis, uniq, truth), AxisScale::kLog,
+                                 AxisScale::kLinear, AxisScale::kLog);
+    std::vector<double> pred, act;
+    for (double b = 1e4; b <= 1e8; b *= 2.3)
+      for (double d = uniq.front(); d <= uniq.back(); d += 2.0) {
+        pred.push_back(f(b, d));
+        act.push_back(truth(b, d));
+      }
+    table.add_row({"allreduce (torus model)",
+                   format("%zu sizes x %zu diameters", bytes_axis.size(), uniq.size()),
+                   format("%zu pts", pred.size()),
+                   format("%.2f", 100.0 * mean_relative_error(pred, act)),
+                   format("%.2f", 100.0 * max_relative_error(pred, act)), "8.0"});
+  }
+
+  // --- Memory surfaces: m = s n / p + overhead -----------------------------
+  {
+    Accumulator mean_err, max_err;
+    for (int trial = 0; trial < 50; ++trial) {
+      const double s = rng.uniform(24.0, 96.0);
+      const double o = rng.uniform(1e6, 16e6);
+      const auto fn = [&](double n, double p) { return s * n / p + o; };
+      std::vector<double> ns, ps;
+      for (double n = 16e6; n <= 1024e6 + 1; n *= 2.0) ns.push_back(n);
+      for (double p = 2048; p <= 32768 + 1; p *= 2.0) ps.push_back(p);
+      const BilinearInterpolator f(sample_function(ns, ps, fn), AxisScale::kLog,
+                                   AxisScale::kLog, AxisScale::kLog);
+      std::vector<double> pred, act;
+      for (double n = 16e6; n <= 1024e6; n *= 1.61)
+        for (double p = 2048; p <= 32768; p *= 1.37) {
+          pred.push_back(f(n, p));
+          act.push_back(fn(n, p));
+        }
+      mean_err.add(100.0 * mean_relative_error(pred, act));
+      max_err.add(100.0 * max_relative_error(pred, act));
+    }
+    table.add_row({"memory m(n, p)", "7 sizes x 5 proc counts", "50 surfaces x ~120 pts",
+                   format("%.2f", mean_err.mean()), format("%.2f", max_err.max()), "-"});
+  }
+
+  table.print();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 4 reproduction: relative execution-time and memory profiles of the
+// in-situ analyses. Two views:
+//  1. the calibrated paper-scale cost database (what the figure sketches),
+//  2. the real kernels measured with the cost probe on laptop-scale
+//     synthetic systems (A1-A4 on water+ions, R1-R3 on rhodopsin-like,
+//     F1-F3 on a Sedov grid).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "insched/analysis/cost_probe.hpp"
+#include "insched/analysis/density_histogram.hpp"
+#include "insched/analysis/error_norms.hpp"
+#include "insched/analysis/gyration.hpp"
+#include "insched/analysis/msd.hpp"
+#include "insched/analysis/rdf.hpp"
+#include "insched/analysis/vacf.hpp"
+#include "insched/analysis/vorticity.hpp"
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/sim/grid/sedov.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Figure 4 — relative time/memory profiles of the in-situ analyses\n"
+      "paper (qualitative): A4 high time+memory; A1-A3 low; R2/R3 mid-time;\n"
+      "F1 high memory/compute; F2/F3 cheap");
+
+  // --- Calibrated paper-scale database -------------------------------------
+  {
+    Table table("paper-scale cost database (per analysis step)");
+    table.set_header({"analysis", "time (s)", "memory (MB)"});
+    const auto dump = [&](const scheduler::ScheduleProblem& p) {
+      for (const auto& a : p.analyses) {
+        table.add_row({a.name, format("%.4f", a.ct + a.output_time(p.bw)),
+                       format("%.1f", (a.fm + a.cm + a.om) / 1e6)});
+      }
+    };
+    dump(casestudy::water_ions_problem(16384, 0.10));
+    dump(casestudy::rhodopsin_problem(100.0));
+    dump(casestudy::flash_problem({1, 1, 1}));
+    table.print();
+  }
+
+  // --- Measured kernels at laptop scale ------------------------------------
+  {
+    Table table("measured kernels (cost probe, laptop-scale synthetic data)");
+    table.set_header({"analysis", "ct (ms)", "it (us)", "ft (ms)", "fm+cm (KB)", "om (KB)"});
+    const auto probe_and_row = [&](analysis::IAnalysis& a) {
+      const scheduler::AnalysisParams p = analysis::probe_analysis(a);
+      table.add_row({p.name, format("%.3f", p.ct * 1e3), format("%.1f", p.it * 1e6),
+                     format("%.3f", p.ft * 1e3), format("%.1f", (p.fm + p.cm) / 1e3),
+                     format("%.1f", p.om / 1e3)});
+    };
+
+    sim::WaterIonsSpec wspec;
+    wspec.molecules = 3000;
+    wspec.hydronium_fraction = 0.02;
+    wspec.ion_fraction = 0.02;
+    const sim::ParticleSystem water = sim::water_ions(wspec);
+    analysis::RdfConfig a1;
+    a1.pairs = {{sim::Species::kHydronium, sim::Species::kWaterO},
+                {sim::Species::kHydronium, sim::Species::kHydronium},
+                {sim::Species::kHydronium, sim::Species::kIon}};
+    analysis::RdfAnalysis rdf1("hydronium rdf (A1)", water, a1);
+    probe_and_row(rdf1);
+    analysis::RdfConfig a2;
+    a2.pairs = {{sim::Species::kIon, sim::Species::kWaterO},
+                {sim::Species::kIon, sim::Species::kIon}};
+    analysis::RdfAnalysis rdf2("ion rdf (A2)", water, a2);
+    probe_and_row(rdf2);
+    analysis::VacfConfig a3;
+    a3.group = {sim::Species::kWaterO, sim::Species::kHydronium, sim::Species::kIon};
+    analysis::VacfAnalysis vacf("vacf (A3)", water, a3);
+    probe_and_row(vacf);
+    analysis::MsdConfig a4;
+    a4.group = {sim::Species::kHydronium, sim::Species::kIon};
+    analysis::MsdAnalysis msd("msd (A4)", water, a4);
+    probe_and_row(msd);
+
+    sim::RhodopsinSpec rspec;
+    rspec.total_particles = 30000;
+    const sim::ParticleSystem rhodo = sim::rhodopsin_like(rspec);
+    analysis::GyrationAnalysis rg("radius of gyration (R1)", rhodo, sim::Species::kProtein);
+    probe_and_row(rg);
+    analysis::DensityHistogramConfig r2;
+    r2.group = sim::Species::kMembrane;
+    analysis::DensityHistogramAnalysis mem("membrane histogram (R2)", rhodo, r2);
+    probe_and_row(mem);
+    analysis::DensityHistogramConfig r3;
+    r3.group = sim::Species::kProtein;
+    analysis::DensityHistogramAnalysis prot("protein histogram (R3)", rhodo, r3);
+    probe_and_row(prot);
+
+    sim::EulerSolver solver(sim::GridGeometry{32, 1.0}, sim::EulerParams{});
+    sim::SedovSpec sedov_spec;
+    sim::initialize_sedov(solver, sedov_spec);
+    for (int s = 0; s < 10; ++s) solver.step();
+    const sim::SedovReference ref(sedov_spec, solver.params().gamma);
+    analysis::VorticityAnalysis vort("vorticity (F1)", solver);
+    probe_and_row(vort);
+    analysis::ErrorNormAnalysis l1("L1 error norm (F2)", solver, ref,
+                                   analysis::NormKind::kL1DensityPressure);
+    probe_and_row(l1);
+    analysis::ErrorNormAnalysis l2("L2 error norm (F3)", solver, ref,
+                                   analysis::NormKind::kL2Velocity);
+    probe_and_row(l2);
+    table.print();
+  }
+  return 0;
+}

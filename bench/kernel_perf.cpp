@@ -1,0 +1,139 @@
+// Analysis-kernel microbenchmarks (google-benchmark): RDF, MSD, VACF,
+// gyration, density histograms on synthetic particle systems; vorticity and
+// error norms on the Sedov grid; one MD step and one Euler step for the
+// simulation substrates.
+
+#include <benchmark/benchmark.h>
+
+#include "insched/analysis/density_histogram.hpp"
+#include "insched/analysis/error_norms.hpp"
+#include "insched/analysis/gyration.hpp"
+#include "insched/analysis/msd.hpp"
+#include "insched/analysis/rdf.hpp"
+#include "insched/analysis/vacf.hpp"
+#include "insched/analysis/vorticity.hpp"
+#include "insched/sim/grid/sedov.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/sim/particles/lj_md.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace {
+
+using namespace insched;
+
+sim::ParticleSystem make_water(std::size_t molecules) {
+  sim::WaterIonsSpec spec;
+  spec.molecules = molecules;
+  spec.hydronium_fraction = 0.02;
+  spec.ion_fraction = 0.02;
+  return sim::water_ions(spec);
+}
+
+void BM_rdf(benchmark::State& state) {
+  const sim::ParticleSystem sys = make_water(static_cast<std::size_t>(state.range(0)));
+  analysis::RdfConfig config;
+  config.pairs = {{sim::Species::kHydronium, sim::Species::kWaterO}};
+  analysis::RdfAnalysis rdf("rdf", sys, config);
+  rdf.setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdf.analyze().values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(sys.size()));
+}
+BENCHMARK(BM_rdf)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_msd_per_step(benchmark::State& state) {
+  const sim::ParticleSystem sys = make_water(static_cast<std::size_t>(state.range(0)));
+  analysis::MsdConfig config;
+  config.group = {sim::Species::kWaterO};
+  analysis::MsdAnalysis msd("msd", sys, config);
+  msd.setup();
+  for (auto _ : state) msd.per_step();
+}
+BENCHMARK(BM_msd_per_step)->Arg(4000)->Arg(16000);
+
+void BM_msd_analyze(benchmark::State& state) {
+  const sim::ParticleSystem sys = make_water(static_cast<std::size_t>(state.range(0)));
+  analysis::MsdConfig config;
+  config.group = {sim::Species::kWaterO};
+  analysis::MsdAnalysis msd("msd", sys, config);
+  msd.setup();
+  for (auto _ : state) benchmark::DoNotOptimize(msd.analyze().values[0]);
+}
+BENCHMARK(BM_msd_analyze)->Arg(4000)->Arg(16000);
+
+void BM_vacf(benchmark::State& state) {
+  const sim::ParticleSystem sys = make_water(static_cast<std::size_t>(state.range(0)));
+  analysis::VacfConfig config;
+  config.group = {sim::Species::kWaterO};
+  analysis::VacfAnalysis vacf("vacf", sys, config);
+  vacf.setup();
+  for (auto _ : state) benchmark::DoNotOptimize(vacf.analyze().values[0]);
+}
+BENCHMARK(BM_vacf)->Arg(16000);
+
+void BM_gyration(benchmark::State& state) {
+  sim::RhodopsinSpec spec;
+  spec.total_particles = static_cast<std::size_t>(state.range(0));
+  const sim::ParticleSystem sys = sim::rhodopsin_like(spec);
+  analysis::GyrationAnalysis rg("rg", sys, sim::Species::kProtein);
+  rg.setup();
+  for (auto _ : state) benchmark::DoNotOptimize(rg.analyze().values[0]);
+}
+BENCHMARK(BM_gyration)->Arg(32000);
+
+void BM_density_histogram(benchmark::State& state) {
+  sim::RhodopsinSpec spec;
+  spec.total_particles = static_cast<std::size_t>(state.range(0));
+  const sim::ParticleSystem sys = sim::rhodopsin_like(spec);
+  analysis::DensityHistogramConfig config;
+  config.group = sim::Species::kMembrane;
+  analysis::DensityHistogramAnalysis hist("hist", sys, config);
+  hist.setup();
+  for (auto _ : state) benchmark::DoNotOptimize(hist.analyze().values[0]);
+}
+BENCHMARK(BM_density_histogram)->Arg(32000)->Arg(128000);
+
+void BM_vorticity(benchmark::State& state) {
+  sim::EulerSolver solver(sim::GridGeometry{static_cast<std::size_t>(state.range(0)), 1.0},
+                          sim::EulerParams{});
+  sim::initialize_sedov(solver, sim::SedovSpec{});
+  for (int s = 0; s < 5; ++s) solver.step();
+  analysis::VorticityAnalysis vort("vort", solver);
+  for (auto _ : state) benchmark::DoNotOptimize(vort.analyze().values[0]);
+}
+BENCHMARK(BM_vorticity)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_error_norms(benchmark::State& state) {
+  sim::EulerSolver solver(sim::GridGeometry{static_cast<std::size_t>(state.range(0)), 1.0},
+                          sim::EulerParams{});
+  sim::SedovSpec spec;
+  sim::initialize_sedov(solver, spec);
+  for (int s = 0; s < 5; ++s) solver.step();
+  const sim::SedovReference ref(spec, solver.params().gamma);
+  analysis::ErrorNormAnalysis norms("l1", solver, ref,
+                                    analysis::NormKind::kL1DensityPressure);
+  for (auto _ : state) benchmark::DoNotOptimize(norms.analyze().values[0]);
+}
+BENCHMARK(BM_error_norms)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_md_step(benchmark::State& state) {
+  sim::LjSimulation md(make_water(static_cast<std::size_t>(state.range(0))), sim::MdParams{});
+  md.minimize(50);
+  md.thermalize(3);
+  for (auto _ : state) md.step();
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(md.system().size()));
+}
+BENCHMARK(BM_md_step)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_euler_step(benchmark::State& state) {
+  sim::EulerSolver solver(sim::GridGeometry{static_cast<std::size_t>(state.range(0)), 1.0},
+                          sim::EulerParams{});
+  sim::initialize_sedov(solver, sim::SedovSpec{});
+  for (auto _ : state) solver.step();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(solver.geometry().cells()));
+}
+BENCHMARK(BM_euler_step)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Table 4 reproduction: post-processing vs in-situ MSD analysis for the
+// water+ions simulation (1000 steps, trajectory every 100 steps).
+//
+// Two parts:
+//  1. modeled at paper scale (12544 / 100352 atoms; workstation reads the
+//     dump, a 16384-core Mira partition analyzes in-situ),
+//  2. a real local run of the full pipeline (mini-MD writes a trajectory to
+//     a temp dir; a serial reader recomputes the MSD) — the same code paths,
+//     measured on this machine.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/machine/machine.hpp"
+#include "insched/runtime/postprocess.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Table 4 — post-processing vs in-situ MSD (water+ions, 1000 steps)\n"
+      "paper: read 23.89 / 2413.11 s; post-process 1.03 / 17.85 s;\n"
+      "in-situ 0.01 / 0.03 s (12544 / 100352 atoms)");
+
+  struct PaperRow {
+    std::size_t atoms;
+    double read, post, insitu;
+  };
+  const PaperRow paper[] = {{12544, 23.89, 1.03, 0.01}, {100352, 2413.11, 17.85, 0.03}};
+
+  Table modeled("modeled at paper scale (workstation vs Mira/1024 nodes)");
+  modeled.set_header({"atoms", "read paper (s)", "read ours (s)", "post paper (s)",
+                      "post ours (s)", "insitu paper (s)", "insitu ours (s)",
+                      "speedup ours"});
+  for (const PaperRow& row : paper) {
+    runtime::ModeledPipelineSpec spec;
+    spec.atoms = row.atoms;
+    spec.analysis_site = machine::workstation();
+    spec.simulation_site = machine::mira_partition(1024);
+    // Naive-tool model: the parser re-scans the whole dump for every frame
+    // it analyzes (classic quadratic post-processing behaviour). The paper's
+    // large case degrades even further (2413 s for ~48 MB of data, i.e.
+    // ~20 KB/s); we keep a single honest model and note the residual gap in
+    // EXPERIMENTS.md.
+    spec.rescans_per_frame = 4.0;
+    const runtime::PostprocessComparison cmp = runtime::model(spec);
+    modeled.add_row({format("%zu", row.atoms), format("%.2f", row.read),
+                     format("%.2f", cmp.read_seconds), format("%.2f", row.post),
+                     format("%.2f", cmp.postprocess_seconds), format("%.3f", row.insitu),
+                     format("%.3f", cmp.insitu_seconds), format("%.0fx", cmp.speedup())});
+  }
+  modeled.print();
+
+  Table real("real local run (mini-MD + trajectory files + serial re-read)");
+  real.set_header({"atoms", "frames", "write (s)", "read (s)", "post-analyze (s)",
+                   "in-situ (s)", "read+post vs in-situ"});
+  for (std::size_t molecules : {400UL, 1600UL}) {
+    runtime::RealPipelineSpec spec;
+    spec.molecules = molecules;
+    spec.steps = 200;
+    spec.output_interval = 20;
+    spec.analysis_interval = 20;
+    const runtime::PostprocessComparison cmp = runtime::run_real(spec);
+    real.add_row({format("%zu", cmp.atoms), format("%ld", cmp.frames),
+                  format("%.4f", cmp.write_seconds), format("%.4f", cmp.read_seconds),
+                  format("%.4f", cmp.postprocess_seconds), format("%.4f", cmp.insitu_seconds),
+                  format("%.2fx", cmp.speedup())});
+  }
+  real.print();
+  std::printf(
+      "\nShape check: the post-processing pipeline pays storage reads that\n"
+      "in-situ analysis avoids entirely; the gap widens with system size.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 6 reproduction: absolute total-threshold sweep for the 1 G-atom
+// rhodopsin problem on 32768 cores (R1 radius of gyration, R2 membrane
+// histogram, R3 protein histogram).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/scheduler/recommend.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Table 6 — total threshold sweep, LAMMPS rhodopsin, 1G atoms, 32768 cores\n"
+      "paper: simulation 5163.03 s / 1000 steps; per-analysis step+output\n"
+      "times 0.003 / 17.193 / 17.194 s; itv = 100");
+
+  struct PaperRow {
+    double budget;
+    long r[3];
+    double within;
+  };
+  const PaperRow paper[] = {
+      {200.0, {10, 4, 7}, 94.59},
+      {100.0, {10, 2, 3}, 85.99},
+      {60.0, {10, 1, 2}, 86.01},
+      {20.0, {10, 1, 0}, 86.11},
+      {10.0, {10, 0, 0}, 0.3},
+  };
+
+  Table table;
+  table.set_header({"threshold (s)", "R1 R2 R3 (paper)", "R1 R2 R3 (ours)", "total (paper)",
+                    "total (ours)", "% paper", "% ours"});
+  for (const PaperRow& row : paper) {
+    const scheduler::ScheduleProblem problem = casestudy::rhodopsin_problem(row.budget);
+    const scheduler::ScheduleSolution sol = scheduler::solve_schedule(problem);
+    if (!sol.solved) {
+      std::printf("solver failed at %.0f s\n", row.budget);
+      return 1;
+    }
+    long paper_total = row.r[0] + row.r[1] + row.r[2];
+    table.add_row({format("%.0f", row.budget),
+                   format("%ld %ld %ld", row.r[0], row.r[1], row.r[2]),
+                   bench::freq_list(sol.frequencies), format("%ld", paper_total),
+                   format("%ld", bench::total_of(sol.frequencies)),
+                   format("%.2f", row.within),
+                   format("%.2f", 100.0 * sol.validation.utilization())});
+  }
+  table.print();
+  std::printf(
+      "\nNote: R2 and R3 differ by 1 ms per step, so several R2/R3 splits are\n"
+      "objective ties; the paper reports one optimal tie, we report another.\n"
+      "The total number of analyses and the utilization match.\n");
+  return 0;
+}

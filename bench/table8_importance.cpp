@@ -1,0 +1,57 @@
+// Table 8 reproduction: effect of analysis importance weights on the FLASH
+// Sedov schedule (F1 vorticity, F2 L1 norms, F3 L2 norms; 5% threshold of an
+// 870 s simulation). Runs both readings of the weights:
+//  - weighted sum (Eq 1 verbatim),
+//  - lexicographic strict priority (reproduces the paper's I2 row; see
+//    EXPERIMENTS.md for why Eq 1 alone cannot).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  bench::banner(
+      "Table 8 — analysis importance, FLASH Sedov, 16384 cores\n"
+      "paper: F1/F2/F3 compute 3.5 / 1.25 / 0.0023 s per step; sim 0.87 s/step;\n"
+      "threshold 5% (43.5 s per 1000 steps)");
+
+  struct Scenario {
+    const char* name;
+    std::array<double, 3> weights;
+    long paper[3];
+  };
+  const Scenario scenarios[] = {
+      {"I1 = (1,1,1)", {1.0, 1.0, 1.0}, {1, 10, 10}},
+      {"I2 = (2,1,2)", {2.0, 1.0, 2.0}, {5, 0, 10}},
+  };
+
+  Table table;
+  table.set_header({"importance", "F1 F2 F3 (paper)", "weighted-sum (Eq 1)",
+                    "lexicographic priority"});
+  for (const Scenario& s : scenarios) {
+    const scheduler::ScheduleProblem problem = casestudy::flash_problem(s.weights);
+
+    const scheduler::ScheduleSolution weighted = scheduler::solve_schedule(problem);
+    scheduler::SolveOptions lex_options;
+    lex_options.weight_mode = scheduler::WeightMode::kLexicographic;
+    const scheduler::ScheduleSolution lex = scheduler::solve_schedule(problem, lex_options);
+    if (!weighted.solved || !lex.solved) {
+      std::printf("solver failed for %s\n", s.name);
+      return 1;
+    }
+    table.add_row({s.name, format("%ld %ld %ld", s.paper[0], s.paper[1], s.paper[2]),
+                   bench::freq_list(weighted.frequencies),
+                   bench::freq_list(lex.frequencies)});
+  }
+  table.print();
+  std::printf(
+      "\nUnder the Eq-1 weighted sum, (1,10,10) dominates (5,0,10) for ANY\n"
+      "cost vector whenever both are feasible (obj 35 vs 32 with I2 weights),\n"
+      "so the paper's I2 row implies a strict-priority treatment of weights.\n"
+      "Our lexicographic mode reproduces it exactly.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Campaign planner: the what-if interface a science team uses before a big
+// allocation — sweep the overhead threshold they are willing to pay, trade
+// simulation-output frequency for analysis budget (Table 7), and compare the
+// optimizer against today's hand-picked fixed frequencies. Uses the 1 G-atom
+// rhodopsin case study.
+//
+//   $ ./campaign_planner
+
+#include <cstdio>
+
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/scheduler/greedy.hpp"
+#include "insched/scheduler/recommend.hpp"
+#include "insched/scheduler/validator.hpp"
+#include "insched/support/string_util.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  using insched::format;
+  using insched::Table;
+  std::printf("Campaign planner — rhodopsin 1G atoms on 32768 Mira cores\n\n");
+
+  // --- 1. How much analysis does a given overhead buy? ---------------------
+  {
+    Table table("1. overhead threshold -> in-situ analyses (R1/R2/R3 per 1000 steps)");
+    table.set_header({"overhead", "budget (s)", "R1", "R2", "R3", "utilization"});
+    for (double percent : {1.0, 2.0, 4.0, 6.0, 8.0}) {
+      const double budget = casestudy::kRhodoSimSeconds * percent / 100.0;
+      const auto sol = scheduler::solve_schedule(casestudy::rhodopsin_problem(budget));
+      if (!sol.solved) continue;
+      table.add_row({format("%.0f%%", percent), format("%.1f", budget),
+                     format("%ld", sol.frequencies[0]), format("%ld", sol.frequencies[1]),
+                     format("%ld", sol.frequencies[2]),
+                     format("%.1f%%", 100.0 * sol.validation.utilization())});
+    }
+    table.print();
+  }
+
+  // --- 2. Trade simulation outputs for analyses (Table-7 logic) -----------
+  {
+    Table table("2. fewer simulation outputs -> more analyses (50 s base budget)");
+    table.set_header({"sim outputs", "freed I/O (s)", "total analyses", "R1 R2 R3"});
+    const auto rows = scheduler::output_tradeoff(
+        casestudy::rhodopsin_problem(50.0), casestudy::kRhodoSimOutputBytes,
+        casestudy::rhodopsin_write_bw(), casestudy::kRhodoDefaultOutputSteps, 50.0,
+        {10, 8, 5, 3, 2});
+    for (const auto& row : rows) {
+      std::string freqs;
+      for (std::size_t i = 0; i < row.frequencies.size(); ++i)
+        freqs += format("%s%ld", i ? " " : "", row.frequencies[i]);
+      table.add_row({format("%ld", row.sim_output_steps),
+                     format("%.1f", 200.6 - row.output_seconds),
+                     format("%ld", row.total_analyses), freqs});
+    }
+    table.print();
+  }
+
+  // --- 3. Marginal value of overhead (Pareto frontier) ---------------------
+  {
+    Table table("3. marginal value of analysis budget (Pareto frontier)");
+    table.set_header({"budget (s)", "objective", "R1 R2 R3"});
+    const auto frontier =
+        scheduler::pareto_frontier(casestudy::rhodopsin_problem(50.0), 5.0, 400.0, 24);
+    for (const auto& point : frontier) {
+      std::string freqs;
+      for (std::size_t i = 0; i < point.frequencies.size(); ++i)
+        freqs += format("%s%ld", i ? " " : "", point.frequencies[i]);
+      table.add_row({format("%.1f", point.budget_seconds), format("%.0f", point.objective),
+                     freqs});
+    }
+    table.print();
+    std::printf(
+        "\nEach row is the smallest sampled budget at which the objective\n"
+        "improves — the knee of this curve is where extra overhead stops\n"
+        "paying for itself.\n\n");
+  }
+
+  // --- 4. Optimizer vs today's practice ------------------------------------
+  {
+    Table table("4. optimizer vs hand-picked fixed frequencies (100 s budget)");
+    table.set_header({"method", "R1 R2 R3", "analysis time (s)", "feasible?"});
+    const auto problem = casestudy::rhodopsin_problem(100.0);
+    std::vector<double> weights;
+    for (const auto& a : problem.analyses) weights.push_back(a.weight);
+
+    const auto opt = scheduler::solve_schedule(problem);
+    const auto report_row = [&](const char* name, const scheduler::Schedule& s) {
+      const auto rep = scheduler::validate_schedule(problem, s);
+      std::string freqs;
+      for (long f : s.frequencies()) freqs += format("%ld ", f);
+      table.add_row({name, freqs, format("%.1f", rep.total_analysis_time),
+                     rep.feasible ? "yes" : "NO (over budget)"});
+    };
+    report_row("MILP optimal", opt.schedule);
+    report_row("every 100 steps", scheduler::fixed_frequency(problem, 100));
+    report_row("every 200 steps", scheduler::fixed_frequency(problem, 200));
+    report_row("every 500 steps", scheduler::fixed_frequency(problem, 500));
+    report_row("greedy heuristic", scheduler::greedy_schedule(problem));
+    table.print();
+    std::printf(
+        "\n'every 100 steps' — the natural hand-picked choice — blows the\n"
+        "100 s budget by ~3.4x; 'every 500' wastes most of it. The MILP and\n"
+        "the greedy heuristic stay feasible; only the MILP is optimal.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// End-to-end in-situ run on real (laptop-scale) data: a Lennard-Jones
+// water+ions system evolves under the mini-MD engine while the scheduler's
+// recommended analyses (RDFs, VACF, MSD) execute in the simulation's memory
+// at their optimal frequencies — the LAMMPS case study of the paper, scaled
+// down to run in seconds.
+//
+//   $ ./lammps_waterions [molecules=800] [steps=300]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "insched/analysis/cost_probe.hpp"
+#include "insched/analysis/msd.hpp"
+#include "insched/analysis/rdf.hpp"
+#include "insched/analysis/registry.hpp"
+#include "insched/analysis/vacf.hpp"
+#include "insched/perfmodel/profiler.hpp"
+#include "insched/runtime/runtime.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/sim/particles/lj_md.hpp"
+#include "insched/support/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace insched;
+  const std::size_t molecules = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  const long steps = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 300;
+
+  // --- Build and equilibrate the system -----------------------------------
+  sim::WaterIonsSpec spec;
+  spec.molecules = molecules;
+  spec.hydronium_fraction = 0.03;
+  spec.ion_fraction = 0.03;
+  sim::LjSimulation md(sim::water_ions(spec), sim::MdParams{});
+  md.minimize(150);
+  md.thermalize(42);
+  std::printf("water+ions system: %zu particles, box volume %.1f\n", md.system().size(),
+              md.system().box().volume());
+
+  // --- Register the analyses ----------------------------------------------
+  analysis::AnalysisRegistry registry;
+  analysis::RdfConfig a1;
+  a1.pairs = {{sim::Species::kHydronium, sim::Species::kWaterO},
+              {sim::Species::kHydronium, sim::Species::kHydronium},
+              {sim::Species::kHydronium, sim::Species::kIon}};
+  registry.add(std::make_unique<analysis::RdfAnalysis>("hydronium rdf", md.system(), a1));
+  analysis::RdfConfig a2;
+  a2.pairs = {{sim::Species::kIon, sim::Species::kWaterO},
+              {sim::Species::kIon, sim::Species::kIon}};
+  registry.add(std::make_unique<analysis::RdfAnalysis>("ion rdf", md.system(), a2));
+  analysis::VacfConfig a3;
+  a3.group = {sim::Species::kWaterO};
+  registry.add(std::make_unique<analysis::VacfAnalysis>("vacf", md.system(), a3));
+  analysis::MsdConfig a4;
+  a4.group = {sim::Species::kHydronium, sim::Species::kIon};
+  registry.add(std::make_unique<analysis::MsdAnalysis>("msd", md.system(), a4));
+
+  // --- Measure each kernel's Table-1 costs with the probe -----------------
+  scheduler::ScheduleProblem problem;
+  problem.steps = steps;
+  problem.threshold = 0.10;  // allow 10% overhead
+  problem.threshold_kind = scheduler::ThresholdKind::kFractionOfSimTime;
+  problem.output_policy = scheduler::OutputPolicy::kEveryAnalysis;
+  problem.bw = 500e6;
+
+  // Estimate the simulation cost per step.
+  {
+    const auto begin = std::chrono::steady_clock::now();
+    for (int s = 0; s < 5; ++s) md.step();
+    problem.sim_time_per_step =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count() / 5.0;
+  }
+  std::printf("measured simulation time/step: %s\n",
+              format_seconds(problem.sim_time_per_step).c_str());
+
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    scheduler::AnalysisParams params = analysis::probe_analysis(registry.at(i));
+    params.itv = steps / 20;  // at most 20 samples per run
+    problem.analyses.push_back(params);
+    std::printf("probed %-14s ct=%s it=%s om=%s\n", params.name.c_str(),
+                format_seconds(params.ct).c_str(), format_seconds(params.it).c_str(),
+                format_bytes(params.om).c_str());
+  }
+
+  // --- Solve for the optimal schedule and execute it ------------------------
+  const scheduler::ScheduleSolution sol = scheduler::solve_schedule(problem);
+  if (!sol.solved) {
+    std::printf("no feasible schedule\n");
+    return 1;
+  }
+  std::printf("\nrecommended frequencies:");
+  for (std::size_t i = 0; i < problem.size(); ++i)
+    std::printf(" %s x%ld", problem.analyses[i].name.c_str(), sol.frequencies[i]);
+  std::printf("\n(solved in %s, %ld B&B nodes)\n\n",
+              format_seconds(sol.solver_seconds).c_str(), sol.nodes);
+
+  runtime::RuntimeConfig config;
+  config.storage = machine::StorageModel{.write_bw = problem.bw, .read_bw = problem.bw,
+                                         .latency_s = 0.0};
+  runtime::InsituRuntime runner(md, registry, sol.schedule, config);
+  const runtime::RunMetrics metrics = runner.run();
+  std::printf("%s\n", metrics.to_string().c_str());
+  std::printf("predicted analysis time %.3f s, measured %.3f s, budget %.3f s\n",
+              sol.validation.total_analysis_time, metrics.total_analysis_seconds(),
+              problem.time_budget());
+
+  // HPM-style region report (the runtime instruments itself).
+  std::printf("\n%s", perfmodel::Profiler::global().report().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Moldable-job advisor (paper Section 5.3.3): a moldable job can run on any
+// of several partition sizes — this example shows, for each candidate size,
+// which analyses the optimizer can still afford in-situ within a 10%
+// threshold, using the calibrated 100 M-atom water+ions case study.
+//
+//   $ ./moldable_jobs
+
+#include <cstdio>
+
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/scheduler/recommend.hpp"
+#include "insched/support/string_util.hpp"
+#include "insched/support/table.hpp"
+
+int main() {
+  using namespace insched;
+  using insched::format;
+  using insched::Table;
+
+  std::printf("Moldable-job advisor: LAMMPS water+ions, 100M atoms, 10%% threshold\n");
+  std::printf("The scheduler answers: at each size the job could be molded to,\n");
+  std::printf("how often can each analysis run in-situ?\n\n");
+
+  std::vector<scheduler::ScalePoint> scales;
+  for (long cores : casestudy::water_ions_core_counts()) {
+    scheduler::ScalePoint point;
+    point.processes = cores;
+    point.problem = casestudy::water_ions_problem(cores, 0.10);
+    scales.push_back(std::move(point));
+  }
+  const auto rows = scheduler::strong_scaling(scales);
+
+  Table table;
+  table.set_header({"cores", "sim time (s/1000 steps)", "analysis budget (s)",
+                    "A1 A2 A3 A4 frequencies", "analyses time (s)"});
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    double analyses_time = 0.0;
+    for (double t : row.per_analysis_seconds) analyses_time += t;
+    std::string freqs;
+    for (std::size_t i = 0; i < row.frequencies.size(); ++i)
+      freqs += format("%s%ld", i ? " " : "", row.frequencies[i]);
+    table.add_row({format("%ld", row.processes),
+                   format("%.0f", casestudy::water_ions_sim_time_per_step(row.processes) * 1000),
+                   format("%.1f", row.budget_seconds), freqs, format("%.2f", analyses_time)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading the table: molding the job to more cores shrinks the wall\n"
+      "clock and with it the 10%% analysis budget; the scalable RDFs stay at\n"
+      "full frequency while the non-scaling MSD falls off — exactly the\n"
+      "paper's Figure-5 story. A scheduler can use these rows to pick the\n"
+      "partition size that still meets the science team's analysis needs.\n");
+  return 0;
+}

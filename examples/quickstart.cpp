@@ -1,0 +1,68 @@
+// Quickstart: describe your analyses (Table-1 parameters), ask the scheduler
+// for the optimal in-situ schedule, inspect and validate it.
+//
+//   $ ./quickstart
+//
+// Walks the full public API in ~60 lines: ScheduleProblem -> recommend() ->
+// Schedule -> validate_schedule() -> render().
+
+#include <cstdio>
+
+#include "insched/scheduler/recommend.hpp"
+#include "insched/scheduler/validator.hpp"
+
+int main() {
+  using namespace insched::scheduler;
+
+  // 1. Describe the run: 1000 simulation steps at 0.5 s each, and allow the
+  //    in-situ analyses to add at most 10% on top.
+  ScheduleProblem problem;
+  problem.steps = 1000;
+  problem.sim_time_per_step = 0.5;
+  problem.threshold = 0.10;
+  problem.threshold_kind = ThresholdKind::kFractionOfSimTime;
+  problem.mth = 4e9;      // 4 GB of memory available for analyses
+  problem.bw = 2e9;       // 2 GB/s to storage
+  problem.output_policy = OutputPolicy::kEveryAnalysis;
+
+  // 2. Describe the candidate analyses (times in seconds, memory in bytes).
+  AnalysisParams histogram;
+  histogram.name = "density histogram";
+  histogram.ct = 0.8;      // cheap compute per analysis step
+  histogram.om = 64e6;     // writes a 64 MB histogram (ot derived as om/bw)
+  histogram.itv = 50;      // at most once every 50 steps
+  problem.analyses.push_back(histogram);
+
+  AnalysisParams correlation;
+  correlation.name = "time correlation";
+  correlation.ft = 2.0;    // one-time setup
+  correlation.it = 0.004;  // copies data every simulation step
+  correlation.ct = 6.0;    // expensive analysis step
+  correlation.om = 1e6;
+  correlation.fm = 800e6;  // pre-allocated reference buffers
+  correlation.itv = 100;
+  correlation.weight = 2.0;  // twice as important
+  problem.analyses.push_back(correlation);
+
+  // 3. Ask for a recommendation.
+  const Recommendation rec = recommend(problem);
+  if (!rec.solution.solved) {
+    std::printf("no feasible schedule: tighten the analyses or raise the budget\n");
+    return 1;
+  }
+  std::printf("%s\n", rec.summary.c_str());
+
+  // 4. The solution carries the concrete schedule and its exact validation
+  //    against the paper's constraints (Eqs 2-9).
+  const ValidationReport& report = rec.solution.validation;
+  std::printf("budget:     %.1f s, used %.1f s (%.1f%%)\n", report.time_budget,
+              report.total_analysis_time, 100.0 * report.utilization());
+  std::printf("peak memory: %.0f MB at step %ld (budget %.0f MB)\n",
+              report.peak_memory / 1e6, report.peak_memory_step,
+              report.memory_budget / 1e6);
+
+  // 5. Figure-1 style timeline of the first 50 steps (S = simulation step,
+  //    A = analysis, O = analysis output).
+  std::printf("\ntimeline: %s\n", rec.solution.schedule.render(50).c_str());
+  return 0;
+}

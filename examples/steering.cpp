@@ -1,0 +1,113 @@
+// Computational steering demo — the paper's closing vision: "in-situ
+// analyses periodically outputting results would allow researchers to check
+// behavior of a running simulation and potentially interact with it in real
+// time."
+//
+// A Sedov blast runs under the Euler solver with the scheduled L1 error-norm
+// diagnostic (F2). A steering monitor watches each in-situ result: while the
+// solution still deviates strongly from the self-similar reference it keeps
+// the analysis frequency high; once the relative change of the norm drops
+// below a plateau threshold it re-solves the scheduling problem with a
+// smaller budget (fewer checks needed) — and if the solution ever diverges,
+// it stops the run early.
+//
+//   $ ./steering [grid=28] [steps=160]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "insched/analysis/error_norms.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/sim/grid/sedov.hpp"
+#include "insched/support/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace insched;
+  const std::size_t grid = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 28;
+  const long steps = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 160;
+
+  sim::EulerSolver solver(sim::GridGeometry{grid, 1.0}, sim::EulerParams{});
+  sim::SedovSpec blast;
+  sim::initialize_sedov(solver, blast);
+  const sim::SedovReference reference(blast, solver.params().gamma);
+  analysis::ErrorNormAnalysis norm("L1", solver, reference,
+                                   analysis::NormKind::kL1DensityPressure);
+
+  // Phase 1 schedule: frequent checks (10% budget) while the blast forms.
+  scheduler::ScheduleProblem problem;
+  problem.steps = steps;
+  problem.threshold = 0.10;
+  problem.threshold_kind = scheduler::ThresholdKind::kFractionOfSimTime;
+  problem.output_policy = scheduler::OutputPolicy::kNone;
+  {
+    const auto begin = std::chrono::steady_clock::now();
+    for (int s = 0; s < 4; ++s) solver.step();
+    problem.sim_time_per_step =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count() / 4.0;
+  }
+  scheduler::AnalysisParams params;
+  params.name = "L1";
+  params.ct = problem.sim_time_per_step * 0.8;  // norm costs ~0.8 sim steps
+  params.itv = std::max<long>(2, steps / 40);
+  problem.analyses.push_back(params);
+
+  scheduler::ScheduleSolution plan = scheduler::solve_schedule(problem);
+  if (!plan.solved) {
+    std::printf("no feasible monitoring schedule\n");
+    return 1;
+  }
+  std::printf("steering run: %zu^3 grid, %ld steps; initial monitor frequency x%ld\n",
+              grid, steps, plan.frequencies[0]);
+
+  double previous_norm = -1.0;
+  bool relaxed = false;
+  long checks = 0;
+  std::size_t cursor = 0;
+  for (long step = solver.current_step() + 1; step <= steps; ++step) {
+    solver.step();
+    const auto& monitor_steps = plan.schedule.analysis(0).analysis_steps;
+    const bool check_now = cursor < monitor_steps.size() && monitor_steps[cursor] <= step;
+    if (!check_now) continue;
+    ++cursor;
+    ++checks;
+
+    const analysis::AnalysisResult result = norm.analyze();
+    const double l1 = result.values[0];
+    const double change =
+        previous_norm > 0.0 ? std::fabs(l1 - previous_norm) / previous_norm : 1.0;
+    std::printf("  step %4ld: L1(rho) = %.4f (change %.1f%%)\n", step, l1, 100.0 * change);
+
+    if (l1 > 5.0) {  // diverged: stop the campaign early
+      std::printf("steering: solution diverged, stopping the run at step %ld\n", step);
+      return 1;
+    }
+    if (!relaxed && previous_norm > 0.0 && change < 0.08) {
+      // Plateau: re-solve with a quarter of the budget for the remainder.
+      relaxed = true;
+      scheduler::ScheduleProblem rest = problem;
+      rest.steps = steps - step;
+      if (rest.steps > rest.analyses[0].itv) {
+        rest.threshold = 0.025;
+        const scheduler::ScheduleSolution replan = scheduler::solve_schedule(rest);
+        if (replan.solved && replan.frequencies[0] > 0) {
+          std::printf(
+              "steering: norm plateaued -> re-scheduled monitor to x%ld for the "
+              "remaining %ld steps\n",
+              replan.frequencies[0], rest.steps);
+          // Shift the re-planned steps to absolute positions.
+          scheduler::AnalysisSchedule shifted = replan.schedule.analysis(0);
+          for (long& s : shifted.analysis_steps) s += step;
+          plan.schedule = scheduler::Schedule(steps, {shifted});
+          cursor = 0;
+        }
+      }
+    }
+    previous_norm = l1;
+  }
+  std::printf("run complete: t = %.4f, %ld in-situ checks, final L1 = %.4f\n",
+              solver.time(), checks, previous_norm);
+  return 0;
+}

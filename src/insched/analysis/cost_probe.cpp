@@ -1,0 +1,69 @@
+#include "insched/analysis/cost_probe.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::analysis {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double time_call(F&& f) {
+  const auto begin = Clock::now();
+  f();
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+double median(std::vector<double> values) {
+  INSCHED_EXPECTS(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+scheduler::AnalysisParams probe_analysis(IAnalysis& analysis, const ProbeOptions& options) {
+  INSCHED_EXPECTS(options.measure_rounds >= 1);
+  scheduler::AnalysisParams params;
+  params.name = analysis.name();
+
+  // ft / fm: one-time setup.
+  params.ft = time_call([&] { analysis.setup(); });
+  params.fm = analysis.resident_bytes();
+
+  // it: per-simulation-step facilitation.
+  if (options.per_step_rounds > 0) {
+    std::vector<double> ts;
+    const double before = analysis.resident_bytes();
+    for (int r = 0; r < options.per_step_rounds; ++r)
+      ts.push_back(time_call([&] { analysis.per_step(); }));
+    params.it = median(ts);
+    const double after = analysis.resident_bytes();
+    params.im = std::max(0.0, (after - before) / options.per_step_rounds);
+  }
+
+  // ct / cm: the analysis computation.
+  for (int r = 0; r < options.warmup_rounds; ++r) (void)analysis.analyze();
+  const double before_ct = analysis.resident_bytes();
+  std::vector<double> cts;
+  for (int r = 0; r < options.measure_rounds; ++r)
+    cts.push_back(time_call([&] { (void)analysis.analyze(); }));
+  params.ct = median(cts);
+  const double after_ct = analysis.resident_bytes();
+  params.cm = std::max(0.0, (after_ct - before_ct) /
+                                std::max(1, options.measure_rounds));
+
+  // om / ot: output size measured, write time modeled through the bandwidth.
+  const double bytes = analysis.output();
+  params.om = bytes;
+  params.ot = options.write_bw > 0.0 ? bytes / options.write_bw : 0.0;
+
+  return params;
+}
+
+}  // namespace insched::analysis

@@ -1,0 +1,26 @@
+#pragma once
+
+// Measures an analysis kernel's Table-1 cost parameters by running its
+// lifecycle against a live simulation state and timing each phase with the
+// profiler — the library's stand-in for the paper's HPM/HPCT measurement
+// step. The measured (ft, it, ct, ot, fm, im, cm, om) feed the scheduler
+// directly, or a KernelPredictor when extrapolating across scales.
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/scheduler/params.hpp"
+
+namespace insched::analysis {
+
+struct ProbeOptions {
+  int warmup_rounds = 1;     ///< analyze() calls discarded before timing
+  int measure_rounds = 3;    ///< timed analyze() calls (median taken)
+  int per_step_rounds = 3;   ///< timed per_step() calls
+  double write_bw = 1e9;     ///< modeled bandwidth for deriving ot from om
+};
+
+/// Runs the probe. The analysis object is consumed (setup and several
+/// analyze/output rounds are executed); re-create it before real use.
+[[nodiscard]] scheduler::AnalysisParams probe_analysis(IAnalysis& analysis,
+                                                       const ProbeOptions& options = {});
+
+}  // namespace insched::analysis

@@ -1,0 +1,46 @@
+#pragma once
+
+// 2-D density histogram of a species group projected onto a coordinate plane
+// (the paper's R2 "membrane histogram" and R3 "protein histogram": density
+// profiles of assembled structures). Accumulates over analysis steps.
+
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::analysis {
+
+struct DensityHistogramConfig {
+  sim::Species group = sim::Species::kMembrane;
+  int axis_a = 0;           ///< first histogram axis (0=x, 1=y, 2=z)
+  int axis_b = 2;           ///< second histogram axis
+  std::size_t bins_a = 64;
+  std::size_t bins_b = 64;
+  bool parallel = true;
+};
+
+class DensityHistogramAnalysis final : public IAnalysis {
+ public:
+  DensityHistogramAnalysis(std::string name, const sim::ParticleSystem& system,
+                           DensityHistogramConfig config);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup() override;
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  [[nodiscard]] const std::vector<double>& histogram() const noexcept { return histogram_; }
+  [[nodiscard]] long samples() const noexcept { return samples_; }
+
+ private:
+  std::string name_;
+  const sim::ParticleSystem& system_;
+  DensityHistogramConfig config_;
+  std::vector<std::size_t> members_;
+  std::vector<double> histogram_;  ///< bins_a x bins_b, row-major
+  long samples_ = 0;
+};
+
+}  // namespace insched::analysis

@@ -1,0 +1,81 @@
+#include "insched/analysis/descriptive_stats.hpp"
+
+#include <cmath>
+
+#include "insched/support/parallel.hpp"
+
+namespace insched::analysis {
+
+DescriptiveStatsAnalysis::DescriptiveStatsAnalysis(std::string name,
+                                                   const sim::EulerSolver& solver,
+                                                   FieldSelector field, bool parallel)
+    : name_(std::move(name)), solver_(solver), field_(field), parallel_(parallel) {}
+
+AnalysisResult DescriptiveStatsAnalysis::analyze() {
+  const std::size_t n = solver_.geometry().n;
+  const std::size_t cells = solver_.geometry().cells();
+
+  const auto value_of = [&](std::size_t flat) {
+    const std::size_t i = flat % n;
+    const std::size_t j = (flat / n) % n;
+    const std::size_t k = flat / (n * n);
+    switch (field_) {
+      case FieldSelector::kDensity: return solver_.density().at(i, j, k);
+      case FieldSelector::kEnergy: return solver_.energy().at(i, j, k);
+      case FieldSelector::kPressure: return solver_.cell(i, j, k).p;
+      case FieldSelector::kVelocityMagnitude: {
+        const sim::Primitive prim = solver_.cell(i, j, k);
+        return std::sqrt(prim.u * prim.u + prim.v * prim.v + prim.w * prim.w);
+      }
+    }
+    return 0.0;
+  };
+
+  // Local min/max/sum/sumsq then a shared-memory "allreduce" — the same
+  // decomposition the MPI version uses.
+  const double inv = 1.0 / static_cast<double>(cells);
+  const double sum = parallel_ ? parallel_reduce_sum(cells, value_of) : [&] {
+    double s = 0.0;
+    for (std::size_t f = 0; f < cells; ++f) s += value_of(f);
+    return s;
+  }();
+  const double mean = sum * inv;
+  const double sumsq = parallel_ ? parallel_reduce_sum(cells,
+                                                       [&](std::size_t f) {
+                                                         const double d = value_of(f) - mean;
+                                                         return d * d;
+                                                       })
+                                 : [&] {
+                                     double s = 0.0;
+                                     for (std::size_t f = 0; f < cells; ++f) {
+                                       const double d = value_of(f) - mean;
+                                       s += d * d;
+                                     }
+                                     return s;
+                                   }();
+  double lo = value_of(0);
+  double hi = lo;
+  for (std::size_t f = 1; f < cells; ++f) {
+    const double v = value_of(f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  AnalysisResult result;
+  result.label = name_ + ":stats";
+  result.values = {lo, hi, mean, std::sqrt(sumsq * inv)};
+  series_.insert(series_.end(), result.values.begin(), result.values.end());
+  return result;
+}
+
+double DescriptiveStatsAnalysis::output() {
+  const double bytes = static_cast<double>(series_.size()) * sizeof(double);
+  series_.clear();
+  return bytes;
+}
+
+double DescriptiveStatsAnalysis::resident_bytes() const {
+  return static_cast<double>(series_.size()) * sizeof(double);
+}
+
+}  // namespace insched::analysis

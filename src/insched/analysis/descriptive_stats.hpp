@@ -1,0 +1,36 @@
+#pragma once
+
+// Descriptive statistics of a grid field — the cheapest class of in-situ
+// analysis the paper's related work names ("descriptive statistics,
+// topological analysis and visualization", Bennett et al.): min / max /
+// mean / variance of a chosen field per analysis step, accumulated into a
+// time series until the next output.
+
+#include <functional>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/grid/euler.hpp"
+
+namespace insched::analysis {
+
+enum class FieldSelector { kDensity, kPressure, kVelocityMagnitude, kEnergy };
+
+class DescriptiveStatsAnalysis final : public IAnalysis {
+ public:
+  DescriptiveStatsAnalysis(std::string name, const sim::EulerSolver& solver,
+                           FieldSelector field, bool parallel = true);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  AnalysisResult analyze() override;  ///< values = {min, max, mean, stddev}
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+ private:
+  std::string name_;
+  const sim::EulerSolver& solver_;
+  FieldSelector field_;
+  bool parallel_;
+  std::vector<double> series_;  ///< 4 values per analysis step until flushed
+};
+
+}  // namespace insched::analysis

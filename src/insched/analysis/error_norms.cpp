@@ -1,0 +1,114 @@
+#include "insched/analysis/error_norms.hpp"
+
+#include <array>
+
+#include <cmath>
+
+#include "insched/support/parallel.hpp"
+
+namespace insched::analysis {
+
+ErrorNormAnalysis::ErrorNormAnalysis(std::string name, const sim::EulerSolver& solver,
+                                     const sim::SedovReference& reference, NormKind kind,
+                                     bool parallel)
+    : name_(std::move(name)),
+      solver_(solver),
+      reference_(reference),
+      kind_(kind),
+      parallel_(parallel) {}
+
+AnalysisResult ErrorNormAnalysis::analyze() {
+  const sim::GridGeometry& geom = solver_.geometry();
+  const std::size_t n = geom.n;
+  const double t = std::max(solver_.time(), 1e-12);
+  const double center = 0.5 * geom.length;
+  const std::size_t cells = geom.cells();
+
+  const auto cell_of = [&](std::size_t flat) {
+    const std::size_t i = flat % n;
+    const std::size_t j = (flat / n) % n;
+    const std::size_t k = flat / (n * n);
+    return std::array<std::size_t, 3>{i, j, k};
+  };
+
+  AnalysisResult result;
+  if (kind_ == NormKind::kL1DensityPressure) {
+    // L1 norms: mean absolute difference against the reference profile.
+    const auto term_rho = [&](std::size_t flat) {
+      const auto [i, j, k] = cell_of(flat);
+      const double x = geom.center(i) - center;
+      const double y = geom.center(j) - center;
+      const double z = geom.center(k) - center;
+      const double r = std::sqrt(x * x + y * y + z * z);
+      return std::fabs(solver_.density().at(i, j, k) - reference_.density(r, t));
+    };
+    const auto term_p = [&](std::size_t flat) {
+      const auto [i, j, k] = cell_of(flat);
+      const double x = geom.center(i) - center;
+      const double y = geom.center(j) - center;
+      const double z = geom.center(k) - center;
+      const double r = std::sqrt(x * x + y * y + z * z);
+      const sim::Primitive prim = solver_.cell(i, j, k);
+      return std::fabs(prim.p - reference_.pressure(r, t));
+    };
+    const double inv = 1.0 / static_cast<double>(cells);
+    const double l1_rho = (parallel_ ? parallel_reduce_sum(cells, term_rho)
+                                     : [&] {
+                                         double s = 0.0;
+                                         for (std::size_t f = 0; f < cells; ++f) s += term_rho(f);
+                                         return s;
+                                       }()) *
+                          inv;
+    const double l1_p = (parallel_ ? parallel_reduce_sum(cells, term_p)
+                                   : [&] {
+                                       double s = 0.0;
+                                       for (std::size_t f = 0; f < cells; ++f) s += term_p(f);
+                                       return s;
+                                     }()) *
+                        inv;
+    result.label = name_ + ":l1[rho,p]";
+    result.values = {l1_rho, l1_p};
+    samples_.push_back(l1_rho);
+    samples_.push_back(l1_p);
+  } else {
+    // L2 norms of the velocity components against the radial reference.
+    double l2[3] = {0.0, 0.0, 0.0};
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto term = [&](std::size_t flat) {
+        const auto [i, j, k] = cell_of(flat);
+        const double x = geom.center(i) - center;
+        const double y = geom.center(j) - center;
+        const double z = geom.center(k) - center;
+        const double r = std::max(std::sqrt(x * x + y * y + z * z), 1e-12);
+        const double vr = reference_.radial_velocity(r, t);
+        const double component = axis == 0 ? x / r : (axis == 1 ? y / r : z / r);
+        const sim::Primitive prim = solver_.cell(i, j, k);
+        const double v = axis == 0 ? prim.u : (axis == 1 ? prim.v : prim.w);
+        const double diff = v - vr * component;
+        return diff * diff;
+      };
+      const double sum = parallel_ ? parallel_reduce_sum(cells, term) : [&] {
+        double s = 0.0;
+        for (std::size_t f = 0; f < cells; ++f) s += term(f);
+        return s;
+      }();
+      l2[axis] = std::sqrt(sum / static_cast<double>(cells));
+    }
+    result.label = name_ + ":l2[u,v,w]";
+    result.values = {l2[0], l2[1], l2[2]};
+    samples_.insert(samples_.end(), {l2[0], l2[1], l2[2]});
+  }
+  return result;
+}
+
+double ErrorNormAnalysis::output() {
+  const double bytes = static_cast<double>(samples_.size()) * sizeof(double);
+  samples_.clear();
+  return bytes;
+}
+
+double ErrorNormAnalysis::resident_bytes() const {
+  return static_cast<double>(samples_.size()) * sizeof(double);
+}
+
+}  // namespace insched::analysis

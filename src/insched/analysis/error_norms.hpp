@@ -1,0 +1,34 @@
+#pragma once
+
+// Error norms against the Sedov self-similar reference (the paper's F2 and
+// F3): F2 = L1 norms of density and pressure, F3 = L2 norms of the x/y/z
+// velocity components. FLASH's Sedov test reports exactly these norms.
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/grid/euler.hpp"
+#include "insched/sim/grid/sedov.hpp"
+
+namespace insched::analysis {
+
+enum class NormKind { kL1DensityPressure, kL2Velocity };
+
+class ErrorNormAnalysis final : public IAnalysis {
+ public:
+  ErrorNormAnalysis(std::string name, const sim::EulerSolver& solver,
+                    const sim::SedovReference& reference, NormKind kind, bool parallel = true);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+ private:
+  std::string name_;
+  const sim::EulerSolver& solver_;
+  const sim::SedovReference& reference_;
+  NormKind kind_;
+  bool parallel_;
+  std::vector<double> samples_;
+};
+
+}  // namespace insched::analysis

@@ -1,0 +1,70 @@
+#include "insched/analysis/gyration.hpp"
+
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::analysis {
+
+GyrationAnalysis::GyrationAnalysis(std::string name, const sim::ParticleSystem& system,
+                                   sim::Species group)
+    : name_(std::move(name)), system_(system), group_(group) {}
+
+void GyrationAnalysis::setup() {
+  members_ = system_.indices_of(group_);
+  samples_.clear();
+}
+
+AnalysisResult GyrationAnalysis::analyze() {
+  AnalysisResult result;
+  result.label = name_ + ":rg";
+  if (members_.empty()) {
+    result.values = {0.0};
+    return result;
+  }
+  const sim::Box& box = system_.box();
+  // Reference particle anchors the minimum-image unwrap of the group (valid
+  // for compact groups like a protein, which never spans half the box).
+  const std::size_t r0 = members_[0];
+  double mass_total = 0.0;
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  std::vector<double> ux(members_.size()), uy(members_.size()), uz(members_.size());
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    const std::size_t i = members_[m];
+    ux[m] = system_.x[r0] + sim::Box::min_image(system_.x[i] - system_.x[r0], box.lx);
+    uy[m] = system_.y[r0] + sim::Box::min_image(system_.y[i] - system_.y[r0], box.ly);
+    uz[m] = system_.z[r0] + sim::Box::min_image(system_.z[i] - system_.z[r0], box.lz);
+    const double mi = system_.mass[i];
+    mass_total += mi;
+    cx += mi * ux[m];
+    cy += mi * uy[m];
+    cz += mi * uz[m];
+  }
+  INSCHED_ASSERT(mass_total > 0.0);
+  cx /= mass_total;
+  cy /= mass_total;
+  cz /= mass_total;
+  double rg2 = 0.0;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    const double dx = ux[m] - cx;
+    const double dy = uy[m] - cy;
+    const double dz = uz[m] - cz;
+    rg2 += system_.mass[members_[m]] * (dx * dx + dy * dy + dz * dz);
+  }
+  last_rg_ = std::sqrt(rg2 / mass_total);
+  samples_.push_back(last_rg_);
+  result.values = {last_rg_};
+  return result;
+}
+
+double GyrationAnalysis::output() {
+  const double bytes = static_cast<double>(samples_.size()) * sizeof(double);
+  samples_.clear();
+  return bytes;
+}
+
+double GyrationAnalysis::resident_bytes() const {
+  return static_cast<double>(samples_.size()) * sizeof(double);
+}
+
+}  // namespace insched::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+// Radius of gyration of a particle group (the paper's R1: a single protein):
+// Rg^2 = sum_i m_i |r_i - r_cm|^2 / sum_i m_i, computed with minimum-image
+// coordinates relative to the group's (periodic-aware) center of mass.
+
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::analysis {
+
+class GyrationAnalysis final : public IAnalysis {
+ public:
+  GyrationAnalysis(std::string name, const sim::ParticleSystem& system, sim::Species group);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup() override;
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  [[nodiscard]] double last_rg() const noexcept { return last_rg_; }
+
+ private:
+  std::string name_;
+  const sim::ParticleSystem& system_;
+  sim::Species group_;
+  std::vector<std::size_t> members_;
+  std::vector<double> samples_;
+  double last_rg_ = 0.0;
+};
+
+}  // namespace insched::analysis

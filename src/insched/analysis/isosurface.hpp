@@ -1,0 +1,37 @@
+#pragma once
+
+// Isosurface census — the "visualization" class of in-situ analysis: counts
+// the cells crossed by a density isosurface (marching-cubes cell census,
+// without emitting geometry) and estimates the triangle count and surface
+// area a full extraction would produce. Tracks a moving front (the Sedov
+// shock shell) cheaply in-situ; om scales with the front size, which makes
+// it a nice scheduling subject.
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/grid/euler.hpp"
+
+namespace insched::analysis {
+
+class IsosurfaceAnalysis final : public IAnalysis {
+ public:
+  IsosurfaceAnalysis(std::string name, const sim::EulerSolver& solver, double iso_density,
+                     bool parallel = true);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  /// values = {crossed cells, estimated triangles, estimated area}.
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  [[nodiscard]] long last_crossed_cells() const noexcept { return last_crossed_; }
+
+ private:
+  std::string name_;
+  const sim::EulerSolver& solver_;
+  double iso_;
+  bool parallel_;
+  long last_crossed_ = 0;
+  double pending_bytes_ = 0.0;  ///< buffered geometry until the next output
+};
+
+}  // namespace insched::analysis

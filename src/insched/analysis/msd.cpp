@@ -1,0 +1,88 @@
+#include "insched/analysis/msd.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::analysis {
+
+MsdAnalysis::MsdAnalysis(std::string name, const sim::ParticleSystem& system, MsdConfig config)
+    : name_(std::move(name)), system_(system), config_(std::move(config)) {
+  INSCHED_EXPECTS(!config_.group.empty());
+}
+
+void MsdAnalysis::setup() {
+  members_.clear();
+  for (sim::Species s : config_.group) {
+    const auto idx = system_.indices_of(s);
+    members_.insert(members_.end(), idx.begin(), idx.end());
+  }
+  std::sort(members_.begin(), members_.end());
+  const std::size_t n = members_.size();
+  ref_x_.resize(n);
+  ref_y_.resize(n);
+  ref_z_.resize(n);
+  prev_x_.resize(n);
+  prev_y_.resize(n);
+  prev_z_.resize(n);
+  disp_x_.assign(n, 0.0);
+  disp_y_.assign(n, 0.0);
+  disp_z_.assign(n, 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t i = members_[m];
+    ref_x_[m] = prev_x_[m] = system_.x[i];
+    ref_y_[m] = prev_y_[m] = system_.y[i];
+    ref_z_[m] = prev_z_[m] = system_.z[i];
+  }
+  curve_.clear();
+}
+
+void MsdAnalysis::per_step() {
+  // Unwrap trajectories: accumulate minimum-image deltas so box wrapping
+  // does not corrupt the displacement.
+  const sim::Box& box = system_.box();
+  const std::size_t n = members_.size();
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      const std::size_t i = members_[m];
+      disp_x_[m] += sim::Box::min_image(system_.x[i] - prev_x_[m], box.lx);
+      disp_y_[m] += sim::Box::min_image(system_.y[i] - prev_y_[m], box.ly);
+      disp_z_[m] += sim::Box::min_image(system_.z[i] - prev_z_[m], box.lz);
+      prev_x_[m] = system_.x[i];
+      prev_y_[m] = system_.y[i];
+      prev_z_[m] = system_.z[i];
+    }
+  });
+}
+
+AnalysisResult MsdAnalysis::analyze() {
+  INSCHED_EXPECTS(!members_.empty() || system_.size() == 0);
+  const std::size_t n = members_.size();
+  double msd = 0.0;
+  if (n > 0) {
+    msd = parallel_reduce_sum(n, [&](std::size_t m) {
+            return disp_x_[m] * disp_x_[m] + disp_y_[m] * disp_y_[m] +
+                   disp_z_[m] * disp_z_[m];
+          }) /
+          static_cast<double>(n);
+  }
+  curve_.push_back(msd);
+  AnalysisResult result;
+  result.label = name_ + ":msd";
+  result.values = {msd};
+  return result;
+}
+
+double MsdAnalysis::output() {
+  const double bytes = static_cast<double>(curve_.size()) * sizeof(double);
+  curve_.clear();  // buffered samples flushed
+  return bytes;
+}
+
+double MsdAnalysis::resident_bytes() const {
+  return static_cast<double>(members_.size()) * 9.0 * sizeof(double) +
+         static_cast<double>(curve_.size()) * sizeof(double);
+}
+
+}  // namespace insched::analysis

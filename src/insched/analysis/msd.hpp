@@ -1,0 +1,46 @@
+#pragma once
+
+// Mean squared displacement averaged over a particle group (the paper's A4,
+// "msd": hydronium and ions). A temporal analysis in the paper's taxonomy:
+// it pre-allocates reference positions (large fm), tracks unwrapped
+// displacements every simulation step (it/im), and evaluates <|r-r0|^2> at
+// analysis steps. The paper notes A4's large memory and output footprint —
+// the per-step displacement tracking is exactly why.
+
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::analysis {
+
+struct MsdConfig {
+  std::vector<sim::Species> group;  ///< species included in the average
+  bool parallel = true;
+};
+
+class MsdAnalysis final : public IAnalysis {
+ public:
+  MsdAnalysis(std::string name, const sim::ParticleSystem& system, MsdConfig config);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup() override;      ///< captures reference positions (fm)
+  void per_step() override;   ///< accumulates unwrapped displacements (it)
+  AnalysisResult analyze() override;
+  double output() override;   ///< writes the sampled MSD curve (om)
+  [[nodiscard]] double resident_bytes() const override;
+
+  [[nodiscard]] const std::vector<double>& curve() const noexcept { return curve_; }
+
+ private:
+  std::string name_;
+  const sim::ParticleSystem& system_;
+  MsdConfig config_;
+  std::vector<std::size_t> members_;
+  std::vector<double> ref_x_, ref_y_, ref_z_;     ///< positions at setup
+  std::vector<double> disp_x_, disp_y_, disp_z_;  ///< unwrapped displacement
+  std::vector<double> prev_x_, prev_y_, prev_z_;  ///< last wrapped position
+  std::vector<double> curve_;                     ///< MSD samples since last output
+};
+
+}  // namespace insched::analysis

@@ -1,0 +1,113 @@
+#include "insched/analysis/rdf.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numbers>
+
+#include "insched/sim/particles/cell_list.hpp"
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::analysis {
+
+RdfAnalysis::RdfAnalysis(std::string name, const sim::ParticleSystem& system, RdfConfig config)
+    : name_(std::move(name)), system_(system), config_(std::move(config)) {
+  INSCHED_EXPECTS(!config_.pairs.empty());
+  INSCHED_EXPECTS(config_.r_max > 0.0 && config_.bins > 0);
+}
+
+void RdfAnalysis::setup() {
+  histograms_.assign(config_.pairs.size(), std::vector<double>(config_.bins, 0.0));
+  samples_ = 0;
+}
+
+AnalysisResult RdfAnalysis::analyze() {
+  INSCHED_EXPECTS(!histograms_.empty());  // setup() must run first
+  const double bin_width = config_.r_max / static_cast<double>(config_.bins);
+  const std::size_t npairs = config_.pairs.size();
+  const sim::CellList cells(system_, config_.r_max);
+
+  const auto visit = [&](std::vector<std::vector<double>>& hist, std::size_t i,
+                         std::size_t j, double r2) {
+    const sim::Species si = system_.species[i];
+    const sim::Species sj = system_.species[j];
+    const double r = std::sqrt(r2);
+    auto bin = static_cast<std::size_t>(r / bin_width);
+    if (bin >= config_.bins) return;
+    for (std::size_t p = 0; p < npairs; ++p) {
+      const auto& [a, b] = config_.pairs[p];
+      if ((si == a && sj == b) || (si == b && sj == a)) hist[p][bin] += 1.0;
+    }
+  };
+
+  // Shard the cell range over threads; each shard accumulates into a private
+  // histogram and merges under a lock — the local-work + reduce pattern of
+  // the MPI kernels this models.
+  const std::size_t shards =
+      config_.parallel ? static_cast<std::size_t>(thread_count()) : 1;
+  const std::size_t ncells = cells.num_cells();
+  std::mutex merge_mutex;
+  parallel_for(
+      shards,
+      [&](std::size_t sb, std::size_t se) {
+        for (std::size_t s = sb; s < se; ++s) {
+          const std::size_t begin = s * ncells / shards;
+          const std::size_t end = (s + 1) * ncells / shards;
+          std::vector<std::vector<double>> local(npairs,
+                                                 std::vector<double>(config_.bins, 0.0));
+          cells.for_each_pair_in_cells(begin, end, [&](std::size_t i, std::size_t j,
+                                                       double r2) { visit(local, i, j, r2); });
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          for (std::size_t p = 0; p < npairs; ++p)
+            for (std::size_t b = 0; b < config_.bins; ++b) histograms_[p][b] += local[p][b];
+        }
+      },
+      1);
+  ++samples_;
+
+  // Result: first bins of g(r) for the first pair (summary view).
+  AnalysisResult result;
+  result.label = name_ + ":g(r)";
+  result.values = g_of_r(0);
+  return result;
+}
+
+std::vector<double> RdfAnalysis::g_of_r(std::size_t p) const {
+  INSCHED_EXPECTS(p < histograms_.size());
+  std::vector<double> g(config_.bins, 0.0);
+  if (samples_ == 0) return g;
+  const auto& [sa, sb] = config_.pairs[p];
+  const double na = static_cast<double>(system_.count(sa));
+  const double nb = static_cast<double>(system_.count(sb));
+  if (na == 0.0 || nb == 0.0) return g;
+  const double volume = system_.box().volume();
+  const double bin_width = config_.r_max / static_cast<double>(config_.bins);
+  // Normalization: pair count in shell / expected ideal-gas pair count.
+  const double pair_norm = sa == sb ? 0.5 * na * (na - 1.0) : na * nb;
+  for (std::size_t b = 0; b < config_.bins; ++b) {
+    const double r_lo = static_cast<double>(b) * bin_width;
+    const double r_hi = r_lo + bin_width;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = pair_norm * shell / volume * static_cast<double>(samples_);
+    g[b] = expected > 0.0 ? histograms_[p][b] / expected : 0.0;
+  }
+  return g;
+}
+
+double RdfAnalysis::output() {
+  double bytes = 0.0;
+  for (const auto& h : histograms_) bytes += static_cast<double>(h.size()) * sizeof(double);
+  // Histograms restart after an output step (memory conceptually resets).
+  for (auto& h : histograms_) std::fill(h.begin(), h.end(), 0.0);
+  samples_ = 0;
+  return bytes;
+}
+
+double RdfAnalysis::resident_bytes() const {
+  double bytes = 0.0;
+  for (const auto& h : histograms_) bytes += static_cast<double>(h.size()) * sizeof(double);
+  return bytes;
+}
+
+}  // namespace insched::analysis

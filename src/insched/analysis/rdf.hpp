@@ -1,0 +1,46 @@
+#pragma once
+
+// Radial distribution function g(r) between species pairs, accumulated as a
+// distance histogram over cutoff-range pairs (cell list) and normalized by
+// the ideal-gas shell density. Implements the paper's A1 ("hydronium rdf":
+// hydronium-water / hydronium-hydronium / hydronium-ion) and A2 ("ion rdf")
+// analyses; results accumulate between outputs ("averaged over all
+// molecules" and over analysis steps).
+
+#include <utility>
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::analysis {
+
+struct RdfConfig {
+  std::vector<std::pair<sim::Species, sim::Species>> pairs;  ///< species pairs to histogram
+  double r_max = 2.5;
+  std::size_t bins = 100;
+  bool parallel = true;
+};
+
+class RdfAnalysis final : public IAnalysis {
+ public:
+  RdfAnalysis(std::string name, const sim::ParticleSystem& system, RdfConfig config);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup() override;
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  /// g(r) for pair `p` from the current accumulation (bins entries).
+  [[nodiscard]] std::vector<double> g_of_r(std::size_t p) const;
+
+ private:
+  std::string name_;
+  const sim::ParticleSystem& system_;
+  RdfConfig config_;
+  std::vector<std::vector<double>> histograms_;  ///< per pair, per bin
+  long samples_ = 0;
+};
+
+}  // namespace insched::analysis

@@ -1,0 +1,30 @@
+#include "insched/analysis/registry.hpp"
+
+#include "insched/support/assert.hpp"
+
+namespace insched::analysis {
+
+void AnalysisRegistry::add(AnalysisPtr analysis) {
+  INSCHED_EXPECTS(analysis != nullptr);
+  analyses_.push_back(std::move(analysis));
+}
+
+IAnalysis& AnalysisRegistry::at(std::size_t i) {
+  INSCHED_EXPECTS(i < analyses_.size());
+  return *analyses_[i];
+}
+
+IAnalysis* AnalysisRegistry::find(const std::string& name) {
+  for (const AnalysisPtr& a : analyses_)
+    if (a->name() == name) return a.get();
+  return nullptr;
+}
+
+std::vector<std::string> AnalysisRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(analyses_.size());
+  for (const AnalysisPtr& a : analyses_) out.push_back(a->name());
+  return out;
+}
+
+}  // namespace insched::analysis

@@ -1,0 +1,30 @@
+#pragma once
+
+// Name-indexed collection of analyses, aligned by construction order with
+// the AnalysisParams vector of a ScheduleProblem.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+
+namespace insched::analysis {
+
+class AnalysisRegistry {
+ public:
+  /// Adds an analysis; the index order is the scheduling order.
+  void add(AnalysisPtr analysis);
+
+  [[nodiscard]] std::size_t size() const noexcept { return analyses_.size(); }
+  [[nodiscard]] IAnalysis& at(std::size_t i);
+  [[nodiscard]] IAnalysis* find(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<AnalysisPtr> analyses_;
+};
+
+}  // namespace insched::analysis

@@ -1,0 +1,68 @@
+#include "insched/analysis/vacf.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::analysis {
+
+VacfAnalysis::VacfAnalysis(std::string name, const sim::ParticleSystem& system,
+                           VacfConfig config)
+    : name_(std::move(name)), system_(system), config_(std::move(config)) {
+  INSCHED_EXPECTS(!config_.group.empty());
+}
+
+void VacfAnalysis::setup() {
+  members_.clear();
+  for (sim::Species s : config_.group) {
+    const auto idx = system_.indices_of(s);
+    members_.insert(members_.end(), idx.begin(), idx.end());
+  }
+  std::sort(members_.begin(), members_.end());
+  const std::size_t n = members_.size();
+  v0x_.resize(n);
+  v0y_.resize(n);
+  v0z_.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t i = members_[m];
+    v0x_[m] = system_.vx[i];
+    v0y_[m] = system_.vy[i];
+    v0z_[m] = system_.vz[i];
+  }
+  norm_ = 0.0;
+  for (std::size_t m = 0; m < n; ++m)
+    norm_ += v0x_[m] * v0x_[m] + v0y_[m] * v0y_[m] + v0z_[m] * v0z_[m];
+  curve_.clear();
+}
+
+AnalysisResult VacfAnalysis::analyze() {
+  const std::size_t n = members_.size();
+  double corr = 0.0;
+  if (n > 0 && norm_ > 0.0) {
+    corr = parallel_reduce_sum(n, [&](std::size_t m) {
+             const std::size_t i = members_[m];
+             return v0x_[m] * system_.vx[i] + v0y_[m] * system_.vy[i] +
+                    v0z_[m] * system_.vz[i];
+           }) /
+           norm_;
+  }
+  curve_.push_back(corr);
+  AnalysisResult result;
+  result.label = name_ + ":vacf";
+  result.values = {corr};
+  return result;
+}
+
+double VacfAnalysis::output() {
+  const double bytes = static_cast<double>(curve_.size()) * sizeof(double);
+  curve_.clear();
+  return bytes;
+}
+
+double VacfAnalysis::resident_bytes() const {
+  return static_cast<double>(members_.size()) * 3.0 * sizeof(double) +
+         static_cast<double>(curve_.size()) * sizeof(double);
+}
+
+}  // namespace insched::analysis

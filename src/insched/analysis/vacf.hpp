@@ -1,0 +1,42 @@
+#pragma once
+
+// Velocity auto-correlation function <v(0) . v(t)> / <v(0) . v(0)> averaged
+// over a particle group (the paper's A3: water-oxygen, hydronium-oxygen and
+// ion atoms). Captures reference velocities at setup, correlates the current
+// velocities against them at analysis steps.
+
+#include <vector>
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::analysis {
+
+struct VacfConfig {
+  std::vector<sim::Species> group;
+  bool parallel = true;
+};
+
+class VacfAnalysis final : public IAnalysis {
+ public:
+  VacfAnalysis(std::string name, const sim::ParticleSystem& system, VacfConfig config);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup() override;   ///< captures v(0) (fm)
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  [[nodiscard]] const std::vector<double>& curve() const noexcept { return curve_; }
+
+ private:
+  std::string name_;
+  const sim::ParticleSystem& system_;
+  VacfConfig config_;
+  std::vector<std::size_t> members_;
+  std::vector<double> v0x_, v0y_, v0z_;
+  double norm_ = 0.0;  ///< <v(0).v(0)>
+  std::vector<double> curve_;
+};
+
+}  // namespace insched::analysis

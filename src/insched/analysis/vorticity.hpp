@@ -1,0 +1,32 @@
+#pragma once
+
+// Vorticity magnitude |curl v| of the Euler solver's velocity field via
+// centered differences on the periodic grid (the paper's F1 — the
+// compute-intensive FLASH analysis: it derives three velocity fields and
+// allocates a full vorticity field, hence large ct and cm).
+
+#include "insched/analysis/analysis.hpp"
+#include "insched/sim/grid/euler.hpp"
+
+namespace insched::analysis {
+
+class VorticityAnalysis final : public IAnalysis {
+ public:
+  VorticityAnalysis(std::string name, const sim::EulerSolver& solver, bool parallel = true);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  AnalysisResult analyze() override;
+  double output() override;
+  [[nodiscard]] double resident_bytes() const override;
+
+  /// The last computed vorticity-magnitude field (empty before analyze()).
+  [[nodiscard]] const sim::Field3D& field() const noexcept { return vorticity_; }
+
+ private:
+  std::string name_;
+  const sim::EulerSolver& solver_;
+  bool parallel_;
+  sim::Field3D vorticity_;
+};
+
+}  // namespace insched::analysis

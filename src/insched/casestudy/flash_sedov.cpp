@@ -1,0 +1,39 @@
+#include "insched/casestudy/flash_sedov.hpp"
+
+#include "insched/support/units.hpp"
+
+namespace insched::casestudy {
+
+scheduler::ScheduleProblem flash_problem(std::array<double, 3> weights,
+                                         double threshold_fraction) {
+  scheduler::ScheduleProblem problem;
+  problem.steps = 1000;
+  problem.threshold = threshold_fraction;
+  problem.threshold_kind = scheduler::ThresholdKind::kFractionOfSimTime;
+  problem.sim_time_per_step = kFlashSimTimePerStep;
+  problem.output_policy = scheduler::OutputPolicy::kEveryAnalysis;
+  // 1024 nodes x 16 GB; FLASH itself is memory-hungry, leave 10% to analyses.
+  problem.mth = 1024.0 * 16.0 * GiB * 0.10;
+  problem.bw = 4.5 * GB;
+
+  const auto make = [&](const char* name, double compute, double output, double result_mb,
+                        double weight) {
+    scheduler::AnalysisParams a;
+    a.name = name;
+    a.ct = compute;
+    a.ot = output;
+    a.fm = 0.0;  // FLASH allocates and frees analysis memory on the fly
+    a.cm = result_mb * MB;
+    a.om = result_mb * MB;
+    a.itv = 100;
+    a.weight = weight;
+    return a;
+  };
+  // Compute times from the paper; output times calibrated (see header).
+  problem.analyses.push_back(make("vorticity (F1)", 3.5, 4.65, 2048.0, weights[0]));
+  problem.analyses.push_back(make("L1 error norm (F2)", 1.25, 2.25, 16.0, weights[1]));
+  problem.analyses.push_back(make("L2 error norm (F3)", 0.0023, 0.0277, 16.0, weights[2]));
+  return problem;
+}
+
+}  // namespace insched::casestudy

@@ -1,0 +1,29 @@
+#pragma once
+
+// FLASH Sedov case study (paper Section 5.2): 3-D Sedov blast with 16^3
+// cells per block and 10 mesh variables, on 16384 cores of Mira. Analyses:
+// F1 (vorticity), F2 (L1 error norms of density and pressure), F3 (L2 error
+// norms of the velocity components).
+//
+// Calibration: the paper gives compute times 3.5 s (F1), 1.25 s (F2) and
+// 2.3 ms (F3) per analysis step and 0.87 s per simulation step. Output
+// times are calibrated so both Table-8 weight scenarios reproduce under the
+// lexicographic (strict-priority) reading of the importance weights:
+// per-step totals 8.15 s (F1: the vorticity field is a bulky product),
+// 3.5 s (F2), 0.03 s (F3). EXPERIMENTS.md discusses why the paper's I2 row
+// cannot arise from the plain weighted-sum objective.
+
+#include <array>
+
+#include "insched/scheduler/params.hpp"
+
+namespace insched::casestudy {
+
+inline constexpr double kFlashSimTimePerStep = 0.87;
+
+/// The FLASH scheduling problem with per-analysis importance weights and a
+/// threshold expressed as a fraction of simulation time (paper: 5%).
+[[nodiscard]] scheduler::ScheduleProblem flash_problem(std::array<double, 3> weights,
+                                                       double threshold_fraction = 0.05);
+
+}  // namespace insched::casestudy

@@ -1,0 +1,41 @@
+#include "insched/casestudy/lammps_rhodo.hpp"
+
+#include "insched/support/units.hpp"
+
+namespace insched::casestudy {
+
+double rhodopsin_write_bw() {
+  return kRhodoSimOutputBytes * static_cast<double>(kRhodoDefaultOutputSteps) /
+         kRhodoOutputSeconds10;
+}
+
+scheduler::ScheduleProblem rhodopsin_problem(double total_threshold_seconds) {
+  scheduler::ScheduleProblem problem;
+  problem.steps = 1000;
+  problem.threshold = total_threshold_seconds;
+  problem.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  problem.sim_time_per_step = kRhodoSimSeconds / 1000.0;
+  problem.output_policy = scheduler::OutputPolicy::kEveryAnalysis;
+  problem.bw = rhodopsin_write_bw();
+  // 2048 nodes x 16 GB, a quarter available to analyses; not binding here.
+  problem.mth = 2048.0 * 16.0 * GiB * 0.25;
+
+  const auto make = [&](const char* name, double step_cost, double result_mb) {
+    scheduler::AnalysisParams a;
+    a.name = name;
+    a.ct = step_cost;  // paper quotes analysis+output per step as one number
+    a.ot = 0.0;
+    a.fm = result_mb * MB;
+    a.cm = result_mb * MB;
+    a.om = result_mb * MB;
+    a.itv = 100;
+    a.weight = 1.0;
+    return a;
+  };
+  problem.analyses.push_back(make("radius of gyration (R1)", 0.003, 0.1));
+  problem.analyses.push_back(make("membrane histogram (R2)", 17.193, 64.0));
+  problem.analyses.push_back(make("protein histogram (R3)", 17.194, 64.0));
+  return problem;
+}
+
+}  // namespace insched::casestudy

@@ -1,0 +1,28 @@
+#pragma once
+
+// LAMMPS rhodopsin case study (paper Section 5.2 problem 2): 1 G atoms on
+// 32768 cores (2048 nodes) of Mira, analyses R1 (radius of gyration),
+// R2 (membrane density histogram), R3 (protein density histogram).
+//
+// Calibration comes straight from the paper: the simulation takes 5163.03 s
+// for 1000 steps; one analysis step followed by its output takes 0.003 s
+// (R1), 17.193 s (R2) and 17.194 s (R3); minimum interval 100 steps; the
+// simulation writes 91 GB per output step and 10 outputs take 200.6 s, i.e.
+// an effective write bandwidth of ~4.54 GB/s (Tables 6 and 7).
+
+#include "insched/scheduler/params.hpp"
+
+namespace insched::casestudy {
+
+inline constexpr double kRhodoSimSeconds = 5163.03;       ///< 1000 steps
+inline constexpr double kRhodoSimOutputBytes = 91.0e9;    ///< per output step
+inline constexpr double kRhodoOutputSeconds10 = 200.6;    ///< 10 outputs
+inline constexpr long kRhodoDefaultOutputSteps = 10;
+
+/// Effective write bandwidth implied by the measured output time.
+[[nodiscard]] double rhodopsin_write_bw();
+
+/// Scheduling problem with an absolute analysis-time budget (Table 6/7).
+[[nodiscard]] scheduler::ScheduleProblem rhodopsin_problem(double total_threshold_seconds);
+
+}  // namespace insched::casestudy

@@ -1,0 +1,376 @@
+#include "insched/lp/lp_format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched::lp {
+
+namespace {
+
+/// LP-format identifiers: letters, digits and a few punctuation characters;
+/// must not start with a digit or '.', must not contain operators/spaces.
+std::string sanitize(const std::string& name, int index) {
+  if (name.empty()) return format("x%d", index);
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+                    c == '#';
+    out += ok ? c : '_';
+  }
+  if (std::isdigit(static_cast<unsigned char>(out[0])) || out[0] == '.')
+    out.insert(out.begin(), 'v');
+  return out;
+}
+
+void write_terms(std::string& out, const std::vector<std::pair<int, double>>& terms,
+                 const std::vector<std::string>& names) {
+  bool first = true;
+  for (const auto& [col, coeff] : terms) {
+    if (coeff == 0.0) continue;
+    if (first) {
+      out += coeff < 0.0 ? "- " : "";
+      first = false;
+    } else {
+      out += coeff < 0.0 ? " - " : " + ";
+    }
+    const double mag = std::fabs(coeff);
+    if (mag != 1.0) out += format("%.17g ", mag);
+    out += names[static_cast<std::size_t>(col)];
+  }
+  if (first) out += "0 x0_dummy_";  // empty expression placeholder (never used by us)
+}
+
+}  // namespace
+
+std::string write_lp(const Model& model) {
+  const int n = model.num_columns();
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(n));
+  std::map<std::string, int> used;
+  for (int j = 0; j < n; ++j) {
+    std::string name = sanitize(model.column(j).name, j);
+    // Uniquify collisions after sanitizing.
+    auto [it, inserted] = used.emplace(name, 0);
+    if (!inserted) {
+      ++it->second;
+      name += format("_%d", it->second);
+    }
+    names.push_back(std::move(name));
+  }
+
+  std::string out =
+      model.sense() == Sense::kMaximize ? "Maximize\n obj: " : "Minimize\n obj: ";
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (model.column(j).objective != 0.0) terms.emplace_back(j, model.column(j).objective);
+    }
+    write_terms(out, terms, names);
+    out += '\n';
+  }
+
+  out += "Subject To\n";
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const Row& row = model.row(i);
+    out += format(" c%d: ", i);
+    std::vector<std::pair<int, double>> terms;
+    for (const RowEntry& e : row.entries) terms.emplace_back(e.column, e.coeff);
+    write_terms(out, terms, names);
+    const char* op = row.type == RowType::kLe ? "<=" : (row.type == RowType::kGe ? ">=" : "=");
+    out += format(" %s %.17g\n", op, row.rhs);
+  }
+
+  out += "Bounds\n";
+  for (int j = 0; j < n; ++j) {
+    const Column& c = model.column(j);
+    const std::string& name = names[static_cast<std::size_t>(j)];
+    if (std::isinf(c.lower) && std::isinf(c.upper)) {
+      out += format(" %s free\n", name.c_str());
+    } else if (std::isinf(c.upper)) {
+      out += format(" %s >= %.17g\n", name.c_str(), c.lower);
+    } else if (std::isinf(c.lower)) {
+      out += format(" %s <= %.17g\n", name.c_str(), c.upper);
+    } else {
+      out += format(" %.17g <= %s <= %.17g\n", c.lower, name.c_str(), c.upper);
+    }
+  }
+
+  std::string generals, binaries;
+  for (int j = 0; j < n; ++j) {
+    if (model.column(j).type == VarType::kInteger)
+      generals += " " + names[static_cast<std::size_t>(j)] + "\n";
+    else if (model.column(j).type == VarType::kBinary)
+      binaries += " " + names[static_cast<std::size_t>(j)] + "\n";
+  }
+  if (!generals.empty()) out += "General\n" + generals;
+  if (!binaries.empty()) out += "Binary\n" + binaries;
+  out += "End\n";
+  return out;
+}
+
+namespace {
+
+struct Tokenizer {
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  /// Next token: a number, an identifier, an operator (<=, >=, =, +, -, :).
+  [[nodiscard]] std::string next() {
+    skip_space();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (c == '<' || c == '>') {
+      std::string tok(1, c);
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        tok += '=';
+        ++pos_;
+      }
+      return tok;
+    }
+    if (c == '=' || c == '+' || c == '-' || c == ':') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    std::size_t start = pos_;
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+        ++pos_;
+      return text_.substr(start, pos_ - start);
+    }
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '<' && text_[pos_] != '>' && text_[pos_] != '=' &&
+           text_[pos_] != '+' && text_[pos_] != '-' && text_[pos_] != ':')
+      ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  [[nodiscard]] std::string peek() {
+    const std::size_t saved = pos_;
+    std::string tok = next();
+    pos_ = saved;
+    return tok;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {  // LP comments run to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_number(const std::string& tok) {
+  return !tok.empty() &&
+         (std::isdigit(static_cast<unsigned char>(tok[0])) || tok[0] == '.');
+}
+
+bool is_keyword(const std::string& tok, const char* keyword) {
+  if (tok.size() != std::string(keyword).size()) return false;
+  for (std::size_t i = 0; i < tok.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(tok[i])) != keyword[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+Model read_lp(const std::string& text) {
+  Model model;
+  Tokenizer tok(text);
+  std::map<std::string, int> columns;
+
+  const auto column_of = [&](const std::string& name) {
+    const auto it = columns.find(name);
+    if (it != columns.end()) return it->second;
+    const int col = model.add_column(name, 0.0, kInf, 0.0);
+    columns.emplace(name, col);
+    return col;
+  };
+
+  // Sense.
+  std::string t = tok.next();
+  if (is_keyword(t, "maximize") || is_keyword(t, "max")) {
+    model.set_sense(Sense::kMaximize);
+  } else if (is_keyword(t, "minimize") || is_keyword(t, "min")) {
+    model.set_sense(Sense::kMinimize);
+  } else {
+    throw std::runtime_error("lp: expected Maximize/Minimize, got '" + t + "'");
+  }
+
+  // Linear expression reader: returns terms and the token that ended it.
+  const auto read_expression = [&](std::string first,
+                                   std::vector<RowEntry>& entries) -> std::string {
+    double sign = 1.0;
+    bool pending_coeff = false;
+    double coeff = 1.0;
+    std::string cur = std::move(first);
+    while (true) {
+      if (cur.empty()) return cur;
+      if (cur == "+" || cur == "-") {
+        sign = cur == "-" ? -sign : sign;
+        cur = tok.next();
+        continue;
+      }
+      if (is_number(cur)) {
+        coeff = std::stod(cur);
+        pending_coeff = true;
+        cur = tok.next();
+        continue;
+      }
+      if (cur == "<=" || cur == ">=" || cur == "=" || cur == "<" || cur == ">" ||
+          is_keyword(cur, "subject") || is_keyword(cur, "st") || is_keyword(cur, "s.t.") ||
+          is_keyword(cur, "bounds") || is_keyword(cur, "general") ||
+          is_keyword(cur, "binary") || is_keyword(cur, "end") || is_keyword(cur, "to")) {
+        return cur;  // delimiter; any dangling number is the caller's rhs
+      }
+      // Identifier term.
+      entries.push_back(RowEntry{column_of(cur), sign * (pending_coeff ? coeff : 1.0)});
+      sign = 1.0;
+      coeff = 1.0;
+      pending_coeff = false;
+      cur = tok.next();
+    }
+  };
+
+  // Objective (with optional "obj:" label).
+  std::string cur = tok.next();
+  if (tok.peek() == ":") {
+    (void)tok.next();  // consume ':'
+    cur = tok.next();
+  }
+  std::vector<RowEntry> obj_terms;
+  cur = read_expression(cur, obj_terms);
+  for (const RowEntry& e : obj_terms) model.set_objective(e.column, e.coeff);
+
+  // Subject To.
+  if (is_keyword(cur, "subject")) {
+    cur = tok.next();  // "To"
+    if (!is_keyword(cur, "to")) throw std::runtime_error("lp: expected 'To'");
+  } else if (!(is_keyword(cur, "st") || is_keyword(cur, "s.t."))) {
+    throw std::runtime_error("lp: expected 'Subject To', got '" + cur + "'");
+  }
+
+  cur = tok.next();
+  while (!cur.empty() && !is_keyword(cur, "bounds") && !is_keyword(cur, "general") &&
+         !is_keyword(cur, "binary") && !is_keyword(cur, "end")) {
+    std::string row_name;
+    if (tok.peek() == ":") {
+      row_name = cur;
+      (void)tok.next();
+      cur = tok.next();
+    }
+    std::vector<RowEntry> entries;
+    cur = read_expression(cur, entries);
+    RowType type;
+    if (cur == "<=" || cur == "<") type = RowType::kLe;
+    else if (cur == ">=" || cur == ">") type = RowType::kGe;
+    else if (cur == "=") type = RowType::kEq;
+    else throw std::runtime_error("lp: expected relation in constraint, got '" + cur + "'");
+    std::string rhs_tok = tok.next();
+    double rhs_sign = 1.0;
+    while (rhs_tok == "-" || rhs_tok == "+") {
+      if (rhs_tok == "-") rhs_sign = -rhs_sign;
+      rhs_tok = tok.next();
+    }
+    if (!is_number(rhs_tok)) throw std::runtime_error("lp: expected rhs, got '" + rhs_tok + "'");
+    model.add_row(row_name, type, rhs_sign * std::stod(rhs_tok), std::move(entries));
+    cur = tok.next();
+  }
+
+  // Bounds.
+  if (is_keyword(cur, "bounds")) {
+    cur = tok.next();
+    while (!cur.empty() && !is_keyword(cur, "general") && !is_keyword(cur, "binary") &&
+           !is_keyword(cur, "end")) {
+      // Forms: "lo <= x <= hi", "x <= hi", "x >= lo", "x free".
+      double sign = 1.0;
+      while (cur == "-" || cur == "+") {
+        if (cur == "-") sign = -sign;
+        cur = tok.next();
+      }
+      if (is_number(cur)) {
+        const double lo = sign * std::stod(cur);
+        if (tok.next() != "<=") throw std::runtime_error("lp: malformed bound");
+        const std::string var = tok.next();
+        const int col = column_of(var);
+        double hi = model.column(col).upper;
+        if (tok.peek() == "<=") {
+          (void)tok.next();
+          std::string hi_tok = tok.next();
+          double hs = 1.0;
+          while (hi_tok == "-" || hi_tok == "+") {
+            if (hi_tok == "-") hs = -hs;
+            hi_tok = tok.next();
+          }
+          hi = hs * std::stod(hi_tok);
+        }
+        model.set_bounds(col, lo, hi);
+      } else {
+        const int col = column_of(cur);
+        const std::string rel = tok.next();
+        if (is_keyword(rel, "free")) {
+          model.set_bounds(col, -kInf, kInf);
+        } else {
+          std::string val_tok = tok.next();
+          double vs = 1.0;
+          while (val_tok == "-" || val_tok == "+") {
+            if (val_tok == "-") vs = -vs;
+            val_tok = tok.next();
+          }
+          const double value = vs * std::stod(val_tok);
+          if (rel == "<=" || rel == "<") model.set_bounds(col, model.column(col).lower, value);
+          else if (rel == ">=" || rel == ">") model.set_bounds(col, value, model.column(col).upper);
+          else if (rel == "=") model.set_bounds(col, value, value);
+          else throw std::runtime_error("lp: malformed bound relation '" + rel + "'");
+        }
+      }
+      cur = tok.next();
+    }
+  }
+
+  // General / Binary sections.
+  while (!cur.empty() && !is_keyword(cur, "end")) {
+    if (is_keyword(cur, "general") || is_keyword(cur, "binary")) {
+      const bool binary = is_keyword(cur, "binary");
+      cur = tok.next();
+      while (!cur.empty() && !is_keyword(cur, "end") && !is_keyword(cur, "general") &&
+             !is_keyword(cur, "binary")) {
+        const int col = column_of(cur);
+        // Mutating the type requires rebuilding bounds for binaries.
+        const Column& c = model.column(col);
+        const double lo = binary ? std::max(0.0, c.lower) : c.lower;
+        const double hi = binary ? std::min(1.0, c.upper) : c.upper;
+        model.set_bounds(col, lo, hi);
+        // There's no direct type setter; emulate by re-adding? Model stores
+        // type in Column — add a setter instead.
+        model.set_type(col, binary ? VarType::kBinary : VarType::kInteger);
+        cur = tok.next();
+      }
+    } else {
+      throw std::runtime_error("lp: unexpected token '" + cur + "'");
+    }
+  }
+  return model;
+}
+
+}  // namespace insched::lp

@@ -1,0 +1,24 @@
+#pragma once
+
+// CPLEX LP-format writer and reader. The paper's workflow expressed the
+// model in GAMS and handed it to CPLEX; this module gives the equivalent
+// interoperability: any Model can be exported for an external solver, and
+// instances written by other tools can be imported and solved here.
+// Supported subset: objective, constraints, bounds, General/Binary sections
+// (what our models use; no SOS/semicontinuous/quadratic terms).
+
+#include <string>
+
+#include "insched/lp/model.hpp"
+
+namespace insched::lp {
+
+/// Serializes `model` in LP format. Column names are sanitized (LP format
+/// forbids spaces and operators); unnamed columns become x<j>.
+[[nodiscard]] std::string write_lp(const Model& model);
+
+/// Parses LP-format text into a Model. Throws std::runtime_error with a
+/// token context on malformed input.
+[[nodiscard]] Model read_lp(const std::string& text);
+
+}  // namespace insched::lp

@@ -1,0 +1,31 @@
+#pragma once
+
+// Lightweight LP/MIP presolve: removes fixed columns, singleton rows and
+// empty rows, and detects trivial infeasibility, producing a smaller model
+// plus the mapping needed to recover a solution of the original model.
+
+#include <optional>
+#include <vector>
+
+#include "insched/lp/model.hpp"
+
+namespace insched::lp {
+
+struct PresolveResult {
+  Model reduced;                       ///< the smaller model (valid if !infeasible)
+  bool infeasible = false;
+  std::vector<int> column_map;         ///< original column -> reduced column, -1 if eliminated
+  std::vector<double> fixed_values;    ///< value for every eliminated column
+  int removed_columns = 0;
+  int removed_rows = 0;
+
+  /// Expands a solution of the reduced model back to the original space.
+  [[nodiscard]] std::vector<double> restore(const std::vector<double>& reduced_x) const;
+};
+
+/// Applies bound tightening from singleton rows, then eliminates fixed
+/// columns (lower == upper) and empty rows. Integer columns whose tightened
+/// bounds exclude all integers make the model infeasible.
+[[nodiscard]] PresolveResult presolve(const Model& model);
+
+}  // namespace insched::lp

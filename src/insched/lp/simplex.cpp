@@ -1,0 +1,527 @@
+#include "insched/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/log.hpp"
+
+namespace insched::lp {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNumericalFailure: return "numerical-failure";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarState { kBasic, kAtLower, kAtUpper, kFreeZero };
+
+// Internal working problem: minimize c.z subject to A.z = b, l <= z <= u,
+// where z = [structural | slacks | artificials].
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options), m_(model.num_rows()), n_(model.num_columns()) {
+    build();
+  }
+
+  SimplexResult run();
+
+ private:
+  struct Entry {
+    int row;
+    double coeff;
+  };
+
+  void build();
+  void add_artificials();
+  [[nodiscard]] double nonbasic_value(int j) const;
+  void compute_basic_values();
+  [[nodiscard]] bool refactorize();
+  [[nodiscard]] std::vector<double> compute_duals(const std::vector<double>& cost) const;
+  [[nodiscard]] double reduced_cost(int j, const std::vector<double>& cost,
+                                    const std::vector<double>& y) const;
+  [[nodiscard]] std::vector<double> ftran(int j) const;  // Binv * A_j
+  SolveStatus iterate(const std::vector<double>& cost, double* objective_out, int* iters);
+  [[nodiscard]] double phase1_infeasibility() const;
+
+  const Model& model_;
+  SimplexOptions opt_;
+  int m_;               // rows
+  int n_;               // structural columns
+  int total_ = 0;       // structural + slacks + artificials
+  bool maximize_ = false;
+
+  std::vector<std::vector<Entry>> cols_;  // sparse columns of A
+  std::vector<double> lower_, upper_;
+  std::vector<double> cost2_;             // phase-2 cost (minimize convention)
+  std::vector<double> cost1_;             // phase-1 cost (artificial infeasibility)
+  std::vector<double> b_;
+
+  std::vector<int> basis_;                // basis_[i] = variable basic in row i
+  std::vector<VarState> state_;
+  std::vector<double> value_;             // current value of every variable
+  std::vector<std::vector<double>> binv_; // dense m x m basis inverse
+  int pivots_since_refactor_ = 0;
+  int total_iterations_ = 0;
+  int phase1_iterations_ = 0;
+  int first_artificial_ = 0;
+};
+
+void Simplex::build() {
+  maximize_ = model_.sense() == Sense::kMaximize;
+  total_ = n_ + m_;  // artificials appended later
+  cols_.assign(static_cast<std::size_t>(total_), {});
+  lower_.resize(static_cast<std::size_t>(total_));
+  upper_.resize(static_cast<std::size_t>(total_));
+  cost2_.assign(static_cast<std::size_t>(total_), 0.0);
+  b_.resize(static_cast<std::size_t>(m_));
+
+  for (int j = 0; j < n_; ++j) {
+    const Column& c = model_.column(j);
+    lower_[static_cast<std::size_t>(j)] = c.lower;
+    upper_[static_cast<std::size_t>(j)] = c.upper;
+    cost2_[static_cast<std::size_t>(j)] = maximize_ ? -c.objective : c.objective;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const Row& r = model_.row(i);
+    b_[static_cast<std::size_t>(i)] = r.rhs;
+    for (const RowEntry& e : r.entries)
+      cols_[static_cast<std::size_t>(e.column)].push_back(Entry{i, e.coeff});
+    const int slack = n_ + i;
+    cols_[static_cast<std::size_t>(slack)].push_back(Entry{i, 1.0});
+    switch (r.type) {
+      case RowType::kLe:
+        lower_[static_cast<std::size_t>(slack)] = 0.0;
+        upper_[static_cast<std::size_t>(slack)] = kInf;
+        break;
+      case RowType::kGe:
+        lower_[static_cast<std::size_t>(slack)] = -kInf;
+        upper_[static_cast<std::size_t>(slack)] = 0.0;
+        break;
+      case RowType::kEq:
+        lower_[static_cast<std::size_t>(slack)] = 0.0;
+        upper_[static_cast<std::size_t>(slack)] = 0.0;
+        break;
+    }
+  }
+
+  // Start every variable nonbasic at the finite bound nearest zero.
+  state_.assign(static_cast<std::size_t>(total_), VarState::kAtLower);
+  value_.assign(static_cast<std::size_t>(total_), 0.0);
+  for (int j = 0; j < total_; ++j) {
+    const double lo = lower_[static_cast<std::size_t>(j)];
+    const double hi = upper_[static_cast<std::size_t>(j)];
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      if (std::fabs(lo) <= std::fabs(hi)) {
+        state_[static_cast<std::size_t>(j)] = VarState::kAtLower;
+        value_[static_cast<std::size_t>(j)] = lo;
+      } else {
+        state_[static_cast<std::size_t>(j)] = VarState::kAtUpper;
+        value_[static_cast<std::size_t>(j)] = hi;
+      }
+    } else if (std::isfinite(lo)) {
+      state_[static_cast<std::size_t>(j)] = VarState::kAtLower;
+      value_[static_cast<std::size_t>(j)] = lo;
+    } else if (std::isfinite(hi)) {
+      state_[static_cast<std::size_t>(j)] = VarState::kAtUpper;
+      value_[static_cast<std::size_t>(j)] = hi;
+    } else {
+      state_[static_cast<std::size_t>(j)] = VarState::kFreeZero;
+      value_[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+
+  add_artificials();
+}
+
+void Simplex::add_artificials() {
+  // Residual of each row with every variable at its starting value.
+  std::vector<double> residual = b_;
+  for (int j = 0; j < total_; ++j) {
+    const double v = value_[static_cast<std::size_t>(j)];
+    if (v == 0.0) continue;
+    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+      residual[static_cast<std::size_t>(e.row)] -= e.coeff * v;
+  }
+
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  first_artificial_ = total_;
+  cost1_.assign(static_cast<std::size_t>(total_), 0.0);
+
+  for (int i = 0; i < m_; ++i) {
+    const int slack = n_ + i;
+    const double r = residual[static_cast<std::size_t>(i)];
+    const double slo = lower_[static_cast<std::size_t>(slack)];
+    const double shi = upper_[static_cast<std::size_t>(slack)];
+    // The slack column is a unit vector, so making it basic with value
+    // (current value + r) is possible; do so when that value is in bounds.
+    const double candidate = value_[static_cast<std::size_t>(slack)] + r;
+    if (candidate >= slo - opt_.feasibility_tol && candidate <= shi + opt_.feasibility_tol) {
+      basis_[static_cast<std::size_t>(i)] = slack;
+      state_[static_cast<std::size_t>(slack)] = VarState::kBasic;
+      value_[static_cast<std::size_t>(slack)] = candidate;
+      continue;
+    }
+    // Otherwise add a signed artificial carrying the residual.
+    const int art = total_++;
+    cols_.push_back({Entry{i, 1.0}});
+    if (r >= 0.0) {
+      lower_.push_back(0.0);
+      upper_.push_back(kInf);
+      cost1_.push_back(1.0);
+    } else {
+      lower_.push_back(-kInf);
+      upper_.push_back(0.0);
+      cost1_.push_back(-1.0);
+    }
+    cost2_.push_back(0.0);
+    state_.push_back(VarState::kBasic);
+    value_.push_back(r);
+    basis_[static_cast<std::size_t>(i)] = art;
+  }
+  cost1_.resize(static_cast<std::size_t>(total_), 0.0);
+
+  binv_.assign(static_cast<std::size_t>(m_), std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+}
+
+void Simplex::compute_basic_values() {
+  // xB = Binv (b - N xN)
+  std::vector<double> rhs = b_;
+  for (int j = 0; j < total_; ++j) {
+    if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+    const double v = value_[static_cast<std::size_t>(j)];
+    if (v == 0.0) continue;
+    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+      rhs[static_cast<std::size_t>(e.row)] -= e.coeff * v;
+  }
+  for (int i = 0; i < m_; ++i) {
+    double v = 0.0;
+    const auto& row = binv_[static_cast<std::size_t>(i)];
+    for (int k = 0; k < m_; ++k) v += row[static_cast<std::size_t>(k)] * rhs[static_cast<std::size_t>(k)];
+    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = v;
+  }
+}
+
+bool Simplex::refactorize() {
+  // Rebuild Binv by Gauss-Jordan elimination of the basis matrix.
+  std::vector<std::vector<double>> B(static_cast<std::size_t>(m_),
+                                     std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[static_cast<std::size_t>(i)];
+    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+      B[static_cast<std::size_t>(e.row)][static_cast<std::size_t>(i)] = e.coeff;
+  }
+  std::vector<std::vector<double>> inv(static_cast<std::size_t>(m_),
+                                       std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  for (int col = 0; col < m_; ++col) {
+    int pivot = -1;
+    double best = opt_.pivot_tol;
+    for (int row = col; row < m_; ++row) {
+      const double v = std::fabs(B[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (pivot < 0) return false;  // singular basis: numerical trouble
+    std::swap(B[static_cast<std::size_t>(col)], B[static_cast<std::size_t>(pivot)]);
+    std::swap(inv[static_cast<std::size_t>(col)], inv[static_cast<std::size_t>(pivot)]);
+    const double diag = B[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    for (int k = 0; k < m_; ++k) {
+      B[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)] /= diag;
+      inv[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)] /= diag;
+    }
+    for (int row = 0; row < m_; ++row) {
+      if (row == col) continue;
+      const double factor = B[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      if (factor == 0.0) continue;
+      for (int k = 0; k < m_; ++k) {
+        B[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] -=
+            factor * B[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)];
+        inv[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] -=
+            factor * inv[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  // All row operations (including swaps) were applied to both matrices, so
+  // inv is exactly B^{-1}.
+  binv_ = std::move(inv);
+  pivots_since_refactor_ = 0;
+  compute_basic_values();
+  return true;
+}
+
+std::vector<double> Simplex::compute_duals(const std::vector<double>& cost) const {
+  std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    if (cb == 0.0) continue;
+    const auto& row = binv_[static_cast<std::size_t>(i)];
+    for (int k = 0; k < m_; ++k) y[static_cast<std::size_t>(k)] += cb * row[static_cast<std::size_t>(k)];
+  }
+  return y;
+}
+
+double Simplex::reduced_cost(int j, const std::vector<double>& cost,
+                             const std::vector<double>& y) const {
+  double d = cost[static_cast<std::size_t>(j)];
+  for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+    d -= y[static_cast<std::size_t>(e.row)] * e.coeff;
+  return d;
+}
+
+std::vector<double> Simplex::ftran(int j) const {
+  std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+  for (const Entry& e : cols_[static_cast<std::size_t>(j)]) {
+    const double a = e.coeff;
+    for (int i = 0; i < m_; ++i)
+      w[static_cast<std::size_t>(i)] += binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(e.row)] * a;
+  }
+  return w;
+}
+
+double Simplex::phase1_infeasibility() const {
+  double total = 0.0;
+  for (int j = first_artificial_; j < total_; ++j)
+    total += cost1_[static_cast<std::size_t>(j)] * value_[static_cast<std::size_t>(j)];
+  return total;
+}
+
+SolveStatus Simplex::iterate(const std::vector<double>& cost, double* objective_out, int* iters) {
+  int stall = 0;
+  bool bland = false;
+  double last_objective = kInf;
+
+  while (true) {
+    if (total_iterations_ >= opt_.max_iterations) return SolveStatus::kIterationLimit;
+
+    const std::vector<double> y = compute_duals(cost);
+
+    // Pricing: pick the entering variable.
+    int entering = -1;
+    double best_score = opt_.optimality_tol;
+    int entering_dir = 0;  // +1 increase, -1 decrease
+    for (int j = 0; j < total_; ++j) {
+      const VarState st = state_[static_cast<std::size_t>(j)];
+      if (st == VarState::kBasic) continue;
+      const double lo = lower_[static_cast<std::size_t>(j)];
+      const double hi = upper_[static_cast<std::size_t>(j)];
+      if (lo == hi) continue;  // fixed variable can never improve
+      const double d = reduced_cost(j, cost, y);
+      int dir = 0;
+      double score = 0.0;
+      if ((st == VarState::kAtLower || st == VarState::kFreeZero) && d < -opt_.optimality_tol) {
+        dir = +1;
+        score = -d;
+      } else if ((st == VarState::kAtUpper || st == VarState::kFreeZero) && d > opt_.optimality_tol) {
+        dir = -1;
+        score = d;
+      }
+      if (dir == 0) continue;
+      if (bland) {
+        entering = j;
+        entering_dir = dir;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        entering_dir = dir;
+      }
+    }
+    if (entering < 0) {
+      if (objective_out) {
+        double obj = 0.0;
+        for (int j = 0; j < total_; ++j)
+          obj += cost[static_cast<std::size_t>(j)] * value_[static_cast<std::size_t>(j)];
+        *objective_out = obj;
+      }
+      return SolveStatus::kOptimal;
+    }
+
+    ++total_iterations_;
+    if (iters) ++(*iters);
+
+    const double sigma = static_cast<double>(entering_dir);
+    const std::vector<double> w = ftran(entering);
+
+    // Ratio test: how far can the entering variable move?
+    const double elo = lower_[static_cast<std::size_t>(entering)];
+    const double ehi = upper_[static_cast<std::size_t>(entering)];
+    double t_max = kInf;
+    if (std::isfinite(elo) && std::isfinite(ehi)) t_max = ehi - elo;  // bound flip distance
+    double t_best = t_max;
+    int leaving_row = -1;
+    bool leaving_at_upper = false;
+
+    for (int i = 0; i < m_; ++i) {
+      const double wi = w[static_cast<std::size_t>(i)];
+      if (std::fabs(wi) <= opt_.pivot_tol) continue;
+      const int bj = basis_[static_cast<std::size_t>(i)];
+      const double bv = value_[static_cast<std::size_t>(bj)];
+      const double delta = sigma * wi;  // basic var changes by -delta * t
+      double limit = kInf;
+      bool hits_upper = false;
+      if (delta > 0.0) {
+        const double lo = lower_[static_cast<std::size_t>(bj)];
+        if (std::isfinite(lo)) limit = (bv - lo) / delta;
+      } else {
+        const double hi = upper_[static_cast<std::size_t>(bj)];
+        if (std::isfinite(hi)) {
+          limit = (hi - bv) / (-delta);
+          hits_upper = true;
+        }
+      }
+      if (limit < -opt_.feasibility_tol) limit = 0.0;  // slight infeasibility: block
+      if (limit < t_best - 1e-12 ||
+          (leaving_row >= 0 && limit < t_best + 1e-12 &&
+           std::fabs(wi) > std::fabs(w[static_cast<std::size_t>(leaving_row)]))) {
+        if (bland && leaving_row >= 0 && limit >= t_best - 1e-12 &&
+            basis_[static_cast<std::size_t>(i)] > basis_[static_cast<std::size_t>(leaving_row)])
+          continue;  // Bland: prefer smallest variable index on ties
+        t_best = std::max(limit, 0.0);
+        leaving_row = i;
+        leaving_at_upper = hits_upper;
+      }
+    }
+
+    if (!std::isfinite(t_best)) return SolveStatus::kUnbounded;
+
+    if (leaving_row < 0) {
+      // Bound flip: entering variable jumps to its opposite bound.
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t_best;
+      }
+      if (entering_dir > 0) {
+        state_[static_cast<std::size_t>(entering)] = VarState::kAtUpper;
+        value_[static_cast<std::size_t>(entering)] = ehi;
+      } else {
+        state_[static_cast<std::size_t>(entering)] = VarState::kAtLower;
+        value_[static_cast<std::size_t>(entering)] = elo;
+      }
+    } else {
+      // Pivot: update values, basis and the inverse.
+      const double wr = w[static_cast<std::size_t>(leaving_row)];
+      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving_row) continue;
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t_best;
+      }
+      value_[static_cast<std::size_t>(entering)] += sigma * t_best;
+      state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
+      if (leaving_at_upper) {
+        state_[static_cast<std::size_t>(leaving)] = VarState::kAtUpper;
+        value_[static_cast<std::size_t>(leaving)] = upper_[static_cast<std::size_t>(leaving)];
+      } else {
+        state_[static_cast<std::size_t>(leaving)] = VarState::kAtLower;
+        value_[static_cast<std::size_t>(leaving)] = lower_[static_cast<std::size_t>(leaving)];
+      }
+      basis_[static_cast<std::size_t>(leaving_row)] = entering;
+
+      // Product-form update of Binv.
+      auto& pivot_row = binv_[static_cast<std::size_t>(leaving_row)];
+      for (int k = 0; k < m_; ++k) pivot_row[static_cast<std::size_t>(k)] /= wr;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving_row) continue;
+        const double factor = w[static_cast<std::size_t>(i)];
+        if (factor == 0.0) continue;
+        auto& row = binv_[static_cast<std::size_t>(i)];
+        for (int k = 0; k < m_; ++k)
+          row[static_cast<std::size_t>(k)] -= factor * pivot_row[static_cast<std::size_t>(k)];
+      }
+      if (++pivots_since_refactor_ >= opt_.refactor_interval) {
+        if (!refactorize()) return SolveStatus::kNumericalFailure;
+      }
+    }
+
+    // Anti-cycling: if the objective stops improving, fall back to Bland.
+    double obj = 0.0;
+    for (int j = 0; j < total_; ++j)
+      obj += cost[static_cast<std::size_t>(j)] * value_[static_cast<std::size_t>(j)];
+    if (obj < last_objective - 1e-12) {
+      stall = 0;
+      bland = false;
+    } else if (++stall > opt_.stall_limit) {
+      bland = true;
+    }
+    last_objective = obj;
+  }
+}
+
+SimplexResult Simplex::run() {
+  SimplexResult result;
+
+  // Phase 1: drive artificial infeasibility to zero (skipped when the slack
+  // start was already feasible).
+  if (first_artificial_ < total_) {
+    double phase1_obj = 0.0;
+    const SolveStatus st = iterate(cost1_, &phase1_obj, &phase1_iterations_);
+    result.phase1_iterations = phase1_iterations_;
+    if (st == SolveStatus::kIterationLimit || st == SolveStatus::kNumericalFailure) {
+      result.status = st;
+      result.iterations = total_iterations_;
+      return result;
+    }
+    INSCHED_ASSERT(st != SolveStatus::kUnbounded);  // phase-1 objective >= 0
+    if (phase1_infeasibility() > 1e-6) {
+      result.status = SolveStatus::kInfeasible;
+      result.iterations = total_iterations_;
+      return result;
+    }
+    // Pin artificials at zero for phase 2.
+    for (int j = first_artificial_; j < total_; ++j) {
+      lower_[static_cast<std::size_t>(j)] = 0.0;
+      upper_[static_cast<std::size_t>(j)] = 0.0;
+      if (state_[static_cast<std::size_t>(j)] != VarState::kBasic) {
+        state_[static_cast<std::size_t>(j)] = VarState::kAtLower;
+        value_[static_cast<std::size_t>(j)] = 0.0;
+      }
+    }
+  }
+
+  double phase2_obj = 0.0;
+  int phase2_iters = 0;
+  const SolveStatus st = iterate(cost2_, &phase2_obj, &phase2_iters);
+  result.iterations = total_iterations_;
+  result.phase1_iterations = phase1_iterations_;
+  result.status = st;
+  if (st != SolveStatus::kOptimal) return result;
+
+  result.x.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) result.x[static_cast<std::size_t>(j)] = value_[static_cast<std::size_t>(j)];
+  result.objective = model_.objective_value(result.x);
+
+  const std::vector<double> y = compute_duals(cost2_);
+  result.duals.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i)
+    result.duals[static_cast<std::size_t>(i)] =
+        maximize_ ? -y[static_cast<std::size_t>(i)] : y[static_cast<std::size_t>(i)];
+  result.reduced_costs.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const double d = reduced_cost(j, cost2_, y);
+    result.reduced_costs[static_cast<std::size_t>(j)] = maximize_ ? -d : d;
+  }
+  return result;
+}
+
+}  // namespace
+
+SimplexResult solve_lp(const Model& model, const SimplexOptions& options) {
+  Simplex solver(model, options);
+  return solver.run();
+}
+
+}  // namespace insched::lp

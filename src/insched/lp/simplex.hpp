@@ -1,0 +1,55 @@
+#pragma once
+
+// Dense revised primal simplex with bounded variables and a two-phase start
+// (artificial variables, phase-1 infeasibility minimization). This is the LP
+// engine under the branch-and-bound MIP solver: the scheduling MILPs the
+// paper solves with CPLEX are solved here instead.
+//
+// Scope: exact dense linear algebra with an explicitly maintained basis
+// inverse, periodic refactorization, Dantzig pricing with a Bland's-rule
+// fallback for anti-cycling. Intended for the small/medium instances this
+// library produces (tens to a few thousand variables), not for general
+// large-scale LP.
+
+#include <string>
+#include <vector>
+
+#include "insched/lp/model.hpp"
+
+namespace insched::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+struct SimplexOptions {
+  double pivot_tol = 1e-9;        ///< minimum |pivot| accepted
+  double feasibility_tol = 1e-7;  ///< bound/row violation tolerance
+  double optimality_tol = 1e-9;   ///< reduced-cost tolerance
+  int max_iterations = 200000;    ///< across both phases
+  int refactor_interval = 128;    ///< pivots between basis re-inversions
+  int stall_limit = 64;           ///< degenerate pivots before Bland's rule
+};
+
+struct SimplexResult {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;              ///< in the model's own sense
+  std::vector<double> x;               ///< structural variable values
+  std::vector<double> duals;           ///< one per row (model sense)
+  std::vector<double> reduced_costs;   ///< one per structural column (model sense)
+  int iterations = 0;
+  int phase1_iterations = 0;
+
+  [[nodiscard]] bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves the LP relaxation of `model` (integrality marks are ignored).
+[[nodiscard]] SimplexResult solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace insched::lp

@@ -1,0 +1,43 @@
+#include "insched/machine/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::machine {
+
+double CollectiveModel::allreduce_seconds(double bytes) const {
+  INSCHED_EXPECTS(bytes >= 0.0);
+  const double diameter = topology_.diameter();
+  // Reduce + broadcast phases: 2 tree traversals of depth ~ diameter, with
+  // the payload on every link plus combine flops at each level.
+  const double latency = 2.0 * params_.link_latency_s * diameter;
+  const double transfer = 2.0 * bytes / params_.link_bw * std::max(1.0, diameter * 0.5);
+  const double combine =
+      bytes * params_.reduce_flops_per_byte / params_.node_flops * diameter;
+  return latency + transfer + combine;
+}
+
+double CollectiveModel::broadcast_seconds(double bytes) const {
+  INSCHED_EXPECTS(bytes >= 0.0);
+  const double diameter = topology_.diameter();
+  return params_.link_latency_s * diameter +
+         bytes / params_.link_bw * std::max(1.0, diameter * 0.5);
+}
+
+double CollectiveModel::allgather_seconds(double bytes_per_rank, std::int64_t ranks) const {
+  INSCHED_EXPECTS(bytes_per_rank >= 0.0 && ranks >= 1);
+  // Ring-style allgather: (P-1) steps, each moving one rank's contribution;
+  // total bytes on the busiest link ~ bytes_per_rank * (P-1).
+  const double total = bytes_per_rank * static_cast<double>(ranks - 1);
+  return params_.link_latency_s * static_cast<double>(ranks - 1) + total / params_.link_bw;
+}
+
+double CollectiveModel::halo_exchange_seconds(double bytes_per_face) const {
+  INSCHED_EXPECTS(bytes_per_face >= 0.0);
+  // Six faces, sent pairwise in three phases; single-hop neighbors.
+  return 3.0 * (2.0 * params_.link_latency_s + bytes_per_face / params_.link_bw);
+}
+
+}  // namespace insched::machine

@@ -1,0 +1,52 @@
+#pragma once
+
+// Collective-communication cost model on the 5-D torus. The paper's analysis
+// kernels are dominated by MPI_Allreduce-style collectives whose hop count
+// scales with the network diameter (Section 4 uses the diameter as the
+// interpolation y-variable); this model provides the closed-form costs that
+// ground that choice:
+//
+//   latency term:   alpha * diameter          (store-and-forward hops)
+//   bandwidth term: bytes / link_bw * f(P)    (reduction tree traffic)
+//   compute term:   bytes * reduce_ops        (combining on the way up)
+
+#include <cstdint>
+
+#include "insched/machine/topology.hpp"
+
+namespace insched::machine {
+
+struct NetworkParams {
+  double link_latency_s = 0.5e-6;   ///< per-hop latency (BG/Q ~0.5 us)
+  double link_bw = 2.0e9;           ///< bytes/s per link direction (BG/Q 2 GB/s)
+  double reduce_flops_per_byte = 0.25;
+  double node_flops = 2.0e11;       ///< per-node compute rate for reductions
+};
+
+class CollectiveModel {
+ public:
+  CollectiveModel(Torus5D topology, NetworkParams params)
+      : topology_(topology), params_(params) {}
+
+  /// MPI_Allreduce of `bytes` per rank across the whole partition:
+  /// tree depth ~ diameter, payload crosses each level once per direction.
+  [[nodiscard]] double allreduce_seconds(double bytes) const;
+
+  /// MPI_Bcast of `bytes`: one traversal of the tree.
+  [[nodiscard]] double broadcast_seconds(double bytes) const;
+
+  /// MPI_Allgather with `bytes` contributed per rank: payload grows with the
+  /// partition, bandwidth-dominated.
+  [[nodiscard]] double allgather_seconds(double bytes_per_rank, std::int64_t ranks) const;
+
+  /// Nearest-neighbor halo exchange of `bytes` per face (6 faces assumed).
+  [[nodiscard]] double halo_exchange_seconds(double bytes_per_face) const;
+
+  [[nodiscard]] const Torus5D& topology() const noexcept { return topology_; }
+
+ private:
+  Torus5D topology_;
+  NetworkParams params_;
+};
+
+}  // namespace insched::machine

@@ -1,0 +1,35 @@
+#include "insched/machine/energy.hpp"
+
+#include "insched/support/assert.hpp"
+
+namespace insched::machine {
+
+double EnergyModel::node_energy(std::int64_t nodes, double busy_s, double idle_s) const
+    noexcept {
+  const double busy = static_cast<double>(nodes) * params_.node_power_w * busy_s;
+  const double idle = static_cast<double>(nodes) * params_.node_power_w *
+                      params_.idle_fraction * idle_s;
+  return busy + idle;
+}
+
+double EnergyModel::transfer_energy(double bytes) const noexcept {
+  return bytes * params_.network_j_per_byte;
+}
+
+double EnergyModel::storage_energy(double bytes) const noexcept {
+  return bytes * params_.storage_j_per_byte;
+}
+
+EnergyBreakdown EnergyModel::run_energy(std::int64_t sim_nodes, double sim_busy_s,
+                                        std::int64_t staging_nodes, double staging_busy_s,
+                                        double staging_idle_s, double network_bytes,
+                                        double storage_bytes) const noexcept {
+  EnergyBreakdown out;
+  out.compute_joules = node_energy(sim_nodes, sim_busy_s) +
+                       node_energy(staging_nodes, staging_busy_s, staging_idle_s);
+  out.network_joules = transfer_energy(network_bytes);
+  out.storage_joules = storage_energy(storage_bytes);
+  return out;
+}
+
+}  // namespace insched::machine

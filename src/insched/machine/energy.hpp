@@ -1,0 +1,55 @@
+#pragma once
+
+// Energy model for simulation-time analysis placements — the dimension the
+// paper's related work highlights (Gamell et al.: workflow execution time,
+// data transfer time and *energy cost* across memory tiers). Simple but
+// explicit: node-seconds at a per-node power draw, plus per-byte costs for
+// network transfers and storage writes. Used to compare the energy of
+// in-situ vs in-transit vs post-processing plans.
+
+#include <cstdint>
+
+namespace insched::machine {
+
+struct EnergyParams {
+  double node_power_w = 80.0;        ///< average compute-node draw (BG/Q ~80 W)
+  double network_j_per_byte = 5e-10; ///< interconnect transfer energy
+  double storage_j_per_byte = 2e-9;  ///< filesystem write energy
+  double idle_fraction = 0.7;        ///< idle draw as a fraction of busy draw
+};
+
+struct EnergyBreakdown {
+  double compute_joules = 0.0;
+  double network_joules = 0.0;
+  double storage_joules = 0.0;
+  [[nodiscard]] double total() const noexcept {
+    return compute_joules + network_joules + storage_joules;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params) : params_(params) {}
+
+  /// Energy of `nodes` running busy for `busy_s` and idle for `idle_s`.
+  [[nodiscard]] double node_energy(std::int64_t nodes, double busy_s,
+                                   double idle_s = 0.0) const noexcept;
+
+  [[nodiscard]] double transfer_energy(double bytes) const noexcept;
+  [[nodiscard]] double storage_energy(double bytes) const noexcept;
+
+  /// Full accounting of a run: simulation nodes busy for `sim_busy_s`,
+  /// staging nodes busy/idle, bytes over the network and to storage.
+  [[nodiscard]] EnergyBreakdown run_energy(std::int64_t sim_nodes, double sim_busy_s,
+                                           std::int64_t staging_nodes,
+                                           double staging_busy_s, double staging_idle_s,
+                                           double network_bytes,
+                                           double storage_bytes) const noexcept;
+
+  [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace insched::machine

@@ -1,0 +1,78 @@
+#include "insched/machine/machine.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/units.hpp"
+
+namespace insched::machine {
+
+double MachineModel::io_bandwidth(std::int64_t used_nodes) const noexcept {
+  if (nodes <= 0 || used_nodes <= 0) return 0.0;
+  const double share =
+      peak_io_bw * static_cast<double>(std::min(used_nodes, nodes)) / static_cast<double>(nodes);
+  return std::min(peak_io_bw, share);
+}
+
+MachineModel MachineModel::partition(std::int64_t used_nodes) const {
+  INSCHED_EXPECTS(used_nodes >= 1 && used_nodes <= nodes);
+  MachineModel part = *this;
+  part.peak_io_bw = io_bandwidth(used_nodes);
+  part.nodes = used_nodes;
+  return part;
+}
+
+MachineModel mira() {
+  MachineModel m;
+  m.name = "IBM BG/Q Mira";
+  m.nodes = 49152;
+  m.cores_per_node = 16;
+  m.ranks_per_node = 16;
+  m.mem_per_node_bytes = 16.0 * GiB;
+  m.peak_io_bw = 240.0 * GB;
+  m.read_bw = 240.0 * GB;
+  // PowerPC A2 @1.6 GHz, 8 flops/cycle/core sustained fraction ~20%.
+  m.flops_per_core = 2.5e9;
+  return m;
+}
+
+MachineModel mira_partition(std::int64_t nodes, int ranks_per_node) {
+  INSCHED_EXPECTS(is_valid_bgq_partition(nodes));
+  MachineModel part = mira().partition(nodes);
+  part.ranks_per_node = ranks_per_node;
+  return part;
+}
+
+MachineModel workstation() {
+  MachineModel m;
+  m.name = "Intel Core i7 3.4 GHz workstation";
+  m.nodes = 1;
+  m.cores_per_node = 4;
+  m.ranks_per_node = 1;
+  m.mem_per_node_bytes = 16.0 * GiB;
+  // Local disk characteristics typical for the paper's era; the dominating
+  // effect in Table 4 is reading the large trajectory through this pipe.
+  m.peak_io_bw = 120.0 * MB;
+  m.read_bw = 120.0 * MB;
+  m.flops_per_core = 8.0e9;
+  return m;
+}
+
+int partition_diameter(std::int64_t nodes) { return bgq_partition(nodes).diameter(); }
+
+MachineModel generic_cluster(std::int64_t nodes) {
+  INSCHED_EXPECTS(nodes >= 1);
+  MachineModel m;
+  m.name = "generic dragonfly cluster";
+  m.nodes = nodes;
+  m.cores_per_node = 64;
+  m.ranks_per_node = 8;
+  m.mem_per_node_bytes = 256.0 * GiB;
+  // Lustre-class filesystem shared by the whole machine.
+  m.peak_io_bw = 500.0 * GB;
+  m.read_bw = 500.0 * GB;
+  m.flops_per_core = 3.0e10;
+  return m;
+}
+
+}  // namespace insched::machine

@@ -1,0 +1,63 @@
+#pragma once
+
+// Machine model: the scalar resource characteristics the scheduler consumes
+// (memory per node, I/O bandwidth, core counts, network diameter). Presets
+// encode the paper's evaluation system (IBM BG/Q Mira) and a workstation for
+// the post-processing comparison of Table 4.
+
+#include <cstdint>
+#include <string>
+
+#include "insched/machine/topology.hpp"
+
+namespace insched::machine {
+
+struct MachineModel {
+  std::string name;
+  std::int64_t nodes = 1;
+  int cores_per_node = 1;
+  int ranks_per_node = 1;           ///< MPI ranks per node in the run configuration
+  double mem_per_node_bytes = 0.0;
+  double peak_io_bw = 0.0;          ///< bytes/s to the parallel filesystem, full machine
+  double read_bw = 0.0;             ///< bytes/s sequential read (post-processing site)
+  double flops_per_core = 0.0;      ///< sustained, for virtual kernel-time estimates
+
+  [[nodiscard]] std::int64_t total_cores() const noexcept {
+    return nodes * cores_per_node;
+  }
+  [[nodiscard]] std::int64_t total_ranks() const noexcept { return nodes * ranks_per_node; }
+
+  /// Memory available per rank.
+  [[nodiscard]] double mem_per_rank() const noexcept {
+    return ranks_per_node > 0 ? mem_per_node_bytes / ranks_per_node : 0.0;
+  }
+
+  /// Effective I/O bandwidth when `used_nodes` of the machine participate:
+  /// bandwidth scales with node count until the filesystem peak saturates.
+  [[nodiscard]] double io_bandwidth(std::int64_t used_nodes) const noexcept;
+
+  /// A machine restricted to a partition of `used_nodes` nodes (same per-node
+  /// characteristics, partition-scaled I/O).
+  [[nodiscard]] MachineModel partition(std::int64_t used_nodes) const;
+};
+
+/// IBM Blue Gene/Q Mira at Argonne: 48 racks / 49152 nodes, 16 cores and
+/// 16 GB per node, 240 GB/s peak to GPFS (paper Section 5.1).
+[[nodiscard]] MachineModel mira();
+
+/// A Mira partition with the paper's run configuration of 16 ranks/node.
+[[nodiscard]] MachineModel mira_partition(std::int64_t nodes, int ranks_per_node = 16);
+
+/// Serial analysis workstation (Intel Core i7 3.4 GHz class) used for the
+/// paper's post-processing baseline in Table 4.
+[[nodiscard]] MachineModel workstation();
+
+/// Network diameter of the BG/Q partition that `nodes` maps to.
+[[nodiscard]] int partition_diameter(std::int64_t nodes);
+
+/// A generic modern cluster (dragonfly-class interconnect: small fixed
+/// diameter, fat nodes, node-local NVMe) — the "other systems" the paper's
+/// Section 4 anticipates extending to.
+[[nodiscard]] MachineModel generic_cluster(std::int64_t nodes = 512);
+
+}  // namespace insched::machine

@@ -1,0 +1,47 @@
+#include "insched/machine/storage.hpp"
+
+#include <random>
+#include <system_error>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::machine {
+
+double SimulatedStore::write(double bytes) {
+  INSCHED_EXPECTS(bytes >= 0.0);
+  const double t = model_.write_time(bytes);
+  bytes_written_ += bytes;
+  write_seconds_ += t;
+  ++writes_;
+  return t;
+}
+
+double SimulatedStore::read(double bytes) {
+  INSCHED_EXPECTS(bytes >= 0.0);
+  const double t = model_.read_time(bytes);
+  bytes_read_ += bytes;
+  read_seconds_ += t;
+  return t;
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  std::random_device rd;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto candidate = std::filesystem::temp_directory_path() /
+                     format("%s-%08x", prefix.c_str(), rd());
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  INSCHED_EXPECTS(false && "could not create temporary directory");
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best-effort cleanup
+}
+
+}  // namespace insched::machine

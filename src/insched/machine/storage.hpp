@@ -1,0 +1,72 @@
+#pragma once
+
+// Storage models. `StorageModel` does virtual time accounting (bandwidth +
+// latency) for paper-scale experiments; `TempDir` provides an RAII scratch
+// directory for the real-file post-processing pipeline (Table 4's local
+// mode). The write-time model `ot = om / bw` is exactly the substitution the
+// paper makes in Section 3.2.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace insched::machine {
+
+struct StorageModel {
+  double write_bw = 0.0;       ///< bytes/s
+  double read_bw = 0.0;        ///< bytes/s
+  double latency_s = 0.0;      ///< per-operation fixed cost (metadata, sync)
+
+  [[nodiscard]] double write_time(double bytes) const noexcept {
+    return bytes <= 0.0 ? 0.0 : latency_s + bytes / write_bw;
+  }
+  [[nodiscard]] double read_time(double bytes) const noexcept {
+    return bytes <= 0.0 ? 0.0 : latency_s + bytes / read_bw;
+  }
+};
+
+/// Tracks virtual I/O for one run: bytes written/read and the modeled time.
+class SimulatedStore {
+ public:
+  explicit SimulatedStore(StorageModel model) : model_(model) {}
+
+  /// Returns the modeled duration of the write and accumulates totals.
+  double write(double bytes);
+  /// Returns the modeled duration of the read and accumulates totals.
+  double read(double bytes);
+
+  [[nodiscard]] double bytes_written() const noexcept { return bytes_written_; }
+  [[nodiscard]] double bytes_read() const noexcept { return bytes_read_; }
+  [[nodiscard]] double write_seconds() const noexcept { return write_seconds_; }
+  [[nodiscard]] double read_seconds() const noexcept { return read_seconds_; }
+  [[nodiscard]] long writes() const noexcept { return writes_; }
+  [[nodiscard]] const StorageModel& model() const noexcept { return model_; }
+
+ private:
+  StorageModel model_;
+  double bytes_written_ = 0.0;
+  double bytes_read_ = 0.0;
+  double write_seconds_ = 0.0;
+  double read_seconds_ = 0.0;
+  long writes_ = 0;
+};
+
+/// RAII temporary directory under the system temp path; removed recursively
+/// on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "insched");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace insched::machine

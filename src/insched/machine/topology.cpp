@@ -1,0 +1,58 @@
+#include "insched/machine/topology.hpp"
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::machine {
+
+Torus5D::Torus5D(std::array<int, 5> dims) : dims_(dims) {
+  for (int d : dims_) INSCHED_EXPECTS(d >= 1);
+}
+
+std::int64_t Torus5D::num_nodes() const noexcept {
+  std::int64_t n = 1;
+  for (int d : dims_) n *= d;
+  return n;
+}
+
+int Torus5D::diameter() const noexcept {
+  int hops = 0;
+  for (int d : dims_) hops += d / 2;
+  return hops;
+}
+
+std::string Torus5D::to_string() const {
+  return format("%dx%dx%dx%dx%d", dims_[0], dims_[1], dims_[2], dims_[3], dims_[4]);
+}
+
+namespace {
+
+// Published BG/Q partition shapes (A,B,C,D,E) from one midplane up to the
+// full 48-rack Mira system.
+struct PartitionShape {
+  std::int64_t nodes;
+  std::array<int, 5> dims;
+};
+
+constexpr PartitionShape kShapes[] = {
+    {512, {4, 4, 4, 4, 2}},     {1024, {4, 4, 4, 8, 2}},   {2048, {4, 4, 4, 16, 2}},
+    {4096, {4, 4, 8, 16, 2}},   {8192, {4, 4, 16, 16, 2}}, {16384, {8, 4, 16, 16, 2}},
+    {24576, {4, 24, 16, 8, 2}}, {32768, {8, 8, 16, 16, 2}}, {49152, {8, 12, 16, 16, 2}},
+};
+
+}  // namespace
+
+bool is_valid_bgq_partition(std::int64_t nodes) noexcept {
+  for (const PartitionShape& s : kShapes)
+    if (s.nodes == nodes) return true;
+  return false;
+}
+
+Torus5D bgq_partition(std::int64_t nodes) {
+  for (const PartitionShape& s : kShapes)
+    if (s.nodes == nodes) return Torus5D(s.dims);
+  INSCHED_EXPECTS(false && "unsupported BG/Q partition size");
+  return Torus5D({1, 1, 1, 1, 1});
+}
+
+}  // namespace insched::machine

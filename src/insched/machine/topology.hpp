@@ -1,0 +1,41 @@
+#pragma once
+
+// 5-D torus network topology (Blue Gene/Q style). The paper uses the network
+// diameter as the y-variable when interpolating collective-communication
+// times; this module computes diameters for BG/Q-like partitions.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace insched::machine {
+
+class Torus5D {
+ public:
+  /// Dimensions (A, B, C, D, E); every dimension must be >= 1.
+  explicit Torus5D(std::array<int, 5> dims);
+
+  [[nodiscard]] std::int64_t num_nodes() const noexcept;
+
+  /// Max-over-pairs shortest-path hop count. On a torus each dimension
+  /// contributes floor(d/2) hops (wraparound), except dimensions of extent 1.
+  /// BG/Q dimensions of extent <= 4 are mesh-connected within a midplane; we
+  /// use the torus rule uniformly, which matches production partition wiring.
+  [[nodiscard]] int diameter() const noexcept;
+
+  [[nodiscard]] const std::array<int, 5>& dims() const noexcept { return dims_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<int, 5> dims_;
+};
+
+/// Standard Blue Gene/Q partition shape for a node count (512 nodes = one
+/// midplane, doubling up to 49152 nodes = 48 racks / full Mira). Node counts
+/// must be a power-of-two multiple of 512 within Mira's size.
+[[nodiscard]] Torus5D bgq_partition(std::int64_t nodes);
+
+/// True when `nodes` is a valid BG/Q partition size for this model.
+[[nodiscard]] bool is_valid_bgq_partition(std::int64_t nodes) noexcept;
+
+}  // namespace insched::machine

@@ -1,0 +1,339 @@
+#include "insched/mip/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "insched/lp/presolve.hpp"
+#include "insched/mip/cuts.hpp"
+#include "insched/mip/heuristics.hpp"
+#include "insched/support/assert.hpp"
+#include "insched/support/log.hpp"
+
+namespace insched::mip {
+
+double MipResult::gap() const noexcept {
+  if (!has_solution) return std::numeric_limits<double>::infinity();
+  return std::fabs(best_bound - objective);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Node {
+  // Bound overrides relative to the base model, one pair per integer column
+  // touched on the path from the root.
+  std::vector<std::tuple<int, double, double>> bounds;
+  double parent_bound = 0.0;  // LP bound inherited from the parent (internal minimize)
+  int depth = 0;
+  long id = 0;
+};
+
+struct NodeOrder {
+  // Best-bound first; on ties prefer deeper nodes (cheap dive behaviour).
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    if (a->parent_bound != b->parent_bound) return a->parent_bound > b->parent_bound;
+    return a->depth < b->depth;
+  }
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const lp::Model& model, const MipOptions& opt) : base_(model), opt_(opt) {
+    maximize_ = model.sense() == lp::Sense::kMaximize;
+  }
+
+  MipResult run();
+
+ private:
+  // Internally everything is a minimization: `internal(v)` flips sign for max.
+  [[nodiscard]] double internal(double v) const noexcept { return maximize_ ? -v : v; }
+
+  void consider_incumbent(const std::vector<double>& x);
+  [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const;
+  void record_pseudo_cost(int var, bool up, double degradation, double frac);
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  lp::Model base_;
+  MipOptions opt_;
+  bool maximize_ = false;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = 0.0;  // internal minimize convention
+  std::vector<double> incumbent_;
+
+  // Pseudo-cost statistics per column: average objective degradation per unit
+  // of fractional distance, separately for up and down branches.
+  std::vector<double> pc_up_sum_, pc_down_sum_;
+  std::vector<long> pc_up_n_, pc_down_n_;
+
+  MipResult result_;
+  Clock::time_point start_;
+};
+
+void BranchAndBound::consider_incumbent(const std::vector<double>& x) {
+  const double obj = internal(base_.objective_value(x));
+  if (!have_incumbent_ || obj < incumbent_obj_ - 1e-12) {
+    have_incumbent_ = true;
+    incumbent_obj_ = obj;
+    incumbent_ = x;
+  }
+}
+
+int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+  int pick = -1;
+  double best = -1.0;
+  for (int j = 0; j < base_.num_columns(); ++j) {
+    const lp::Column& c = base_.column(j);
+    if (c.type == lp::VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = std::fabs(v - std::round(v));
+    if (frac <= opt_.int_tol) continue;
+    double score = 0.0;
+    if (opt_.branching == Branching::kPseudoCost &&
+        pc_up_n_[static_cast<std::size_t>(j)] + pc_down_n_[static_cast<std::size_t>(j)] > 0) {
+      const double up = pc_up_n_[static_cast<std::size_t>(j)] > 0
+                            ? pc_up_sum_[static_cast<std::size_t>(j)] /
+                                  static_cast<double>(pc_up_n_[static_cast<std::size_t>(j)])
+                            : 1.0;
+      const double down = pc_down_n_[static_cast<std::size_t>(j)] > 0
+                              ? pc_down_sum_[static_cast<std::size_t>(j)] /
+                                    static_cast<double>(pc_down_n_[static_cast<std::size_t>(j)])
+                              : 1.0;
+      const double f = v - std::floor(v);
+      // Product rule: balanced degradation on both children scores high.
+      score = std::max(up * (1.0 - f), 1e-6) * std::max(down * f, 1e-6);
+    } else {
+      // Most-fractional: distance from the nearest integer.
+      score = std::min(v - std::floor(v), std::ceil(v) - v);
+    }
+    if (score > best) {
+      best = score;
+      pick = j;
+    }
+  }
+  return pick;
+}
+
+void BranchAndBound::record_pseudo_cost(int var, bool up, double degradation, double frac) {
+  if (frac <= 1e-12) return;
+  const double per_unit = degradation / frac;
+  if (up) {
+    pc_up_sum_[static_cast<std::size_t>(var)] += per_unit;
+    ++pc_up_n_[static_cast<std::size_t>(var)];
+  } else {
+    pc_down_sum_[static_cast<std::size_t>(var)] += per_unit;
+    ++pc_down_n_[static_cast<std::size_t>(var)];
+  }
+}
+
+MipResult BranchAndBound::run() {
+  start_ = Clock::now();
+  const int n = base_.num_columns();
+  pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
+  pc_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
+  pc_up_n_.assign(static_cast<std::size_t>(n), 0);
+  pc_down_n_.assign(static_cast<std::size_t>(n), 0);
+
+  // --- Root LP with optional cut rounds ---------------------------------
+  lp::SimplexResult root = lp::solve_lp(base_, opt_.lp);
+  result_.lp_iterations += root.iterations;
+  if (root.status == lp::SolveStatus::kInfeasible) {
+    result_.status = lp::SolveStatus::kInfeasible;
+    result_.solve_seconds = elapsed_s();
+    return result_;
+  }
+  if (root.status == lp::SolveStatus::kUnbounded) {
+    // The relaxation is unbounded; for the models this library builds that
+    // means the MIP itself is unbounded or mis-built. Report as-is.
+    result_.status = lp::SolveStatus::kUnbounded;
+    result_.solve_seconds = elapsed_s();
+    return result_;
+  }
+  if (!root.optimal()) {
+    result_.status = root.status;
+    result_.solve_seconds = elapsed_s();
+    return result_;
+  }
+
+  if (opt_.use_cover_cuts) {
+    for (int round = 0; round < opt_.max_cut_rounds; ++round) {
+      const std::vector<Cut> cuts = generate_cover_cuts(base_, root.x);
+      if (cuts.empty()) break;
+      for (const Cut& cut : cuts) {
+        base_.add_row("cover_cut", cut.type, cut.rhs, cut.entries);
+        ++result_.cuts_added;
+      }
+      root = lp::solve_lp(base_, opt_.lp);
+      result_.lp_iterations += root.iterations;
+      if (!root.optimal()) break;
+    }
+    if (!root.optimal()) {
+      // Cuts are valid inequalities; a failure here is numerical. Rebuild
+      // without trusting the cut LP and continue from the plain root.
+      root = lp::solve_lp(base_, opt_.lp);
+      result_.lp_iterations += root.iterations;
+      if (!root.optimal()) {
+        result_.status = root.status;
+        result_.solve_seconds = elapsed_s();
+        return result_;
+      }
+    }
+  }
+
+  // Root heuristic: an early incumbent makes pruning effective immediately.
+  if (opt_.use_rounding_heuristic) {
+    if (auto x = round_and_fix(base_, root.x, opt_.lp, opt_.int_tol)) consider_incumbent(*x);
+    else if (auto xd = dive(base_, root.x, opt_.lp, opt_.int_tol)) consider_incumbent(*xd);
+  }
+
+  // --- Branch and bound ---------------------------------------------------
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder>
+      open;
+  auto root_node = std::make_shared<Node>();
+  root_node->parent_bound = internal(root.objective);
+  open.push(root_node);
+  long next_id = 1;
+  double best_open_bound = root_node->parent_bound;
+
+  while (!open.empty()) {
+    if (result_.nodes >= opt_.max_nodes || elapsed_s() > opt_.time_limit_s) {
+      result_.status = lp::SolveStatus::kIterationLimit;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    best_open_bound = node->parent_bound;
+
+    // Bound pruning against the incumbent.
+    if (have_incumbent_ && node->parent_bound >= incumbent_obj_ - opt_.gap_abs) continue;
+
+    ++result_.nodes;
+
+    // Materialize the node model.
+    lp::Model local = base_;
+    for (const auto& [col, lo, hi] : node->bounds) local.set_bounds(col, lo, hi);
+
+    const lp::SimplexResult rel = lp::solve_lp(local, opt_.lp);
+    result_.lp_iterations += rel.iterations;
+    if (rel.status == lp::SolveStatus::kInfeasible) continue;
+    if (!rel.optimal()) continue;  // numerical trouble: drop the node (bound stays valid via siblings)
+
+    const double bound = internal(rel.objective);
+    if (have_incumbent_ && bound >= incumbent_obj_ - opt_.gap_abs) continue;
+
+    const int branch_var = pick_branch_var(rel.x);
+    if (branch_var < 0) {
+      // Integer feasible.
+      std::vector<double> x = rel.x;
+      for (int j = 0; j < n; ++j) {
+        if (base_.column(j).type != lp::VarType::kContinuous)
+          x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+      }
+      if (base_.is_feasible(x, 1e-5)) consider_incumbent(x);
+      continue;
+    }
+
+    // Occasional node heuristic on shallow nodes.
+    if (opt_.use_rounding_heuristic && node->depth <= 2) {
+      if (auto x = round_and_fix(local, rel.x, opt_.lp, opt_.int_tol)) consider_incumbent(*x);
+    }
+
+    const double v = rel.x[static_cast<std::size_t>(branch_var)];
+    const double floor_v = std::floor(v);
+    const double frac = v - floor_v;
+
+    // Down child: x <= floor(v).
+    {
+      auto child = std::make_shared<Node>();
+      child->bounds = node->bounds;
+      const lp::Column& c = local.column(branch_var);
+      child->bounds.emplace_back(branch_var, c.lower, floor_v);
+      child->parent_bound = bound;
+      child->depth = node->depth + 1;
+      child->id = next_id++;
+      if (floor_v >= c.lower - 1e-9) open.push(std::move(child));
+    }
+    // Up child: x >= ceil(v).
+    {
+      auto child = std::make_shared<Node>();
+      child->bounds = node->bounds;
+      const lp::Column& c = local.column(branch_var);
+      child->bounds.emplace_back(branch_var, floor_v + 1.0, c.upper);
+      child->parent_bound = bound;
+      child->depth = node->depth + 1;
+      child->id = next_id++;
+      if (floor_v + 1.0 <= c.upper + 1e-9) open.push(std::move(child));
+    }
+
+    // Update pseudo-costs lazily: charge the LP bound movement of this node
+    // relative to its parent to the variable branched at the parent. (A
+    // simple, standard approximation sufficient for our instance sizes.)
+    if (!node->bounds.empty()) {
+      const auto& [col, lo, hi] = node->bounds.back();
+      (void)lo;
+      const bool was_up = hi >= base_.column(col).upper - 1e-9;
+      record_pseudo_cost(col, was_up, std::max(0.0, bound - node->parent_bound),
+                         std::max(frac, 1e-3));
+    }
+  }
+
+  if (result_.status != lp::SolveStatus::kIterationLimit) {
+    result_.status = have_incumbent_ ? lp::SolveStatus::kOptimal : lp::SolveStatus::kInfeasible;
+  }
+
+  result_.has_solution = have_incumbent_;
+  if (have_incumbent_) {
+    result_.x = incumbent_;
+    result_.objective = maximize_ ? -incumbent_obj_ : incumbent_obj_;
+  }
+  const double open_bound = open.empty() ? (have_incumbent_ ? incumbent_obj_ : 0.0)
+                                         : std::min(best_open_bound, open.top()->parent_bound);
+  result_.best_bound = maximize_ ? -open_bound : open_bound;
+  result_.solve_seconds = elapsed_s();
+  return result_;
+}
+
+}  // namespace
+
+MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
+  if (!model.has_integers()) {
+    // Pure LP: answer directly.
+    const lp::SimplexResult res = lp::solve_lp(model, options.lp);
+    MipResult out;
+    out.status = res.status;
+    out.has_solution = res.optimal();
+    out.objective = res.objective;
+    out.best_bound = res.objective;
+    out.x = res.x;
+    out.lp_iterations = res.iterations;
+    return out;
+  }
+
+  if (options.use_presolve) {
+    const lp::PresolveResult pre = lp::presolve(model);
+    if (pre.infeasible) {
+      MipResult out;
+      out.status = lp::SolveStatus::kInfeasible;
+      return out;
+    }
+    if (pre.removed_columns > 0 || pre.removed_rows > 0) {
+      MipOptions inner = options;
+      inner.use_presolve = false;  // already applied
+      BranchAndBound solver(pre.reduced, inner);
+      MipResult out = solver.run();
+      if (out.has_solution) out.x = pre.restore(out.x);
+      return out;
+    }
+  }
+
+  BranchAndBound solver(model, options);
+  return solver.run();
+}
+
+}  // namespace insched::mip

@@ -1,0 +1,88 @@
+#include "insched/mip/cuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace insched::mip {
+
+std::vector<Cut> generate_cover_cuts(const lp::Model& model, const std::vector<double>& x,
+                                     double min_violation) {
+  std::vector<Cut> cuts;
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const lp::Row& row = model.row(i);
+    if (row.type != lp::RowType::kLe) continue;
+
+    // Candidate knapsack: all entries binary with positive coefficients.
+    bool knapsack = !row.entries.empty();
+    for (const lp::RowEntry& e : row.entries) {
+      const lp::Column& c = model.column(e.column);
+      const bool binary_like =
+          c.type != lp::VarType::kContinuous && c.lower >= -1e-12 && c.upper <= 1.0 + 1e-12;
+      if (!binary_like || e.coeff <= 0.0) {
+        knapsack = false;
+        break;
+      }
+    }
+    if (!knapsack || row.rhs < 0.0) continue;
+
+    // Greedy minimal cover: add items by descending LP value until the
+    // coefficient sum exceeds the rhs.
+    std::vector<int> order(row.entries.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return x[static_cast<std::size_t>(row.entries[static_cast<std::size_t>(a)].column)] >
+             x[static_cast<std::size_t>(row.entries[static_cast<std::size_t>(b)].column)];
+    });
+    double weight = 0.0;
+    std::vector<int> cover;
+    for (int idx : order) {
+      const lp::RowEntry& e = row.entries[static_cast<std::size_t>(idx)];
+      cover.push_back(e.column);
+      weight += e.coeff;
+      if (weight > row.rhs + 1e-9) break;
+    }
+    if (weight <= row.rhs + 1e-9) continue;  // row can never bind: no cover
+
+    // Minimalize: drop items that keep the cover property, lightest first.
+    std::sort(cover.begin(), cover.end(), [&](int a, int b) {
+      double ca = 0.0, cb = 0.0;
+      for (const lp::RowEntry& e : row.entries) {
+        if (e.column == a) ca = e.coeff;
+        if (e.column == b) cb = e.coeff;
+      }
+      return ca < cb;
+    });
+    for (std::size_t k = 0; k < cover.size();) {
+      double ck = 0.0;
+      for (const lp::RowEntry& e : row.entries)
+        if (e.column == cover[k]) ck = e.coeff;
+      if (weight - ck > row.rhs + 1e-9) {
+        weight -= ck;
+        cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        ++k;
+      }
+    }
+    if (cover.size() < 2) continue;
+
+    double lhs = 0.0;
+    for (int col : cover) lhs += x[static_cast<std::size_t>(col)];
+    const double rhs = static_cast<double>(cover.size()) - 1.0;
+    const double violation = lhs - rhs;
+    if (violation < min_violation) continue;
+
+    Cut cut;
+    cut.type = lp::RowType::kLe;
+    cut.rhs = rhs;
+    cut.violation = violation;
+    cut.entries.reserve(cover.size());
+    for (int col : cover) cut.entries.push_back(lp::RowEntry{col, 1.0});
+    cuts.push_back(std::move(cut));
+  }
+  std::sort(cuts.begin(), cuts.end(),
+            [](const Cut& a, const Cut& b) { return a.violation > b.violation; });
+  return cuts;
+}
+
+}  // namespace insched::mip

@@ -1,0 +1,27 @@
+#pragma once
+
+// Cutting planes that need no simplex-tableau access:
+// knapsack cover cuts for <= rows over binary variables.
+
+#include <vector>
+
+#include "insched/lp/model.hpp"
+
+namespace insched::mip {
+
+struct Cut {
+  lp::RowType type = lp::RowType::kLe;
+  double rhs = 0.0;
+  std::vector<lp::RowEntry> entries;
+  double violation = 0.0;  ///< amount by which the LP point violates the cut
+};
+
+/// Scans every <= row whose live entries are all binary columns with positive
+/// coefficients, finds a minimal cover C (sum of coefficients over C exceeds
+/// the rhs), and emits sum_{j in C} x_j <= |C|-1 when the LP point violates
+/// it by more than `min_violation`.
+[[nodiscard]] std::vector<Cut> generate_cover_cuts(const lp::Model& model,
+                                                   const std::vector<double>& x,
+                                                   double min_violation = 1e-4);
+
+}  // namespace insched::mip

@@ -1,0 +1,105 @@
+#include "insched/mip/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::mip {
+
+namespace {
+
+[[nodiscard]] double clamp_round(const lp::Column& col, double v) {
+  double r = std::round(v);
+  r = std::max(r, std::ceil(col.lower - 1e-9));
+  r = std::min(r, std::floor(col.upper + 1e-9));
+  return r;
+}
+
+[[nodiscard]] bool is_fractional(double v, double tol) {
+  return std::fabs(v - std::round(v)) > tol;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> round_and_fix(const lp::Model& model,
+                                                 const std::vector<double>& lp_point,
+                                                 const lp::SimplexOptions& lp_options,
+                                                 double int_tol) {
+  INSCHED_EXPECTS(lp_point.size() == static_cast<std::size_t>(model.num_columns()));
+  lp::Model fixed = model;
+  bool any_integer = false;
+  for (int j = 0; j < model.num_columns(); ++j) {
+    const lp::Column& c = model.column(j);
+    if (c.type == lp::VarType::kContinuous) continue;
+    any_integer = true;
+    const double r = clamp_round(c, lp_point[static_cast<std::size_t>(j)]);
+    if (r < c.lower - 1e-9 || r > c.upper + 1e-9) return std::nullopt;
+    fixed.set_bounds(j, r, r);
+  }
+  if (!any_integer) return lp_point;
+
+  const lp::SimplexResult res = lp::solve_lp(fixed, lp_options);
+  if (!res.optimal()) return std::nullopt;
+  std::vector<double> x = res.x;
+  // Snap the integers exactly to avoid tolerance drift downstream.
+  for (int j = 0; j < model.num_columns(); ++j) {
+    if (model.column(j).type != lp::VarType::kContinuous)
+      x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+  }
+  if (!model.is_feasible(x, std::max(int_tol, 1e-6))) return std::nullopt;
+  return x;
+}
+
+std::optional<std::vector<double>> dive(const lp::Model& model,
+                                        const std::vector<double>& lp_point,
+                                        const lp::SimplexOptions& lp_options,
+                                        double int_tol, int max_depth) {
+  lp::Model work = model;
+  std::vector<double> current = lp_point;
+  for (int depth = 0; depth < max_depth; ++depth) {
+    // Pick the least-fractional unfixed integer variable.
+    int pick = -1;
+    double best_dist = 0.5 + 1e-9;
+    for (int j = 0; j < work.num_columns(); ++j) {
+      const lp::Column& c = work.column(j);
+      if (c.type == lp::VarType::kContinuous) continue;
+      if (c.lower == c.upper) continue;
+      const double v = current[static_cast<std::size_t>(j)];
+      if (!is_fractional(v, int_tol)) continue;
+      const double dist = std::fabs(v - std::round(v));
+      if (dist < best_dist) {
+        best_dist = dist;
+        pick = j;
+      }
+    }
+    if (pick < 0) {
+      // All integral: try to finish with a plain round-and-fix (also fixes
+      // near-integral drift and re-checks feasibility).
+      return round_and_fix(model, current, lp_options, int_tol);
+    }
+    const lp::Column& col = work.column(pick);
+    const double v = current[static_cast<std::size_t>(pick)];
+    const double nearest = clamp_round(col, v);
+    // Nearest first; if that direction is LP-infeasible, try the other side.
+    const double other =
+        nearest >= v ? std::max(nearest - 1.0, std::ceil(col.lower - 1e-9))
+                     : std::min(nearest + 1.0, std::floor(col.upper + 1e-9));
+    const double saved_lo = col.lower;
+    const double saved_hi = col.upper;
+    work.set_bounds(pick, nearest, nearest);
+    lp::SimplexResult res = lp::solve_lp(work, lp_options);
+    if (!res.optimal() && other != nearest) {
+      work.set_bounds(pick, other, other);
+      res = lp::solve_lp(work, lp_options);
+    }
+    if (!res.optimal()) {
+      work.set_bounds(pick, saved_lo, saved_hi);
+      return std::nullopt;
+    }
+    current = res.x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace insched::mip

@@ -1,0 +1,28 @@
+#pragma once
+
+// Primal heuristics for the MIP solver: they try to turn a fractional LP
+// point into an integer-feasible incumbent quickly, which tightens pruning.
+
+#include <optional>
+#include <vector>
+
+#include "insched/lp/model.hpp"
+#include "insched/lp/simplex.hpp"
+
+namespace insched::mip {
+
+/// Fix-and-solve rounding: round every integer column of `lp_point` to the
+/// nearest integer within its bounds, fix those columns, and re-solve the LP
+/// for the continuous ones. Returns the full point when feasible.
+[[nodiscard]] std::optional<std::vector<double>> round_and_fix(
+    const lp::Model& model, const std::vector<double>& lp_point,
+    const lp::SimplexOptions& lp_options, double int_tol);
+
+/// Iterative diving: repeatedly fix the least-fractional integer variable to
+/// its nearest integer and re-solve, up to `max_depth` re-solves. Cheaper to
+/// succeed than plain rounding on tightly coupled models.
+[[nodiscard]] std::optional<std::vector<double>> dive(
+    const lp::Model& model, const std::vector<double>& lp_point,
+    const lp::SimplexOptions& lp_options, double int_tol, int max_depth = 64);
+
+}  // namespace insched::mip

@@ -1,0 +1,80 @@
+#include "insched/perfmodel/bilinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::perfmodel {
+
+namespace {
+
+double map_axis(double v, AxisScale scale) {
+  if (scale == AxisScale::kLog) {
+    INSCHED_EXPECTS(v > 0.0);
+    return std::log(v);
+  }
+  return v;
+}
+
+/// Index of the cell [i, i+1] to use for coordinate t over sorted axis `a`;
+/// clamps to edge cells so out-of-range queries extrapolate linearly.
+std::size_t locate(const std::vector<double>& a, double t) {
+  if (a.size() == 1) return 0;
+  const auto it = std::upper_bound(a.begin(), a.end(), t);
+  std::size_t hi = static_cast<std::size_t>(it - a.begin());
+  hi = std::clamp<std::size_t>(hi, 1, a.size() - 1);
+  return hi - 1;
+}
+
+/// Interpolation weight within cell [a[i], a[i+1]]; unclamped (allows
+/// extrapolation weights < 0 or > 1).
+double weight(const std::vector<double>& a, std::size_t i, double t) {
+  if (a.size() == 1) return 0.0;
+  const double lo = a[i];
+  const double hi = a[i + 1];
+  return (t - lo) / (hi - lo);
+}
+
+}  // namespace
+
+BilinearInterpolator::BilinearInterpolator(SampleGrid grid, AxisScale x_scale,
+                                           AxisScale y_scale, AxisScale value_scale)
+    : grid_(std::move(grid)), x_scale_(x_scale), y_scale_(y_scale), value_scale_(value_scale) {
+  INSCHED_EXPECTS(!grid_.empty());
+  mapped_xs_.reserve(grid_.nx());
+  for (double x : grid_.xs()) mapped_xs_.push_back(map_axis(x, x_scale_));
+  mapped_ys_.reserve(grid_.ny());
+  for (double y : grid_.ys()) mapped_ys_.push_back(map_axis(y, y_scale_));
+}
+
+double BilinearInterpolator::map_x(double x) const { return map_axis(x, x_scale_); }
+double BilinearInterpolator::map_y(double y) const { return map_axis(y, y_scale_); }
+
+double BilinearInterpolator::operator()(double x, double y) const {
+  INSCHED_EXPECTS(!grid_.empty());
+  const double tx = map_x(x);
+  const double ty = map_y(y);
+  const std::size_t ix = locate(mapped_xs_, tx);
+  const std::size_t iy = locate(mapped_ys_, ty);
+  const double wx = weight(mapped_xs_, ix, tx);
+  const double wy = weight(mapped_ys_, iy, ty);
+
+  const std::size_t ix1 = grid_.nx() == 1 ? ix : ix + 1;
+  const std::size_t iy1 = grid_.ny() == 1 ? iy : iy + 1;
+  double z00 = grid_.at(ix, iy);
+  double z10 = grid_.at(ix1, iy);
+  double z01 = grid_.at(ix, iy1);
+  double z11 = grid_.at(ix1, iy1);
+  if (value_scale_ == AxisScale::kLog) {
+    z00 = map_axis(z00, AxisScale::kLog);
+    z10 = map_axis(z10, AxisScale::kLog);
+    z01 = map_axis(z01, AxisScale::kLog);
+    z11 = map_axis(z11, AxisScale::kLog);
+  }
+  const double z = z00 * (1.0 - wx) * (1.0 - wy) + z10 * wx * (1.0 - wy) +
+                   z01 * (1.0 - wx) * wy + z11 * wx * wy;
+  return value_scale_ == AxisScale::kLog ? std::exp(z) : z;
+}
+
+}  // namespace insched::perfmodel

@@ -1,0 +1,60 @@
+#include "insched/perfmodel/predictor.hpp"
+
+#include "insched/support/assert.hpp"
+
+namespace insched::perfmodel {
+
+void KernelPredictor::rebuild() {
+  if (compute_grid_)
+    compute_.emplace(*compute_grid_, scales_.problem_size, scales_.process_count);
+  if (comm_grid_) comm_.emplace(*comm_grid_, scales_.problem_size, scales_.diameter);
+  if (memory_grid_)
+    memory_.emplace(*memory_grid_, scales_.problem_size, scales_.process_count);
+}
+
+KernelPredictor& KernelPredictor::set_compute(SampleGrid grid) {
+  compute_grid_ = std::move(grid);
+  rebuild();
+  return *this;
+}
+
+KernelPredictor& KernelPredictor::set_communication(SampleGrid grid) {
+  comm_grid_ = std::move(grid);
+  rebuild();
+  return *this;
+}
+
+KernelPredictor& KernelPredictor::set_memory(SampleGrid grid) {
+  memory_grid_ = std::move(grid);
+  rebuild();
+  return *this;
+}
+
+KernelPredictor& KernelPredictor::set_scales(PredictorScales scales) {
+  scales_ = scales;
+  rebuild();
+  return *this;
+}
+
+double KernelPredictor::compute_time(double problem_size, double procs) const {
+  INSCHED_EXPECTS(compute_.has_value());
+  return (*compute_)(problem_size, procs);
+}
+
+double KernelPredictor::comm_time(double problem_size, double diameter) const {
+  INSCHED_EXPECTS(comm_.has_value());
+  return (*comm_)(problem_size, diameter);
+}
+
+double KernelPredictor::total_time(double problem_size, double procs, double diameter) const {
+  double total = compute_time(problem_size, procs);
+  if (comm_) total += (*comm_)(problem_size, diameter);
+  return total;
+}
+
+double KernelPredictor::memory(double problem_size, double procs) const {
+  INSCHED_EXPECTS(memory_.has_value());
+  return (*memory_)(problem_size, procs);
+}
+
+}  // namespace insched::perfmodel

@@ -1,0 +1,60 @@
+#pragma once
+
+// Kernel performance predictor (paper Section 4): bilinear interpolation of
+// measured execution times and memory.
+//   - compute time:        x = problem size, y = process count
+//   - communication time:  x = problem size, y = network diameter
+//   - memory:              x = problem size, y = process count
+// The paper reports <6% compute and <8% communication prediction error with
+// this scheme; tests and bench/fig2_interpolation reproduce those bounds on
+// synthetic cost surfaces.
+
+#include <optional>
+
+#include "insched/perfmodel/bilinear.hpp"
+
+namespace insched::perfmodel {
+
+struct PredictorScales {
+  AxisScale problem_size = AxisScale::kLog;  ///< sizes span decades
+  AxisScale process_count = AxisScale::kLog;
+  AxisScale diameter = AxisScale::kLinear;   ///< network diameters are small ints
+};
+
+class KernelPredictor {
+ public:
+  KernelPredictor() = default;
+
+  KernelPredictor& set_compute(SampleGrid grid);
+  KernelPredictor& set_communication(SampleGrid grid);
+  KernelPredictor& set_memory(SampleGrid grid);
+  KernelPredictor& set_scales(PredictorScales scales);
+
+  /// Predicted compute seconds at (problem size, process count).
+  [[nodiscard]] double compute_time(double problem_size, double procs) const;
+
+  /// Predicted communication seconds at (problem size, network diameter).
+  [[nodiscard]] double comm_time(double problem_size, double diameter) const;
+
+  /// Predicted total kernel seconds; communication term is omitted when no
+  /// communication grid was provided.
+  [[nodiscard]] double total_time(double problem_size, double procs, double diameter) const;
+
+  /// Predicted memory bytes per rank at (problem size, process count).
+  [[nodiscard]] double memory(double problem_size, double procs) const;
+
+  [[nodiscard]] bool has_compute() const noexcept { return compute_.has_value(); }
+  [[nodiscard]] bool has_communication() const noexcept { return comm_.has_value(); }
+  [[nodiscard]] bool has_memory() const noexcept { return memory_.has_value(); }
+
+ private:
+  PredictorScales scales_;
+  std::optional<BilinearInterpolator> compute_;
+  std::optional<BilinearInterpolator> comm_;
+  std::optional<BilinearInterpolator> memory_;
+  // Grids retained until scales are known (interpolators are built lazily).
+  std::optional<SampleGrid> compute_grid_, comm_grid_, memory_grid_;
+  void rebuild();
+};
+
+}  // namespace insched::perfmodel

@@ -1,0 +1,91 @@
+#include "insched/perfmodel/profiler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+#include "insched/support/table.hpp"
+
+namespace insched::perfmodel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Frame {
+  std::string path;
+  std::string name;  ///< as passed to start(); names may themselves contain '/'
+  Clock::time_point begin;
+};
+
+thread_local std::vector<Frame> t_stack;
+
+}  // namespace
+
+void Profiler::start(const std::string& name) {
+  std::string path = t_stack.empty() ? name : t_stack.back().path + "/" + name;
+  t_stack.push_back(Frame{std::move(path), name, Clock::now()});
+}
+
+void Profiler::stop(const std::string& name) {
+  INSCHED_EXPECTS(!t_stack.empty());
+  const Frame frame = t_stack.back();
+  t_stack.pop_back();
+  // The innermost region must be the one being stopped.
+  INSCHED_EXPECTS(frame.name == name);
+  const double seconds = std::chrono::duration<double>(Clock::now() - frame.begin).count();
+  add_sample(frame.path, seconds);
+}
+
+void Profiler::add_sample(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegionStats& s = regions_[path];
+  if (s.count == 0) {
+    s.min_s = seconds;
+    s.max_s = seconds;
+  } else {
+    s.min_s = std::min(s.min_s, seconds);
+    s.max_s = std::max(s.max_s, seconds);
+  }
+  ++s.count;
+  s.total_s += seconds;
+}
+
+RegionStats Profiler::stats(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = regions_.find(path);
+  return it == regions_.end() ? RegionStats{} : it->second;
+}
+
+std::map<std::string, RegionStats> Profiler::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  regions_.clear();
+}
+
+std::string Profiler::report() const {
+  const auto snapshot = all();
+  std::vector<std::pair<std::string, RegionStats>> rows(snapshot.begin(), snapshot.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.total_s > b.second.total_s; });
+  Table table("profiler report");
+  table.set_header({"region", "count", "total", "mean", "min", "max"});
+  for (const auto& [path, s] : rows) {
+    table.add_row({path, format("%ld", s.count), format_seconds(s.total_s),
+                   format_seconds(s.mean_s()), format_seconds(s.min_s),
+                   format_seconds(s.max_s)});
+  }
+  return table.render();
+}
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+}  // namespace insched::perfmodel

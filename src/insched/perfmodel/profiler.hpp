@@ -1,0 +1,72 @@
+#pragma once
+
+// Region profiler in the spirit of IBM's HPM (HPM_Start/HPM_Stop): named
+// regions accumulate call counts and wall-clock totals; nested regions are
+// recorded with a path key ("runtime/analysis/rdf"). Thread-safe; each
+// thread keeps its own region stack.
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace insched::perfmodel {
+
+struct RegionStats {
+  long count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  [[nodiscard]] double mean_s() const noexcept {
+    return count > 0 ? total_s / static_cast<double>(count) : 0.0;
+  }
+};
+
+class Profiler {
+ public:
+  /// Pushes a region; regions nest per thread.
+  void start(const std::string& name);
+
+  /// Pops the innermost region; `name` must match the innermost start().
+  void stop(const std::string& name);
+
+  /// Adds an externally timed sample to a region (used by the virtual
+  /// executor, whose "time" is modeled rather than measured).
+  void add_sample(const std::string& path, double seconds);
+
+  [[nodiscard]] RegionStats stats(const std::string& path) const;
+  [[nodiscard]] std::map<std::string, RegionStats> all() const;
+
+  void reset();
+
+  /// Renders an aligned report sorted by total time.
+  [[nodiscard]] std::string report() const;
+
+  /// Process-wide instance used by the INSCHED_PROFILE macro.
+  static Profiler& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RegionStats> regions_;
+};
+
+/// RAII region guard.
+class ScopedRegion {
+ public:
+  ScopedRegion(Profiler& profiler, std::string name)
+      : profiler_(profiler), name_(std::move(name)) {
+    profiler_.start(name_);
+  }
+  ~ScopedRegion() { profiler_.stop(name_); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  Profiler& profiler_;
+  std::string name_;
+};
+
+#define INSCHED_PROFILE(name) \
+  ::insched::perfmodel::ScopedRegion insched_profile_region_(::insched::perfmodel::Profiler::global(), name)
+
+}  // namespace insched::perfmodel

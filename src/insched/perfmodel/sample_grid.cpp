@@ -1,0 +1,30 @@
+#include "insched/perfmodel/sample_grid.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::perfmodel {
+
+SampleGrid::SampleGrid(std::vector<double> xs, std::vector<double> ys,
+                       std::vector<double> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)) {
+  INSCHED_EXPECTS(!xs_.empty() && !ys_.empty());
+  INSCHED_EXPECTS(values_.size() == xs_.size() * ys_.size());
+  INSCHED_EXPECTS(std::is_sorted(xs_.begin(), xs_.end()));
+  INSCHED_EXPECTS(std::is_sorted(ys_.begin(), ys_.end()));
+  INSCHED_EXPECTS(std::adjacent_find(xs_.begin(), xs_.end()) == xs_.end());
+  INSCHED_EXPECTS(std::adjacent_find(ys_.begin(), ys_.end()) == ys_.end());
+}
+
+double SampleGrid::at(std::size_t ix, std::size_t iy) const {
+  INSCHED_EXPECTS(ix < nx() && iy < ny());
+  return values_[iy * nx() + ix];
+}
+
+bool SampleGrid::contains(double x, double y) const noexcept {
+  if (empty()) return false;
+  return x >= xs_.front() && x <= xs_.back() && y >= ys_.front() && y <= ys_.back();
+}
+
+}  // namespace insched::perfmodel

@@ -1,0 +1,47 @@
+#pragma once
+
+// Rectilinear grid of measured samples: values z(x, y) on the cross product
+// of sorted x-coordinates (problem size) and y-coordinates (process count or
+// network diameter). Feeds the bilinear interpolator (paper Section 4).
+
+#include <cstddef>
+#include <vector>
+
+namespace insched::perfmodel {
+
+class SampleGrid {
+ public:
+  SampleGrid() = default;
+
+  /// Builds a grid from coordinate axes and a row-major value matrix
+  /// (values[iy * xs.size() + ix]). Axes must be strictly increasing.
+  SampleGrid(std::vector<double> xs, std::vector<double> ys, std::vector<double> values);
+
+  [[nodiscard]] std::size_t nx() const noexcept { return xs_.size(); }
+  [[nodiscard]] std::size_t ny() const noexcept { return ys_.size(); }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return ys_; }
+  [[nodiscard]] double at(std::size_t ix, std::size_t iy) const;
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty() || ys_.empty(); }
+
+  /// True when (x, y) lies inside the sampled rectangle (no extrapolation).
+  [[nodiscard]] bool contains(double x, double y) const noexcept;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> values_;  // row-major [iy][ix]
+};
+
+/// Convenience builder: samples `f` on the given axes to produce a grid.
+/// Used by tests and by cost probes that measure a kernel at grid points.
+template <typename F>
+[[nodiscard]] SampleGrid sample_function(std::vector<double> xs, std::vector<double> ys, F&& f) {
+  std::vector<double> values;
+  values.reserve(xs.size() * ys.size());
+  for (double y : ys)
+    for (double x : xs) values.push_back(f(x, y));
+  return SampleGrid(std::move(xs), std::move(ys), std::move(values));
+}
+
+}  // namespace insched::perfmodel

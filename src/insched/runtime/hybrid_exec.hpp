@@ -1,0 +1,31 @@
+#pragma once
+
+// Virtual executor for hybrid in-situ / in-transit schedules: replays a
+// CoanalysisSolution on two lanes — the simulation resource (sim steps,
+// in-situ analyses, visible transfer time) and the staging resource
+// (analysis compute that arrives with each transfer). Staging work drains
+// concurrently with the simulation; the run ends when both lanes finish, so
+// the report exposes whether staging is the critical path.
+
+#include <vector>
+
+#include "insched/scheduler/coanalysis.hpp"
+
+namespace insched::runtime {
+
+struct HybridRunReport {
+  double sim_lane_seconds = 0.0;      ///< sim steps + in-situ + visible transfers
+  double staging_lane_seconds = 0.0;  ///< when the staging queue finally drains
+  double end_to_end_seconds = 0.0;    ///< max of the lanes
+  double staging_busy_seconds = 0.0;  ///< total staging compute executed
+  double staging_idle_seconds = 0.0;  ///< staging capacity left unused
+  double network_bytes = 0.0;
+  bool staging_is_critical_path = false;
+  /// Maximum staging backlog (seconds of queued work) observed at any step.
+  double peak_staging_backlog_seconds = 0.0;
+};
+
+[[nodiscard]] HybridRunReport hybrid_execute(const scheduler::CoanalysisProblem& problem,
+                                             const scheduler::CoanalysisSolution& solution);
+
+}  // namespace insched::runtime

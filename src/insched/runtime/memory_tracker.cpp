@@ -1,0 +1,64 @@
+#include "insched/runtime/memory_tracker.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::runtime {
+
+MemoryTracker::MemoryTracker(std::size_t analyses, double mth)
+    : mth_(mth), fm_(analyses, 0.0), mem_(analyses, 0.0) {
+  INSCHED_EXPECTS(mth >= 0.0);
+}
+
+void MemoryTracker::activate(std::size_t i, double fm) {
+  INSCHED_EXPECTS(i < mem_.size());
+  INSCHED_EXPECTS(fm >= 0.0);
+  fm_[i] = fm;
+  mem_[i] = fm;
+}
+
+void MemoryTracker::begin_step(long step) { current_step_ = step; }
+
+void MemoryTracker::add_per_step(std::size_t i, double im) {
+  INSCHED_EXPECTS(i < mem_.size());
+  mem_[i] += im;
+}
+
+void MemoryTracker::add_analysis(std::size_t i, double cm) {
+  INSCHED_EXPECTS(i < mem_.size());
+  mem_[i] += cm;
+}
+
+void MemoryTracker::add_output(std::size_t i, double om) {
+  INSCHED_EXPECTS(i < mem_.size());
+  mem_[i] += om;
+}
+
+void MemoryTracker::commit_step() {
+  // Samples sum_i mStart_{i,j} (Eq 8): all of the step's allocations have
+  // been reported, resets have not yet happened.
+  const double total = current_total();
+  if (total > peak_) {
+    peak_ = total;
+    peak_step_ = current_step_;
+  }
+  if (std::isfinite(mth_) && total > mth_ * (1.0 + 1e-12)) ++violations_;
+}
+
+void MemoryTracker::finish_output(std::size_t i) {
+  INSCHED_EXPECTS(i < mem_.size());
+  mem_[i] = fm_[i];  // Eq 6: memory resets to the fixed allocation
+}
+
+double MemoryTracker::current(std::size_t i) const {
+  INSCHED_EXPECTS(i < mem_.size());
+  return mem_[i];
+}
+
+double MemoryTracker::current_total() const {
+  return std::accumulate(mem_.begin(), mem_.end(), 0.0);
+}
+
+}  // namespace insched::runtime

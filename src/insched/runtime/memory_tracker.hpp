@@ -1,0 +1,52 @@
+#pragma once
+
+// Online implementation of the paper's memory recurrences (Eqs 5-8): the
+// runtime reports events (activation, per-step allocation, analysis step,
+// output step) and the tracker maintains mStart/mEnd per analysis plus the
+// global per-step peak, flagging threshold violations as they happen.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace insched::runtime {
+
+class MemoryTracker {
+ public:
+  /// `mth` may be infinity for untracked budgets.
+  MemoryTracker(std::size_t analyses, double mth);
+
+  /// Activation at step 0: mEnd_{i,0} = fm_i (Eq 7).
+  void activate(std::size_t i, double fm);
+
+  /// Per-step protocol, mirroring Eqs 5-8:
+  ///   begin_step(j); add_per_step/add_analysis/add_output events;
+  ///   commit_step();                 // samples sum(mStart) against mth
+  ///   finish_output(i) for output steps;  // Eq 6 reset to fm
+  void begin_step(long step);
+  void add_per_step(std::size_t i, double im);
+  void add_analysis(std::size_t i, double cm);
+  void add_output(std::size_t i, double om);
+  void commit_step();
+  /// Marks the output reset: mEnd = fm (Eq 6). Call after commit_step().
+  void finish_output(std::size_t i);
+
+  [[nodiscard]] double current(std::size_t i) const;
+  [[nodiscard]] double current_total() const;
+  [[nodiscard]] double peak() const noexcept { return peak_; }
+  [[nodiscard]] long peak_step() const noexcept { return peak_step_; }
+  [[nodiscard]] bool within_budget() const noexcept { return violations_ == 0; }
+  [[nodiscard]] long violations() const noexcept { return violations_; }
+  [[nodiscard]] double budget() const noexcept { return mth_; }
+
+ private:
+  double mth_;
+  std::vector<double> fm_;
+  std::vector<double> mem_;  ///< running mStart/mEnd per analysis
+  double peak_ = 0.0;
+  long peak_step_ = 0;
+  long current_step_ = 0;
+  long violations_ = 0;
+};
+
+}  // namespace insched::runtime

@@ -1,0 +1,44 @@
+#include "insched/runtime/metrics.hpp"
+
+#include "insched/support/string_util.hpp"
+#include "insched/support/table.hpp"
+
+namespace insched::runtime {
+
+double RunMetrics::total_analysis_seconds() const noexcept {
+  double total = 0.0;
+  for (const AnalysisMetrics& a : analyses) total += a.total_seconds();
+  return total;
+}
+
+double RunMetrics::visible_analysis_seconds() const noexcept {
+  double total = 0.0;
+  for (const AnalysisMetrics& a : analyses) total += a.visible_seconds();
+  return total;
+}
+
+double RunMetrics::utilization(double budget_seconds) const noexcept {
+  return budget_seconds > 0.0 ? total_analysis_seconds() / budget_seconds : 0.0;
+}
+
+double RunMetrics::overhead_fraction() const noexcept {
+  return simulation_seconds > 0.0 ? total_analysis_seconds() / simulation_seconds : 0.0;
+}
+
+std::string RunMetrics::to_string() const {
+  Table table(format("run metrics: %ld steps, simulation %s, analyses %s (%.2f%% overhead)",
+                     steps, format_seconds(simulation_seconds).c_str(),
+                     format_seconds(total_analysis_seconds()).c_str(),
+                     100.0 * overhead_fraction()));
+  table.set_header({"analysis", "steps", "outputs", "setup", "per-step", "compute", "output",
+                    "written"});
+  for (const AnalysisMetrics& a : analyses) {
+    table.add_row({a.name, format("%ld", a.analysis_steps), format("%ld", a.output_steps),
+                   format_seconds(a.setup_seconds), format_seconds(a.per_step_seconds),
+                   format_seconds(a.compute_seconds), format_seconds(a.output_seconds),
+                   format_bytes(a.bytes_written)});
+  }
+  return table.render();
+}
+
+}  // namespace insched::runtime

@@ -1,0 +1,51 @@
+#pragma once
+
+// Measured metrics of an in-situ run: the runtime's observed counterpart of
+// the validator's predicted report. Times are wall-clock seconds.
+
+#include <string>
+#include <vector>
+
+namespace insched::runtime {
+
+struct AnalysisMetrics {
+  std::string name;
+  long analysis_steps = 0;
+  long output_steps = 0;
+  double setup_seconds = 0.0;     ///< measured ft
+  double per_step_seconds = 0.0;  ///< accumulated it
+  double compute_seconds = 0.0;   ///< accumulated ct
+  double output_seconds = 0.0;    ///< accumulated ot (measured or modeled)
+  double bytes_written = 0.0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return setup_seconds + per_step_seconds + compute_seconds + output_seconds;
+  }
+  [[nodiscard]] double visible_seconds() const noexcept {
+    return compute_seconds + output_seconds;
+  }
+};
+
+struct RunMetrics {
+  long steps = 0;
+  double simulation_seconds = 0.0;
+  std::vector<AnalysisMetrics> analyses;
+  double peak_memory_bytes = 0.0;
+  long memory_violations = 0;
+  // Asynchronous (GLEAN-style staged) output accounting: total modeled write
+  // time issued to the background channel, and the part that could not be
+  // hidden behind subsequent simulation steps (charged at the end).
+  double async_output_seconds = 0.0;
+  double async_drain_seconds = 0.0;
+
+  [[nodiscard]] double total_analysis_seconds() const noexcept;
+  [[nodiscard]] double visible_analysis_seconds() const noexcept;
+  /// Fraction of the given budget consumed by analysis time.
+  [[nodiscard]] double utilization(double budget_seconds) const noexcept;
+  /// Overhead of in-situ analysis relative to the pure simulation time.
+  [[nodiscard]] double overhead_fraction() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace insched::runtime

@@ -1,0 +1,155 @@
+#include "insched/runtime/postprocess.hpp"
+
+#include <chrono>
+
+#include "insched/analysis/msd.hpp"
+#include "insched/machine/storage.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/sim/particles/lj_md.hpp"
+#include "insched/sim/particles/trajectory.hpp"
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+}  // namespace
+
+PostprocessComparison run_real(const RealPipelineSpec& spec) {
+  PostprocessComparison out;
+  out.steps = spec.steps;
+
+  sim::WaterIonsSpec wspec;
+  wspec.molecules = spec.molecules;
+  wspec.hydronium_fraction = 0.02;
+  wspec.ion_fraction = 0.02;
+  sim::ParticleSystem system = sim::water_ions(wspec);
+  out.atoms = system.size();
+
+  sim::MdParams md_params;
+  md_params.dt = 0.002;
+  sim::LjSimulation md(std::move(system), md_params);
+  md.minimize(100);
+  md.thermalize(17);
+
+  // Warm the thread pool so first-use startup cost is not billed to the
+  // in-situ arm of the comparison.
+  (void)parallel_reduce_sum(1 << 14, [](std::size_t i) { return static_cast<double>(i); });
+
+  // --- In-situ arm: MSD computed in the simulation's memory ---------------
+  analysis::MsdConfig msd_config;
+  msd_config.group = {sim::Species::kHydronium, sim::Species::kIon};
+  analysis::MsdAnalysis insitu("msd", md.system(), msd_config);
+  {
+    const auto begin = Clock::now();
+    insitu.setup();
+    out.insitu_seconds += seconds_since(begin);
+  }
+
+  machine::TempDir dir("postproc");
+  const std::string path = dir.file("run.itrj").string();
+  sim::TrajectoryWriter writer(path, md.system().size());
+
+  for (long step = 1; step <= spec.steps; ++step) {
+    md.step();
+    {
+      const auto begin = Clock::now();
+      insitu.per_step();
+      if (step % spec.analysis_interval == 0) (void)insitu.analyze();
+      out.insitu_seconds += seconds_since(begin);
+    }
+    if (step % spec.output_interval == 0) {
+      const auto begin = Clock::now();
+      writer.write_frame(step, md.system());
+      out.write_seconds += seconds_since(begin);
+    }
+  }
+  writer.close();
+  out.frames = static_cast<long>(writer.frames_written());
+
+  // --- Post-processing arm: serial read + serial MSD ----------------------
+  const int saved_threads = thread_count();
+  set_thread_count(1);  // the paper's post-processing tool is serial
+  {
+    sim::TrajectoryReader reader(path);
+    sim::TrajectoryFrame frame;
+    sim::ParticleSystem replay = md.system();  // layout/species template
+    bool have_reference = false;
+    std::vector<double> ref_x, ref_y, ref_z;
+    while (true) {
+      const auto read_begin = Clock::now();
+      const bool ok = reader.read_frame(frame);
+      out.read_seconds += seconds_since(read_begin);
+      if (!ok) break;
+
+      const auto begin = Clock::now();
+      if (!have_reference) {
+        ref_x = frame.x;
+        ref_y = frame.y;
+        ref_z = frame.z;
+        have_reference = true;
+      } else {
+        // Serial MSD over the tracked species relative to the first frame.
+        double msd = 0.0;
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < replay.size(); ++i) {
+          if (replay.species[i] != sim::Species::kHydronium &&
+              replay.species[i] != sim::Species::kIon)
+            continue;
+          const sim::Box& box = replay.box();
+          const double dx = sim::Box::min_image(frame.x[i] - ref_x[i], box.lx);
+          const double dy = sim::Box::min_image(frame.y[i] - ref_y[i], box.ly);
+          const double dz = sim::Box::min_image(frame.z[i] - ref_z[i], box.lz);
+          msd += dx * dx + dy * dy + dz * dz;
+          ++count;
+        }
+        INSCHED_ASSERT(count > 0);
+      }
+      out.postprocess_seconds += seconds_since(begin);
+    }
+  }
+  set_thread_count(saved_threads);
+  return out;
+}
+
+PostprocessComparison model(const ModeledPipelineSpec& spec) {
+  PostprocessComparison out;
+  out.atoms = spec.atoms;
+  out.steps = spec.steps;
+  out.frames = spec.steps / spec.output_interval;
+
+  const double frame_bytes = static_cast<double>(spec.atoms) * 6.0 * sizeof(double);
+  const double file_bytes = frame_bytes * static_cast<double>(out.frames);
+
+  // Simulation site writes the trajectory through the parallel filesystem.
+  out.write_seconds = file_bytes / spec.simulation_site.peak_io_bw;
+
+  // Analysis site reads it back: parse-bandwidth limited, and a naive tool
+  // re-scans the file once per analyzed frame (this is what makes the
+  // paper's read column explode superlinearly with system size).
+  out.read_seconds = file_bytes * spec.rescans_per_frame *
+                     static_cast<double>(out.frames) / spec.parse_bw;
+
+  // Serial analysis on one workstation core (includes data marshalling).
+  out.postprocess_seconds = static_cast<double>(spec.atoms) *
+                            static_cast<double>(out.frames) *
+                            spec.post_seconds_per_atom_frame;
+
+  // In-situ: the same flops spread over every core of the partition plus a
+  // collective latency floor per analysis step; no storage read at all.
+  const double analysis_flops = static_cast<double>(spec.atoms) *
+                                spec.flops_per_atom_analysis *
+                                static_cast<double>(out.frames);
+  out.insitu_seconds =
+      analysis_flops / (static_cast<double>(spec.simulation_site.total_cores()) *
+                        spec.simulation_site.flops_per_core) +
+      spec.collective_floor_seconds * static_cast<double>(out.frames);
+  return out;
+}
+
+}  // namespace insched::runtime

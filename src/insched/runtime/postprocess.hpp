@@ -1,0 +1,62 @@
+#pragma once
+
+// Post-processing pipeline — the baseline the paper's Table 4 compares
+// in-situ analysis against: the simulation writes its trajectory to storage,
+// then a serial tool reads it back and computes the analysis (here: MSD).
+// Two modes:
+//   run_real():    actually writes/reads files in a temp dir on this machine
+//                  and times every phase (laptop-scale Table 4).
+//   model():       predicts the phase times from machine/storage models at
+//                  paper scale (the 16 Ki-core Mira vs. workstation setup).
+
+#include <cstddef>
+
+#include "insched/machine/machine.hpp"
+
+namespace insched::runtime {
+
+struct PostprocessComparison {
+  std::size_t atoms = 0;
+  long steps = 0;
+  long frames = 0;
+  double write_seconds = 0.0;        ///< simulation writing the trajectory
+  double read_seconds = 0.0;         ///< post-processing tool reading it back
+  double postprocess_seconds = 0.0;  ///< serial analysis on the read frames
+  double insitu_seconds = 0.0;       ///< same analysis in-situ
+  [[nodiscard]] double speedup() const noexcept {
+    return insitu_seconds > 0.0 ? (read_seconds + postprocess_seconds) / insitu_seconds : 0.0;
+  }
+};
+
+struct RealPipelineSpec {
+  std::size_t molecules = 500;   ///< water+ions size (3 particles/molecule)
+  long steps = 200;              ///< simulation steps
+  long output_interval = 20;     ///< trajectory frame every k steps
+  long analysis_interval = 20;   ///< in-situ MSD every k steps
+};
+
+/// Runs the full real pipeline locally (mini-MD + files + serial re-read).
+[[nodiscard]] PostprocessComparison run_real(const RealPipelineSpec& spec);
+
+struct ModeledPipelineSpec {
+  std::size_t atoms = 12544;
+  long steps = 1000;
+  long output_interval = 100;
+  machine::MachineModel analysis_site;    ///< workstation reading the dump
+  machine::MachineModel simulation_site;  ///< in-situ resource (Mira partition)
+
+  // Post-processing tool model (the paper used a serial custom tool reading
+  // LAMMPS text dumps — dominated by parsing, not raw disk bandwidth):
+  double parse_bw = 10e6;                   ///< bytes/s the serial parser sustains
+  double rescans_per_frame = 1.0;           ///< naive tools re-scan the file per frame
+  double post_seconds_per_atom_frame = 8.2e-6;  ///< serial analysis incl. marshalling
+  // In-situ side: flop cost spread over the partition plus a collective
+  // latency floor (an MPI_Allreduce never beats network latency).
+  double flops_per_atom_analysis = 200.0;
+  double collective_floor_seconds = 1e-3;   ///< per analysis step
+};
+
+/// Predicts the comparison at paper scale from the machine models.
+[[nodiscard]] PostprocessComparison model(const ModeledPipelineSpec& spec);
+
+}  // namespace insched::runtime

@@ -1,0 +1,146 @@
+#include "insched/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "insched/perfmodel/profiler.hpp"
+#include "insched/support/assert.hpp"
+
+namespace insched::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+}  // namespace
+
+InsituRuntime::InsituRuntime(sim::ISimulation& simulation,
+                             analysis::AnalysisRegistry& analyses,
+                             const scheduler::Schedule& schedule, RuntimeConfig config)
+    : simulation_(simulation), analyses_(analyses), schedule_(schedule), config_(config) {
+  INSCHED_EXPECTS(analyses.size() == schedule.size());
+}
+
+RunMetrics InsituRuntime::run() {
+  const std::size_t n = schedule_.size();
+  RunMetrics metrics;
+  metrics.steps = schedule_.steps();
+  metrics.analyses.resize(n);
+
+  MemoryTracker tracker(n, config_.memory_budget);
+  std::optional<machine::SimulatedStore> store;
+  if (config_.storage) store.emplace(*config_.storage);
+
+  // Step 0: setup of active analyses (Eq 3 / Eq 7).
+  for (std::size_t i = 0; i < n; ++i) {
+    const scheduler::AnalysisSchedule& s = schedule_.analysis(i);
+    metrics.analyses[i].name = s.name;
+    if (!s.active()) continue;
+    analysis::IAnalysis& a = analyses_.at(i);
+    const auto begin = Clock::now();
+    {
+      INSCHED_PROFILE("insitu/setup");
+      a.setup();
+    }
+    if (config_.measure_time) metrics.analyses[i].setup_seconds = seconds_since(begin);
+    tracker.activate(i, a.resident_bytes());
+  }
+
+  // Per-analysis cursors over the sorted step lists.
+  std::vector<std::size_t> next_a(n, 0), next_o(n, 0);
+  double async_debt = 0.0;  // modeled write time not yet hidden
+
+  for (long step = 1; step <= schedule_.steps(); ++step) {
+    {
+      INSCHED_PROFILE("simulation/step");
+      const auto begin = Clock::now();
+      simulation_.step();
+      const double sim_seconds = seconds_since(begin);
+      if (config_.measure_time) metrics.simulation_seconds += sim_seconds;
+      // The background output channel drains while the simulation computes.
+      async_debt = std::max(0.0, async_debt - sim_seconds);
+    }
+
+    tracker.begin_step(step);
+    // Per-step facilitation of every active analysis (it / im).
+    for (std::size_t i = 0; i < n; ++i) {
+      const scheduler::AnalysisSchedule& s = schedule_.analysis(i);
+      if (!s.active()) continue;
+      analysis::IAnalysis& a = analyses_.at(i);
+      const double before = a.resident_bytes();
+      const auto begin = Clock::now();
+      {
+        INSCHED_PROFILE("insitu/per_step");
+        a.per_step();
+      }
+      if (config_.measure_time)
+        metrics.analyses[i].per_step_seconds += seconds_since(begin);
+      tracker.add_per_step(i, std::max(0.0, a.resident_bytes() - before));
+    }
+
+    // Analysis steps (ct / cm).
+    std::vector<bool> output_now(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const scheduler::AnalysisSchedule& s = schedule_.analysis(i);
+      const bool analysis_step =
+          next_a[i] < s.analysis_steps.size() && s.analysis_steps[next_a[i]] == step;
+      if (!analysis_step) continue;
+      ++next_a[i];
+      analysis::IAnalysis& a = analyses_.at(i);
+      const double before = a.resident_bytes();
+      const auto begin = Clock::now();
+      {
+        INSCHED_PROFILE("insitu/analyze");
+        (void)a.analyze();
+      }
+      if (config_.measure_time)
+        metrics.analyses[i].compute_seconds += seconds_since(begin);
+      ++metrics.analyses[i].analysis_steps;
+      tracker.add_analysis(i, std::max(0.0, a.resident_bytes() - before));
+
+      output_now[i] = next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == step;
+    }
+
+    // Output allocation happens before the step's memory peak is sampled,
+    // the reset after (Eqs 5-6).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (output_now[i]) tracker.add_output(i, 0.0);  // om folded into bytes below
+    }
+    tracker.commit_step();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!output_now[i]) continue;
+      ++next_o[i];
+      analysis::IAnalysis& a = analyses_.at(i);
+      const auto begin = Clock::now();
+      double bytes = 0.0;
+      {
+        INSCHED_PROFILE("insitu/output");
+        bytes = a.output();
+      }
+      if (config_.measure_time)
+        metrics.analyses[i].output_seconds += seconds_since(begin);
+      if (store) {
+        const double write_seconds = store->write(bytes);
+        if (config_.async_output) {
+          metrics.async_output_seconds += write_seconds;
+          async_debt += write_seconds;  // hidden behind later sim steps
+        } else {
+          metrics.analyses[i].output_seconds += write_seconds;
+        }
+      }
+      metrics.analyses[i].bytes_written += bytes;
+      ++metrics.analyses[i].output_steps;
+      tracker.finish_output(i);
+    }
+  }
+
+  metrics.peak_memory_bytes = tracker.peak();
+  metrics.memory_violations = tracker.violations();
+  metrics.async_drain_seconds = async_debt;  // unhidden remainder at the end
+  return metrics;
+}
+
+}  // namespace insched::runtime

@@ -1,0 +1,55 @@
+#pragma once
+
+// The in-situ coupling layer (the paper's Figure-1 loop): drives the
+// simulation step by step, interleaves the scheduled analyses on the same
+// resources and address space, tracks memory per the Eq 5-8 recurrences and
+// models output I/O through a storage model. The GLEAN-analog of this
+// library.
+
+#include <limits>
+#include <optional>
+
+#include "insched/analysis/registry.hpp"
+#include "insched/machine/storage.hpp"
+#include "insched/runtime/memory_tracker.hpp"
+#include "insched/runtime/metrics.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+#include "insched/sim/simulation.hpp"
+
+namespace insched::runtime {
+
+struct RuntimeConfig {
+  /// Storage model for analysis outputs; when set, each output's modeled
+  /// write time (bytes/bw) is charged to the analysis's output_seconds in
+  /// addition to the measured serialization cost.
+  std::optional<machine::StorageModel> storage;
+  /// Memory budget for the tracker (bytes); infinity disables violations.
+  double memory_budget = std::numeric_limits<double>::infinity();
+  /// Record wall-clock per-phase times (off for pure functional runs).
+  bool measure_time = true;
+  /// GLEAN-style asynchronous output: modeled write time drains behind
+  /// subsequent simulation steps instead of blocking the analysis; any
+  /// remainder at the end of the run is charged as async_drain_seconds.
+  bool async_output = false;
+};
+
+class InsituRuntime {
+ public:
+  /// The registry must hold exactly one analysis per schedule entry, in the
+  /// same order. The schedule is typically the output of solve_schedule().
+  InsituRuntime(sim::ISimulation& simulation, analysis::AnalysisRegistry& analyses,
+                const scheduler::Schedule& schedule, RuntimeConfig config = {});
+
+  /// Runs the whole schedule (schedule.steps() simulation steps) and returns
+  /// the measured metrics.
+  RunMetrics run();
+
+ private:
+  sim::ISimulation& simulation_;
+  analysis::AnalysisRegistry& analyses_;
+  const scheduler::Schedule& schedule_;
+  RuntimeConfig config_;
+};
+
+}  // namespace insched::runtime

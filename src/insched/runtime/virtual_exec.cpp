@@ -1,0 +1,93 @@
+#include "insched/runtime/virtual_exec.hpp"
+
+#include "insched/runtime/memory_tracker.hpp"
+#include "insched/support/assert.hpp"
+
+namespace insched::runtime {
+
+VirtualRunReport virtual_execute(const scheduler::ScheduleProblem& problem,
+                                 const scheduler::Schedule& schedule,
+                                 const VirtualExecConfig& config) {
+  INSCHED_EXPECTS(schedule.size() == problem.size());
+  INSCHED_EXPECTS(schedule.steps() == problem.steps);
+
+  const std::size_t n = problem.size();
+  VirtualRunReport report;
+  report.metrics.steps = problem.steps;
+  report.metrics.analyses.resize(n);
+  report.step_seconds.assign(static_cast<std::size_t>(problem.steps), 0.0);
+
+  MemoryTracker tracker(n, problem.mth);
+  std::vector<std::size_t> next_a(n, 0), next_o(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const scheduler::AnalysisSchedule& s = schedule.analysis(i);
+    report.metrics.analyses[i].name = s.name;
+    if (!s.active()) continue;
+    const scheduler::AnalysisParams& p = problem.analyses[i];
+    report.metrics.analyses[i].setup_seconds = p.ft;
+    tracker.activate(i, p.fm);
+  }
+
+  for (long step = 1; step <= problem.steps; ++step) {
+    double step_time = config.sim_time_per_step;
+    report.metrics.simulation_seconds += config.sim_time_per_step;
+
+    tracker.begin_step(step);
+    for (std::size_t i = 0; i < n; ++i) {
+      const scheduler::AnalysisSchedule& s = schedule.analysis(i);
+      if (!s.active()) continue;
+      const scheduler::AnalysisParams& p = problem.analyses[i];
+      report.metrics.analyses[i].per_step_seconds += p.it;
+      step_time += p.it;
+      tracker.add_per_step(i, p.im);
+
+      const bool analysis_step =
+          next_a[i] < s.analysis_steps.size() && s.analysis_steps[next_a[i]] == step;
+      if (analysis_step) {
+        ++next_a[i];
+        report.metrics.analyses[i].compute_seconds += p.ct;
+        ++report.metrics.analyses[i].analysis_steps;
+        step_time += p.ct;
+        tracker.add_analysis(i, p.cm);
+      }
+      const bool output_step =
+          analysis_step && next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == step;
+      if (output_step) {
+        tracker.add_output(i, p.om);
+      }
+    }
+    tracker.commit_step();
+    for (std::size_t i = 0; i < n; ++i) {
+      const scheduler::AnalysisSchedule& s = schedule.analysis(i);
+      const bool output_step =
+          next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == step;
+      if (!output_step) continue;
+      ++next_o[i];
+      const double ot = problem.output_time(i);
+      report.metrics.analyses[i].output_seconds += ot;
+      report.metrics.analyses[i].bytes_written += problem.analyses[i].om;
+      ++report.metrics.analyses[i].output_steps;
+      step_time += ot;
+      tracker.finish_output(i);
+    }
+
+    // Simulation output frames.
+    if (config.sim_output_interval > 0 && step % config.sim_output_interval == 0 &&
+        config.write_bw > 0.0) {
+      const double t = config.sim_output_bytes_per_step / config.write_bw;
+      report.sim_output_seconds += t;
+      step_time += t;
+    }
+    report.step_seconds[static_cast<std::size_t>(step - 1)] = step_time;
+  }
+
+  report.metrics.peak_memory_bytes = tracker.peak();
+  report.metrics.memory_violations = tracker.violations();
+  report.end_to_end_seconds = report.metrics.simulation_seconds +
+                              report.metrics.total_analysis_seconds() +
+                              report.sim_output_seconds;
+  return report;
+}
+
+}  // namespace insched::runtime

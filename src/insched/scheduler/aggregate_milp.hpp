@@ -1,0 +1,85 @@
+#pragma once
+
+// Aggregate (count-based) MILP formulation of the in-situ scheduling problem.
+//
+// Instead of one 0-1 variable per (analysis, step) pair as in the paper's
+// time-expanded program, this formulation decides per analysis i:
+//   a_i  (binary)  — is the analysis performed at all (membership in A),
+//   c_i  (integer) — number of analysis steps |C_i|,
+//   o_i  (integer) — number of output steps |O_i|, via a binary expansion
+//                    y_{i,k} (o_i = k) that makes the memory peak linear.
+//
+// Time (Eq 4):   sum_i ft_i a_i + it_i Steps a_i + ct_i c_i + ot_i o_i <= budget
+// Interval (Eq 9): c_i <= (Steps/itv_i) a_i   — even placement then realizes
+//                  the minimum-gap rule exactly (placement.hpp).
+// Memory (Eq 8):  with k output steps spread evenly, at most ceil(Steps/k)
+//                 steps elapse between two memory resets, so the analysis's
+//                 per-step memory peaks at
+//                     peak_i(k) = fm_i + im_i ceil(Steps/k) + cm_i + om_i
+//                 (k = 0: no resets, gap = Steps, no om term). Summing the
+//                 selected peak over analyses upper-bounds the true per-step
+//                 sum, so a feasible aggregate solution is always feasible
+//                 for the exact recurrence — tests cross-validate this and
+//                 the optimal objective against the time-expanded program.
+//
+// The expansion is exact for the instance sizes the paper solves (max count
+// Steps/itv = 10). When max counts are very large and memory is actually
+// constrained, a conservative single-bound fallback is used (documented in
+// DESIGN.md ablations).
+
+#include <optional>
+
+#include "insched/lp/model.hpp"
+#include "insched/scheduler/params.hpp"
+
+namespace insched::scheduler {
+
+struct AggregateVarMap {
+  // Column indices per analysis; -1 when the variable does not exist under
+  // the chosen policy.
+  std::vector<int> active;      ///< a_i
+  std::vector<int> count;       ///< c_i
+  std::vector<int> out_count;   ///< o_i (kOptimized without expansion)
+  std::vector<std::vector<int>> out_choice;  ///< y_{i,k}: o_i = k, o decoupled from c
+  /// w_{i,k}: "coupled mode" o_i = c_i = k (flush at every analysis step) —
+  /// its memory-reset gap is just the analysis spacing, much tighter than
+  /// the decoupled bound; only built under OutputPolicy::kOptimized.
+  std::vector<std::vector<int>> out_choice_coupled;
+};
+
+struct AggregateModel {
+  lp::Model model;
+  AggregateVarMap vars;
+  bool used_expansion = false;  ///< memory handled by binary expansion
+  OutputPolicy policy = OutputPolicy::kEveryAnalysis;
+};
+
+/// Largest per-analysis count for which the exact output-count expansion is
+/// used; beyond it the conservative memory fallback applies.
+inline constexpr long kMaxExpansion = 256;
+
+struct AggregateBuildOptions {
+  /// Disable the output-count binary expansion and use the conservative
+  /// single-bound memory linearization instead (the DESIGN.md ablation;
+  /// bench/ablation_formulations quantifies the objective gap).
+  bool allow_expansion = true;
+};
+
+/// Builds the MILP. `fixed_counts` (optional, one entry per analysis) pins
+/// |C_i| to a value with an equality row — used by the lexicographic solver
+/// to freeze higher-priority tiers while optimizing lower ones.
+[[nodiscard]] AggregateModel build_aggregate_milp(
+    const ScheduleProblem& problem,
+    const std::vector<std::optional<long>>& fixed_counts = {},
+    const AggregateBuildOptions& options = {});
+
+/// Extracts (analysis_counts, output_counts) from a solution vector of the
+/// aggregate model.
+struct AggregateCounts {
+  std::vector<long> analysis_counts;
+  std::vector<long> output_counts;
+};
+[[nodiscard]] AggregateCounts decode_aggregate(const AggregateModel& built,
+                                               const std::vector<double>& x);
+
+}  // namespace insched::scheduler

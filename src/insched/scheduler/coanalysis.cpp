@@ -1,0 +1,187 @@
+#include "insched/scheduler/coanalysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "insched/lp/model.hpp"
+#include "insched/scheduler/placement.hpp"
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+double CoanalysisProblem::transfer_time(std::size_t i) const {
+  INSCHED_EXPECTS(i < remote.size());
+  if (!(network_bw > 0.0) || remote[i].transfer_bytes <= 0.0) return 0.0;
+  const double raw = remote[i].transfer_bytes / network_bw;
+  return raw * (1.0 - transfer_overlap);
+}
+
+void CoanalysisProblem::validate() const {
+  base.validate();
+  if (remote.size() != base.analyses.size())
+    throw std::invalid_argument("CoanalysisProblem: remote params size mismatch");
+  if (base.output_policy != OutputPolicy::kEveryAnalysis)
+    throw std::invalid_argument("CoanalysisProblem: only kEveryAnalysis is supported");
+  if (transfer_overlap < 0.0 || transfer_overlap >= 1.0)
+    throw std::invalid_argument("CoanalysisProblem: transfer_overlap must be in [0, 1)");
+  for (const StagingParams& r : remote) {
+    if (r.transfer_bytes < 0.0 || r.stage_ct < 0.0 || r.stage_mem < 0.0)
+      throw std::invalid_argument("CoanalysisProblem: negative staging parameter");
+  }
+}
+
+const char* to_string(ExecutionMode mode) noexcept {
+  switch (mode) {
+    case ExecutionMode::kSkipped: return "skipped";
+    case ExecutionMode::kInsitu: return "in-situ";
+    case ExecutionMode::kStaging: return "staging";
+  }
+  return "?";
+}
+
+CoanalysisSolution solve_coanalysis(const CoanalysisProblem& problem,
+                                    const mip::MipOptions& options) {
+  problem.validate();
+  const std::size_t n = problem.base.size();
+  const long steps = problem.base.steps;
+
+  lp::Model m;
+  m.set_sense(lp::Sense::kMaximize);
+
+  // Per analysis: mode binaries s_i (in-situ), g_i (staging); counts per
+  // mode cs_i, cg_i.
+  std::vector<int> s_var(n), g_var(n), cs_var(n), cg_var(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnalysisParams& a = problem.base.analyses[i];
+    const long maxc = problem.base.max_analysis_steps(i);
+    s_var[i] = m.add_column(format("s_%s", a.name.c_str()), 0, 1, 1.0, lp::VarType::kBinary);
+    g_var[i] = m.add_column(format("g_%s", a.name.c_str()), 0, 1, 1.0, lp::VarType::kBinary);
+    cs_var[i] = m.add_column(format("cs_%s", a.name.c_str()), 0, static_cast<double>(maxc),
+                             a.weight, lp::VarType::kInteger);
+    cg_var[i] = m.add_column(format("cg_%s", a.name.c_str()), 0, static_cast<double>(maxc),
+                             a.weight, lp::VarType::kInteger);
+
+    // One mode at most; counts live only in the chosen mode, active modes
+    // perform at least one step.
+    m.add_row(format("mode_%s", a.name.c_str()), lp::RowType::kLe, 1.0,
+              {{s_var[i], 1.0}, {g_var[i], 1.0}});
+    m.add_row(format("cs_hi_%s", a.name.c_str()), lp::RowType::kLe, 0.0,
+              {{cs_var[i], 1.0}, {s_var[i], -static_cast<double>(maxc)}});
+    m.add_row(format("cs_lo_%s", a.name.c_str()), lp::RowType::kGe, 0.0,
+              {{cs_var[i], 1.0}, {s_var[i], -1.0}});
+    m.add_row(format("cg_hi_%s", a.name.c_str()), lp::RowType::kLe, 0.0,
+              {{cg_var[i], 1.0}, {g_var[i], -static_cast<double>(maxc)}});
+    m.add_row(format("cg_lo_%s", a.name.c_str()), lp::RowType::kGe, 0.0,
+              {{cg_var[i], 1.0}, {g_var[i], -1.0}});
+  }
+
+  // Simulation-side time budget: in-situ costs plus visible transfer time.
+  // An epsilon objective penalty on simulation-side time breaks mode ties in
+  // favor of the cheaper placement (too small to ever flip a count or
+  // activation decision: the total penalty is <= kTieBreak).
+  constexpr double kTieBreak = 1e-4;
+  const double budget = problem.base.time_budget();
+  const double tie_scale = budget > 0.0 ? kTieBreak / budget : 0.0;
+  {
+    std::vector<lp::RowEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AnalysisParams& a = problem.base.analyses[i];
+      const double fixed = a.ft + a.it * static_cast<double>(steps);
+      if (fixed > 0.0) entries.push_back({s_var[i], fixed});
+      const double per_step = a.ct + problem.base.output_time(i);
+      if (per_step > 0.0) entries.push_back({cs_var[i], per_step});
+      const double tx = problem.transfer_time(i);
+      if (tx > 0.0) entries.push_back({cg_var[i], tx});
+      // Tie-break penalties (maximization: subtract).
+      m.set_objective(s_var[i], 1.0 - tie_scale * fixed);
+      m.set_objective(cs_var[i], a.weight - tie_scale * per_step);
+      m.set_objective(cg_var[i], a.weight - tie_scale * tx);
+    }
+    m.add_row("sim_time_budget", lp::RowType::kLe, budget, std::move(entries));
+  }
+
+  // Staging compute capacity.
+  if (std::isfinite(problem.stage_capacity_seconds)) {
+    std::vector<lp::RowEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (problem.remote[i].stage_ct > 0.0)
+        entries.push_back({cg_var[i], problem.remote[i].stage_ct});
+    }
+    if (!entries.empty())
+      m.add_row("stage_capacity", lp::RowType::kLe, problem.stage_capacity_seconds,
+                std::move(entries));
+  }
+
+  // Staging memory.
+  if (std::isfinite(problem.stage_memory)) {
+    std::vector<lp::RowEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (problem.remote[i].stage_mem > 0.0)
+        entries.push_back({g_var[i], problem.remote[i].stage_mem});
+    }
+    if (!entries.empty())
+      m.add_row("stage_memory", lp::RowType::kLe, problem.stage_memory, std::move(entries));
+  }
+
+  // Simulation-side memory: with outputs at every in-situ analysis step the
+  // reset window holds one analysis (cm once); im accumulates between steps.
+  if (std::isfinite(problem.base.mth)) {
+    std::vector<lp::RowEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AnalysisParams& a = problem.base.analyses[i];
+      // Worst window when in-situ: the interval between analysis steps can
+      // be as long as Steps (c = 1).
+      const double peak = a.fm + a.im * static_cast<double>(steps) + a.cm + a.om;
+      if (peak > 0.0) entries.push_back({s_var[i], peak});
+    }
+    if (!entries.empty())
+      m.add_row("sim_memory", lp::RowType::kLe, problem.base.mth, std::move(entries));
+  }
+
+  const mip::MipResult res = mip::solve_mip(m, options);
+  CoanalysisSolution out;
+  out.solver_seconds = res.solve_seconds;
+  out.nodes = res.nodes;
+  if (!res.has_solution) return out;
+  out.solved = true;
+  out.proven_optimal = res.optimal();
+
+  out.modes.assign(n, ExecutionMode::kSkipped);
+  out.frequencies.assign(n, 0);
+  PlacementRequest request;
+  request.analysis_counts.assign(n, 0);
+  request.output_counts.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const long cs = std::lround(res.x[static_cast<std::size_t>(cs_var[i])]);
+    const long cg = std::lround(res.x[static_cast<std::size_t>(cg_var[i])]);
+    if (cs > 0) {
+      out.modes[i] = ExecutionMode::kInsitu;
+      out.frequencies[i] = cs;
+      out.sim_side_seconds +=
+          problem.base.analyses[i].ft +
+          problem.base.analyses[i].it * static_cast<double>(steps) +
+          static_cast<double>(cs) *
+              (problem.base.analyses[i].ct + problem.base.output_time(i));
+    } else if (cg > 0) {
+      out.modes[i] = ExecutionMode::kStaging;
+      out.frequencies[i] = cg;
+      out.sim_side_seconds += static_cast<double>(cg) * problem.transfer_time(i);
+      out.staging_seconds += static_cast<double>(cg) * problem.remote[i].stage_ct;
+      out.network_bytes += static_cast<double>(cg) * problem.remote[i].transfer_bytes;
+    }
+    request.analysis_counts[i] = out.frequencies[i];
+    request.output_counts[i] =
+        out.modes[i] == ExecutionMode::kInsitu ? out.frequencies[i] : 0;
+  }
+  out.schedule = place(problem.base, request);
+  // Report the paper's Eq-1 objective (without the tie-break epsilon).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.modes[i] != ExecutionMode::kSkipped)
+      out.objective += 1.0 + problem.base.analyses[i].weight *
+                                 static_cast<double>(out.frequencies[i]);
+  }
+  return out;
+}
+
+}  // namespace insched::scheduler

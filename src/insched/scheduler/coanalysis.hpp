@@ -1,0 +1,71 @@
+#pragma once
+
+// Co-analysis (in-transit) extension — the paper's stated future work
+// ("optimally schedule the analyses computations on different resources.
+// This requires transferring huge data"). Each analysis may now run:
+//   - in-situ:   on the simulation resource, Table-1 costs as before;
+//   - staging:   on dedicated staging nodes — the simulation only pays the
+//                (partially overlappable) data transfer per analysis step,
+//                while compute and memory land on the staging resource;
+//   - not at all.
+// The MILP picks the mode, the frequency and the staging load subject to the
+// simulation-side time budget, both memory budgets, the network, and the
+// staging-compute capacity (staging must keep pace with the run).
+//
+// Restricted to OutputPolicy::kEveryAnalysis (the common production mode);
+// in-situ memory then resets at each analysis step, so per-analysis peaks
+// are exact.
+
+#include <vector>
+
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+
+namespace insched::scheduler {
+
+/// Per-analysis costs of running on the staging side.
+struct StagingParams {
+  double transfer_bytes = 0.0;  ///< data shipped per analysis step
+  double stage_ct = 0.0;        ///< staging compute seconds per analysis step
+  double stage_mem = 0.0;       ///< resident staging memory while active
+};
+
+struct CoanalysisProblem {
+  ScheduleProblem base;               ///< in-situ costs, budgets, itv, weights
+  std::vector<StagingParams> remote;  ///< parallel to base.analyses
+  double network_bw = kNoLimit;       ///< simulation -> staging bytes/s
+  double transfer_overlap = 0.0;      ///< fraction of transfer hidden behind
+                                      ///< the simulation (0 = fully blocking)
+  double stage_capacity_seconds = kNoLimit;  ///< total staging compute budget
+  double stage_memory = kNoLimit;            ///< staging memory budget
+
+  /// Simulation-visible seconds per staged analysis step of analysis i.
+  [[nodiscard]] double transfer_time(std::size_t i) const;
+
+  void validate() const;
+};
+
+enum class ExecutionMode { kSkipped, kInsitu, kStaging };
+
+[[nodiscard]] const char* to_string(ExecutionMode mode) noexcept;
+
+struct CoanalysisSolution {
+  bool solved = false;
+  bool proven_optimal = false;
+  double objective = 0.0;
+  std::vector<ExecutionMode> modes;
+  std::vector<long> frequencies;
+  Schedule schedule;             ///< analysis steps for both modes (staged
+                                 ///< steps are where transfers happen)
+  double sim_side_seconds = 0.0;     ///< in-situ time + visible transfer time
+  double staging_seconds = 0.0;      ///< staging compute consumed
+  double network_bytes = 0.0;        ///< total data shipped
+  double solver_seconds = 0.0;
+  long nodes = 0;
+};
+
+[[nodiscard]] CoanalysisSolution solve_coanalysis(const CoanalysisProblem& problem,
+                                                  const mip::MipOptions& options = {});
+
+}  // namespace insched::scheduler

@@ -1,0 +1,114 @@
+#include "insched/scheduler/cost_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::scheduler {
+
+using perfmodel::AxisScale;
+using perfmodel::BilinearInterpolator;
+using perfmodel::SampleGrid;
+
+void CostDatabase::add_sample(const std::string& kernel, const CostSample& sample) {
+  INSCHED_EXPECTS(sample.problem_size > 0.0 && sample.procs > 0.0);
+  samples_[kernel].push_back(sample);
+}
+
+bool CostDatabase::has_kernel(const std::string& kernel) const {
+  return samples_.count(kernel) > 0;
+}
+
+std::vector<std::string> CostDatabase::kernels() const {
+  std::vector<std::string> names;
+  names.reserve(samples_.size());
+  for (const auto& [name, list] : samples_) names.push_back(name);
+  return names;
+}
+
+std::size_t CostDatabase::sample_count(const std::string& kernel) const {
+  const auto it = samples_.find(kernel);
+  return it == samples_.end() ? 0 : it->second.size();
+}
+
+AnalysisParams CostDatabase::predict(const std::string& kernel, double problem_size,
+                                     double procs) const {
+  const auto it = samples_.find(kernel);
+  if (it == samples_.end())
+    throw std::runtime_error("CostDatabase: unknown kernel '" + kernel + "'");
+  const std::vector<CostSample>& list = it->second;
+  INSCHED_EXPECTS(!list.empty());
+
+  // Collect the grid axes.
+  std::set<double> xs_set, ys_set;
+  for (const CostSample& s : list) {
+    xs_set.insert(s.problem_size);
+    ys_set.insert(s.procs);
+  }
+  const std::vector<double> xs(xs_set.begin(), xs_set.end());
+  const std::vector<double> ys(ys_set.begin(), ys_set.end());
+  if (xs.size() * ys.size() != list.size())
+    throw std::runtime_error("CostDatabase: samples for '" + kernel +
+                             "' do not form a rectilinear grid");
+
+  // Row-major value matrix for one component.
+  const auto grid_of = [&](const std::function<double(const CostSample&)>& get) {
+    std::vector<double> values(xs.size() * ys.size(), 0.0);
+    for (const CostSample& s : list) {
+      const auto ix = static_cast<std::size_t>(
+          std::lower_bound(xs.begin(), xs.end(), s.problem_size) - xs.begin());
+      const auto iy = static_cast<std::size_t>(
+          std::lower_bound(ys.begin(), ys.end(), s.procs) - ys.begin());
+      values[iy * xs.size() + ix] = get(s);
+    }
+    return SampleGrid(xs, ys, values);
+  };
+
+  const auto interpolate = [&](const std::function<double(const CostSample&)>& get) {
+    // Log-value interpolation needs strictly positive samples; fall back to
+    // linear values when any sample is zero/negative.
+    bool positive = true;
+    for (const CostSample& s : list) positive = positive && get(s) > 0.0;
+    const BilinearInterpolator f(grid_of(get), AxisScale::kLog, AxisScale::kLog,
+                                 positive ? AxisScale::kLog : AxisScale::kLinear);
+    return std::max(0.0, f(problem_size, procs));
+  };
+
+  AnalysisParams out;
+  out.name = kernel;
+  out.ft = interpolate([](const CostSample& s) { return s.costs.ft; });
+  out.it = interpolate([](const CostSample& s) { return s.costs.it; });
+  out.ct = interpolate([](const CostSample& s) { return s.costs.ct; });
+  // ot may be the sentinel -1 (derive from om/bw); interpolate only when all
+  // samples carry an explicit time.
+  bool explicit_ot = true;
+  for (const CostSample& s : list) explicit_ot = explicit_ot && s.costs.ot >= 0.0;
+  out.ot = explicit_ot ? interpolate([](const CostSample& s) { return s.costs.ot; }) : -1.0;
+  out.fm = interpolate([](const CostSample& s) { return s.costs.fm; });
+  out.im = interpolate([](const CostSample& s) { return s.costs.im; });
+  out.cm = interpolate([](const CostSample& s) { return s.costs.cm; });
+  out.om = interpolate([](const CostSample& s) { return s.costs.om; });
+
+  // Nearest sample (log distance) donates the non-interpolable fields.
+  const CostSample* nearest = &list.front();
+  double best = std::numeric_limits<double>::infinity();
+  for (const CostSample& s : list) {
+    const double dx = std::log(s.problem_size / problem_size);
+    const double dy = std::log(s.procs / procs);
+    const double d = dx * dx + dy * dy;
+    if (d < best) {
+      best = d;
+      nearest = &s;
+    }
+  }
+  out.itv = nearest->costs.itv;
+  out.weight = nearest->costs.weight;
+  return out;
+}
+
+}  // namespace insched::scheduler

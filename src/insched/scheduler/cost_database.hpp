@@ -1,0 +1,50 @@
+#pragma once
+
+// Cost database: the bridge between Section 4 (measure kernels at a few
+// scales, interpolate) and Section 3.2 (feed Table-1 parameters to the
+// MILP). Each named kernel stores measured samples of its Table-1 components
+// over (problem size x process count); queries interpolate to any scale and
+// assemble a ready-to-schedule AnalysisParams.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <functional>
+#include <limits>
+
+#include "insched/perfmodel/bilinear.hpp"
+#include "insched/scheduler/params.hpp"
+
+namespace insched::scheduler {
+
+/// One measurement of a kernel's Table-1 components at a given scale.
+struct CostSample {
+  double problem_size = 0.0;  ///< particles, cells, ... (x-variable)
+  double procs = 1.0;         ///< process/thread count (y-variable)
+  AnalysisParams costs;  ///< measured ft/it/ct/ot + fm/im/cm/om
+};
+
+class CostDatabase {
+ public:
+  /// Registers a measurement. Samples for one kernel must eventually cover a
+  /// full rectilinear grid of (problem_size, procs) points.
+  void add_sample(const std::string& kernel, const CostSample& sample);
+
+  [[nodiscard]] bool has_kernel(const std::string& kernel) const;
+  [[nodiscard]] std::vector<std::string> kernels() const;
+  [[nodiscard]] std::size_t sample_count(const std::string& kernel) const;
+
+  /// Interpolated Table-1 parameters at (problem_size, procs). Times and
+  /// memories are interpolated independently (log-log axes, log values for
+  /// strictly positive components, linear otherwise). itv and weight are
+  /// copied from the nearest sample. Throws std::runtime_error when the
+  /// kernel is unknown or its samples do not form a grid.
+  [[nodiscard]] AnalysisParams predict(const std::string& kernel, double problem_size,
+                                       double procs) const;
+
+ private:
+  std::map<std::string, std::vector<CostSample>> samples_;
+};
+
+}  // namespace insched::scheduler

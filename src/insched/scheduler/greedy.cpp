@@ -1,0 +1,100 @@
+#include "insched/scheduler/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "insched/scheduler/placement.hpp"
+#include "insched/support/assert.hpp"
+
+namespace insched::scheduler {
+
+Schedule fixed_frequency(const ScheduleProblem& problem, long interval) {
+  INSCHED_EXPECTS(interval >= 1);
+  PlacementRequest req;
+  const std::size_t n = problem.size();
+  req.analysis_counts.assign(n, 0);
+  req.output_counts.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const long eff = std::max(interval, problem.analyses[i].itv);
+    const long count = problem.steps / eff;
+    req.analysis_counts[i] = count;
+    req.output_counts[i] = problem.output_policy == OutputPolicy::kNone ? 0 : count;
+  }
+  return place(problem, req);
+}
+
+Schedule greedy_schedule(const ScheduleProblem& problem) {
+  problem.validate();
+  const std::size_t n = problem.size();
+  PlacementRequest req;
+  req.analysis_counts.assign(n, 0);
+  req.output_counts.assign(n, 0);
+
+  const double budget = problem.time_budget();
+  double used = 0.0;
+  double mem_used = 0.0;
+  std::vector<bool> active(n, false);
+
+  // Marginal cost of one more analysis step (first step also pays the
+  // activation costs ft + it*Steps).
+  const auto step_cost = [&](std::size_t i, bool first) {
+    const AnalysisParams& p = problem.analyses[i];
+    double cost = p.ct;
+    if (problem.output_policy == OutputPolicy::kEveryAnalysis)
+      cost += problem.output_time(i);
+    if (first) {
+      cost += p.ft + p.it * static_cast<double>(problem.steps);
+      if (problem.output_policy == OutputPolicy::kOptimized)
+        cost += problem.output_time(i);  // the single end-of-run flush
+    }
+    return cost;
+  };
+  // Conservative per-analysis memory footprint once activated (one output at
+  // the end; everything before accumulates).
+  const auto mem_cost = [&](std::size_t i) {
+    const AnalysisParams& p = problem.analyses[i];
+    double peak = p.fm + p.im * static_cast<double>(problem.steps) + p.cm;
+    if (problem.output_policy != OutputPolicy::kNone) peak += p.om;
+    return peak;
+  };
+
+  while (true) {
+    std::size_t best = n;
+    double best_ratio = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (req.analysis_counts[i] >= problem.max_analysis_steps(i)) continue;
+      const bool first = !active[i];
+      const double cost = step_cost(i, first);
+      if (used + cost > budget * (1.0 + 1e-12)) continue;
+      if (first && std::isfinite(problem.mth) && mem_used + mem_cost(i) > problem.mth)
+        continue;
+      // Gain: weight per step, plus the |A| bonus on activation.
+      const double gain = problem.analyses[i].weight + (first ? 1.0 : 0.0);
+      const double ratio = cost > 0.0 ? gain / cost : std::numeric_limits<double>::infinity();
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    const bool first = !active[best];
+    used += step_cost(best, first);
+    if (first) {
+      mem_used += mem_cost(best);
+      active[best] = true;
+    }
+    ++req.analysis_counts[best];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.output_policy == OutputPolicy::kEveryAnalysis) {
+      req.output_counts[i] = req.analysis_counts[i];
+    } else if (problem.output_policy == OutputPolicy::kOptimized) {
+      req.output_counts[i] = req.analysis_counts[i] > 0 ? 1 : 0;  // flush once
+    }
+  }
+  return place(problem, req);
+}
+
+}  // namespace insched::scheduler

@@ -1,0 +1,25 @@
+#pragma once
+
+// Baseline schedulers the optimizer is compared against:
+//  - fixed_frequency: "what scientists do today" (paper Section 1) — every
+//    analysis at one empirically chosen frequency, outputs at every analysis
+//    step, no feasibility reasoning.
+//  - greedy_schedule: marginal-gain knapsack heuristic — repeatedly grant one
+//    more analysis step to the analysis with the best weight/time ratio that
+//    still fits the time budget and the (conservative) memory bound.
+
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+
+namespace insched::scheduler {
+
+/// Every analysis every `interval` steps (clamped to its itv), output at
+/// every analysis step. May violate the problem's budgets — that is the
+/// point of the baseline; validate_schedule() reports by how much.
+[[nodiscard]] Schedule fixed_frequency(const ScheduleProblem& problem, long interval);
+
+/// Greedy weight/cost heuristic; always returns a schedule that satisfies
+/// the time budget and the conservative per-analysis memory bound.
+[[nodiscard]] Schedule greedy_schedule(const ScheduleProblem& problem);
+
+}  // namespace insched::scheduler

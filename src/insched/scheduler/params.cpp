@@ -1,0 +1,55 @@
+#include "insched/scheduler/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+double ScheduleProblem::time_budget() const noexcept {
+  switch (threshold_kind) {
+    case ThresholdKind::kFractionOfSimTime:
+      return threshold * sim_time_per_step * static_cast<double>(steps);
+    case ThresholdKind::kTotalSeconds:
+      return threshold;
+    case ThresholdKind::kPerStepSeconds:
+      return threshold * static_cast<double>(steps);
+  }
+  return 0.0;
+}
+
+long ScheduleProblem::max_analysis_steps(std::size_t i) const {
+  const AnalysisParams& a = analyses.at(i);
+  return steps / a.itv;
+}
+
+double ScheduleProblem::output_time(std::size_t i) const {
+  return analyses.at(i).output_time(bw);
+}
+
+void ScheduleProblem::validate() const {
+  if (steps <= 0) throw std::invalid_argument("ScheduleProblem: steps must be positive");
+  if (threshold < 0.0) throw std::invalid_argument("ScheduleProblem: negative threshold");
+  if (threshold_kind == ThresholdKind::kFractionOfSimTime && sim_time_per_step <= 0.0)
+    throw std::invalid_argument("ScheduleProblem: fraction threshold needs sim_time_per_step");
+  if (mth < 0.0) throw std::invalid_argument("ScheduleProblem: negative memory threshold");
+  for (const AnalysisParams& a : analyses) {
+    if (a.itv < 1)
+      throw std::invalid_argument(format("analysis %s: itv must be >= 1", a.name.c_str()));
+    if (a.itv > steps)
+      throw std::invalid_argument(
+          format("analysis %s: itv %ld exceeds steps %ld", a.name.c_str(), a.itv, steps));
+    if (a.weight < 0.0)
+      throw std::invalid_argument(format("analysis %s: negative weight", a.name.c_str()));
+    if (a.ft < 0.0 || a.it < 0.0 || a.ct < 0.0)
+      throw std::invalid_argument(format("analysis %s: negative time", a.name.c_str()));
+    if (a.fm < 0.0 || a.im < 0.0 || a.cm < 0.0 || a.om < 0.0)
+      throw std::invalid_argument(format("analysis %s: negative memory", a.name.c_str()));
+    if (a.ot < 0.0 && a.om > 0.0 && !(bw > 0.0))
+      throw std::invalid_argument(
+          format("analysis %s: derived output time needs bandwidth", a.name.c_str()));
+  }
+}
+
+}  // namespace insched::scheduler

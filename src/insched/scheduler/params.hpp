@@ -1,0 +1,79 @@
+#pragma once
+
+// Input parameters of the in-situ scheduling problem — a direct encoding of
+// the paper's Table 1. Every time is in seconds, every memory in bytes.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace insched::scheduler {
+
+inline constexpr double kNoLimit = std::numeric_limits<double>::infinity();
+
+/// Per-analysis resource requirements (Table 1, rows ft..itv).
+struct AnalysisParams {
+  std::string name;
+
+  double ft = 0.0;  ///< fixed setup time, paid once at step 0 when active
+  double it = 0.0;  ///< facilitation time paid every simulation step when active
+  double ct = 0.0;  ///< compute time per analysis step
+  double ot = -1.0; ///< output time per output step; negative = derive om/bw
+
+  double fm = 0.0;  ///< fixed memory allocated when active
+  double im = 0.0;  ///< memory allocated every simulation step when active
+  double cm = 0.0;  ///< extra memory allocated at an analysis step
+  double om = 0.0;  ///< extra memory allocated at an output step
+
+  double weight = 1.0;  ///< importance w_i (>= 0)
+  long itv = 1;         ///< minimum interval between analysis steps (>= 1)
+
+  /// Output time: explicit ot when given, otherwise om / bw (Section 3.2).
+  [[nodiscard]] double output_time(double bw) const noexcept {
+    if (ot >= 0.0) return ot;
+    return bw > 0.0 && om > 0.0 ? om / bw : 0.0;
+  }
+};
+
+/// How the user expresses the analysis-time budget.
+enum class ThresholdKind {
+  kFractionOfSimTime,  ///< cth = fraction * simulation time (Table 5, Fig 5)
+  kTotalSeconds,       ///< absolute budget for the whole run (Table 6, 7)
+  kPerStepSeconds,     ///< cth per simulation step (paper's native form)
+};
+
+/// When analyses write their results.
+enum class OutputPolicy {
+  kEveryAnalysis,  ///< each analysis step is followed by an output step
+  kOptimized,      ///< the solver chooses output steps (memory/time trade)
+  kNone,           ///< analyses never write (exploratory steering runs)
+};
+
+/// One full instance of the scheduling problem (Table 1 plus run context).
+struct ScheduleProblem {
+  std::vector<AnalysisParams> analyses;
+
+  long steps = 1000;                 ///< simulation time steps
+  double threshold = 0.1;            ///< meaning depends on threshold_kind
+  ThresholdKind threshold_kind = ThresholdKind::kFractionOfSimTime;
+  double sim_time_per_step = 1.0;    ///< seconds; needed for the fraction form
+  double mth = kNoLimit;             ///< memory available for analyses (bytes)
+  double bw = kNoLimit;              ///< average write bandwidth (bytes/s)
+  OutputPolicy output_policy = OutputPolicy::kEveryAnalysis;
+
+  /// Whole-run analysis-time budget in seconds (cth * Steps).
+  [[nodiscard]] double time_budget() const noexcept;
+
+  /// Max analysis steps for analysis i: floor(Steps / itv_i)  (Eq 9).
+  [[nodiscard]] long max_analysis_steps(std::size_t i) const;
+
+  /// Effective output time for analysis i.
+  [[nodiscard]] double output_time(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return analyses.size(); }
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+}  // namespace insched::scheduler

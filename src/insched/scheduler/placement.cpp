@@ -1,0 +1,63 @@
+#include "insched/scheduler/placement.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::scheduler {
+
+Schedule place(const ScheduleProblem& problem, const PlacementRequest& request) {
+  const std::size_t n = problem.size();
+  INSCHED_EXPECTS(request.analysis_counts.size() == n);
+  INSCHED_EXPECTS(request.output_counts.size() == n);
+
+  std::vector<AnalysisSchedule> placed;
+  placed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnalysisParams& p = problem.analyses[i];
+    const long c = request.analysis_counts[i];
+    const long o = request.output_counts[i];
+    INSCHED_EXPECTS(c >= 0 && c <= problem.max_analysis_steps(i));
+    INSCHED_EXPECTS(o >= 0 && o <= c);
+
+    AnalysisSchedule s;
+    s.name = p.name;
+    if (c > 0) {
+      // Even distribution over the whole horizon: j_k = floor(k*Steps/c).
+      // Consecutive gaps are floor(Steps/c) or ceil(Steps/c), the minimum
+      // gap floor(Steps/c) >= itv (since c <= Steps/itv), the last step is
+      // exactly Steps — no reset-free tail where im could pile up.
+      const long spacing = problem.steps / c;
+      INSCHED_ASSERT(spacing >= p.itv);
+      // Stagger different analyses backwards within the first gap so their
+      // memory peaks (at analysis/output steps) do not all land on the same
+      // simulation step.
+      const long offset = std::min<long>(static_cast<long>(i), spacing - 1);
+      s.analysis_steps.reserve(static_cast<std::size_t>(c));
+      for (long k = 1; k <= c; ++k)
+        s.analysis_steps.push_back(k * problem.steps / c - offset);
+
+      if (o == c) {
+        s.output_steps = s.analysis_steps;  // flush at every analysis step
+      } else if (o > 0) {
+        // Exactly o outputs, spread evenly over the ANALYSIS INDEX space:
+        // the r-th output sits at grid index floor(r*c/o) - 1, ending on the
+        // last analysis step. Index gaps are floor(c/o) or ceil(c/o), so at
+        // most ceil(c/o) analysis steps (each possibly allocating cm)
+        // accumulate between memory resets — the bound the aggregate MILP's
+        // cm term assumes — and the sim-step reset gap stays within
+        // ceil(Steps/o) + floor(Steps/o) (each index gap spans at most
+        // ceil(c/o)*ceil(Steps/c) simulation steps).
+        s.output_steps.reserve(static_cast<std::size_t>(o));
+        for (long r = 1; r <= o; ++r) {
+          const long idx = r * c / o - 1;  // strictly increasing; last = c-1
+          s.output_steps.push_back(s.analysis_steps[static_cast<std::size_t>(idx)]);
+        }
+      }
+    }
+    placed.push_back(std::move(s));
+  }
+  return Schedule(problem.steps, std::move(placed));
+}
+
+}  // namespace insched::scheduler

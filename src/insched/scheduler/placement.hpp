@@ -1,0 +1,26 @@
+#pragma once
+
+// Turns per-analysis counts (|C_i| analysis steps, |O_i| output steps) into a
+// concrete schedule on the timeline: analysis steps are spaced evenly (the
+// paper's recommended frequencies are periodic, e.g. "every 100 steps"),
+// outputs are spread evenly over the analysis steps and always include the
+// last one so memory is flushed near the end of the run. Different analyses
+// are staggered within their slack to avoid coincident memory peaks.
+
+#include <vector>
+
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+
+namespace insched::scheduler {
+
+struct PlacementRequest {
+  std::vector<long> analysis_counts;  ///< desired |C_i| per analysis
+  std::vector<long> output_counts;    ///< desired |O_i| per analysis (<= |C_i|)
+};
+
+/// Places counts onto the timeline. Preconditions: counts within
+/// [0, Steps/itv_i] and output_counts[i] <= analysis_counts[i].
+[[nodiscard]] Schedule place(const ScheduleProblem& problem, const PlacementRequest& request);
+
+}  // namespace insched::scheduler

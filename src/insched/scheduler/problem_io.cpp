@@ -1,0 +1,139 @@
+#include "insched/scheduler/problem_io.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+namespace {
+
+ThresholdKind parse_kind(const std::string& text) {
+  if (text == "fraction" || text == "fraction_of_sim_time") return ThresholdKind::kFractionOfSimTime;
+  if (text == "total" || text == "total_seconds") return ThresholdKind::kTotalSeconds;
+  if (text == "per_step" || text == "per_step_seconds") return ThresholdKind::kPerStepSeconds;
+  throw std::runtime_error("config: unknown threshold_kind '" + text + "'");
+}
+
+const char* kind_name(ThresholdKind kind) {
+  switch (kind) {
+    case ThresholdKind::kFractionOfSimTime: return "fraction";
+    case ThresholdKind::kTotalSeconds: return "total";
+    case ThresholdKind::kPerStepSeconds: return "per_step";
+  }
+  return "fraction";
+}
+
+OutputPolicy parse_policy(const std::string& text) {
+  if (text == "every_analysis") return OutputPolicy::kEveryAnalysis;
+  if (text == "optimized") return OutputPolicy::kOptimized;
+  if (text == "none") return OutputPolicy::kNone;
+  throw std::runtime_error("config: unknown output_policy '" + text + "'");
+}
+
+const char* policy_name(OutputPolicy policy) {
+  switch (policy) {
+    case OutputPolicy::kEveryAnalysis: return "every_analysis";
+    case OutputPolicy::kOptimized: return "optimized";
+    case OutputPolicy::kNone: return "none";
+  }
+  return "every_analysis";
+}
+
+}  // namespace
+
+ScheduleProblem problem_from_config(const Config& config) {
+  const ConfigSection* run = config.section("run");
+  if (run == nullptr) throw std::runtime_error("config: missing [run] section");
+
+  ScheduleProblem problem;
+  problem.steps = run->get_integer("steps", 1000);
+  problem.sim_time_per_step = run->get_number("sim_time_per_step", 1.0);
+  problem.threshold = run->get_number("threshold", 0.1);
+  problem.threshold_kind = parse_kind(run->get_string("threshold_kind", "fraction"));
+  problem.mth = run->has("memory") ? run->get_number("memory", kNoLimit) : kNoLimit;
+  problem.bw = run->has("bandwidth") ? run->get_number("bandwidth", kNoLimit) : kNoLimit;
+  problem.output_policy = parse_policy(run->get_string("output_policy", "every_analysis"));
+
+  const auto analyses = config.sections("analysis");
+  if (analyses.empty()) throw std::runtime_error("config: no [analysis] sections");
+  for (const ConfigSection* section : analyses) {
+    AnalysisParams a;
+    a.name = section->get_string("name");
+    if (a.name.empty())
+      throw std::runtime_error("config: [analysis] section without a name");
+    a.ft = section->get_number("ft", 0.0);
+    a.it = section->get_number("it", 0.0);
+    a.ct = section->get_number("ct", 0.0);
+    a.ot = section->has("ot") ? section->get_number("ot", -1.0) : -1.0;
+    a.fm = section->get_number("fm", 0.0);
+    a.im = section->get_number("im", 0.0);
+    a.cm = section->get_number("cm", 0.0);
+    a.om = section->get_number("om", 0.0);
+    a.weight = section->get_number("weight", 1.0);
+    a.itv = section->get_integer("itv", 1);
+    problem.analyses.push_back(std::move(a));
+  }
+
+  problem.validate();
+  return problem;
+}
+
+ScheduleProblem problem_from_string(const std::string& text) {
+  return problem_from_config(Config::parse(text));
+}
+
+std::string problem_to_config(const ScheduleProblem& problem) {
+  std::string out = "[run]\n";
+  out += format("steps = %ld\n", problem.steps);
+  out += format("sim_time_per_step = %.9g\n", problem.sim_time_per_step);
+  out += format("threshold = %.9g\n", problem.threshold);
+  out += format("threshold_kind = %s\n", kind_name(problem.threshold_kind));
+  if (std::isfinite(problem.mth)) out += format("memory = %.9g\n", problem.mth);
+  if (std::isfinite(problem.bw)) out += format("bandwidth = %.9g\n", problem.bw);
+  out += format("output_policy = %s\n", policy_name(problem.output_policy));
+  for (const AnalysisParams& a : problem.analyses) {
+    out += format("\n[analysis]\nname = %s\n", a.name.c_str());
+    if (a.ft != 0.0) out += format("ft = %.9g\n", a.ft);
+    if (a.it != 0.0) out += format("it = %.9g\n", a.it);
+    if (a.ct != 0.0) out += format("ct = %.9g\n", a.ct);
+    if (a.ot >= 0.0) out += format("ot = %.9g\n", a.ot);
+    if (a.fm != 0.0) out += format("fm = %.9g\n", a.fm);
+    if (a.im != 0.0) out += format("im = %.9g\n", a.im);
+    if (a.cm != 0.0) out += format("cm = %.9g\n", a.cm);
+    if (a.om != 0.0) out += format("om = %.9g\n", a.om);
+    if (a.weight != 1.0) out += format("weight = %.9g\n", a.weight);
+    if (a.itv != 1) out += format("itv = %ld\n", a.itv);
+  }
+  return out;
+}
+
+bool has_staging_section(const Config& config) {
+  return config.section("staging") != nullptr;
+}
+
+CoanalysisProblem coanalysis_from_config(const Config& config) {
+  CoanalysisProblem problem;
+  problem.base = problem_from_config(config);
+
+  const ConfigSection* staging = config.section("staging");
+  if (staging == nullptr)
+    throw std::runtime_error("config: hybrid planning needs a [staging] section");
+  problem.network_bw = staging->get_number("network_bw", kNoLimit);
+  problem.stage_capacity_seconds = staging->get_number("capacity", kNoLimit);
+  problem.stage_memory = staging->get_number("memory", kNoLimit);
+  problem.transfer_overlap = staging->get_number("transfer_overlap", 0.0);
+
+  for (const ConfigSection* section : config.sections("analysis")) {
+    StagingParams remote;
+    remote.transfer_bytes = section->get_number("transfer_bytes", 0.0);
+    remote.stage_ct = section->get_number("stage_ct", 0.0);
+    remote.stage_mem = section->get_number("stage_mem", 0.0);
+    problem.remote.push_back(remote);
+  }
+  problem.validate();
+  return problem;
+}
+
+}  // namespace insched::scheduler

@@ -1,0 +1,63 @@
+#pragma once
+
+// Reads a ScheduleProblem from the INI-style planner config and writes one
+// back (round-trippable). This is the surface the `insched_plan` CLI and
+// batch tooling use:
+//
+//   [run]
+//   steps = 1000
+//   sim_time_per_step = 0.64678 s
+//   threshold = 10 %            ; or "43.5 s" with kind = total
+//   threshold_kind = fraction   ; fraction | total | per_step
+//   memory = 4 TiB
+//   bandwidth = 4.54 GB
+//   output_policy = every_analysis   ; every_analysis | optimized | none
+//
+//   [analysis]
+//   name = msd
+//   ct = 20 s
+//   ot = 5.34 s
+//   ft = 1 s
+//   fm = 2.4 GB
+//   itv = 100
+//   weight = 1
+
+#include <string>
+
+#include "insched/scheduler/coanalysis.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/support/config.hpp"
+
+namespace insched::scheduler {
+
+/// Builds a problem from a parsed config; throws std::runtime_error on
+/// missing/invalid fields (and runs ScheduleProblem::validate()).
+[[nodiscard]] ScheduleProblem problem_from_config(const Config& config);
+
+/// Convenience: parse text then build.
+[[nodiscard]] ScheduleProblem problem_from_string(const std::string& text);
+
+/// Serializes a problem to config text that problem_from_config() accepts.
+[[nodiscard]] std::string problem_to_config(const ScheduleProblem& problem);
+
+/// Builds a hybrid in-situ / in-transit problem. Requires a [staging]
+/// section (network_bw, capacity, memory, optional transfer_overlap) and,
+/// per analysis, optional staging keys (transfer_bytes, stage_ct, stage_mem):
+///
+///   [staging]
+///   network_bw = 16 GB
+///   capacity = 870 s
+///   memory = 1 TiB
+///
+///   [analysis]
+///   name = vorticity
+///   ct = 8.15 s
+///   transfer_bytes = 40 GB
+///   stage_ct = 60 s
+///   stage_mem = 48 GiB
+[[nodiscard]] CoanalysisProblem coanalysis_from_config(const Config& config);
+
+/// True when the config carries a [staging] section.
+[[nodiscard]] bool has_staging_section(const Config& config);
+
+}  // namespace insched::scheduler

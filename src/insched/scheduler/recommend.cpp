@@ -1,0 +1,146 @@
+#include "insched/scheduler/recommend.hpp"
+
+#include <cmath>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+namespace {
+
+double visible_time(const ValidationReport& report) {
+  double total = 0.0;
+  for (const TimeBreakdown& tb : report.breakdown) total += tb.visible();
+  return total;
+}
+
+SweepRow make_row(double value, const ScheduleProblem& problem,
+                  const ScheduleSolution& solution) {
+  SweepRow row;
+  row.threshold_value = value;
+  row.budget_seconds = problem.time_budget();
+  row.frequencies = solution.frequencies;
+  row.analyses_time = visible_time(solution.validation);
+  row.utilization =
+      row.budget_seconds > 0.0 ? row.analyses_time / row.budget_seconds : 0.0;
+  row.solver_seconds = solution.solver_seconds;
+  return row;
+}
+
+}  // namespace
+
+Recommendation recommend(const ScheduleProblem& problem, const SolveOptions& options) {
+  Recommendation rec;
+  rec.solution = solve_schedule(problem, options);
+  if (!rec.solution.solved) {
+    rec.summary = "no feasible in-situ schedule within the given budgets";
+    return rec;
+  }
+  std::string s = format("budget %.2f s, recommended schedule uses %.2f s (%.1f%%)\n",
+                         problem.time_budget(), rec.solution.validation.total_analysis_time,
+                         100.0 * rec.solution.validation.utilization());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const long c = rec.solution.frequencies[i];
+    const long steps_between = c > 0 ? problem.steps / c : 0;
+    s += format("  %-24s x%ld%s", problem.analyses[i].name.c_str(), c,
+                c > 0 ? format(" (every ~%ld steps, %ld outputs)", steps_between,
+                               rec.solution.output_counts[i])
+                            .c_str()
+                      : " (not scheduled)");
+    s += '\n';
+  }
+  rec.summary = std::move(s);
+  return rec;
+}
+
+std::vector<SweepRow> threshold_sweep(ScheduleProblem problem,
+                                      const std::vector<double>& fractions,
+                                      const SolveOptions& options) {
+  problem.threshold_kind = ThresholdKind::kFractionOfSimTime;
+  std::vector<SweepRow> rows;
+  rows.reserve(fractions.size());
+  for (double f : fractions) {
+    problem.threshold = f;
+    const ScheduleSolution sol = solve_schedule(problem, options);
+    rows.push_back(make_row(f, problem, sol));
+  }
+  return rows;
+}
+
+std::vector<SweepRow> total_threshold_sweep(ScheduleProblem problem,
+                                            const std::vector<double>& budgets,
+                                            const SolveOptions& options) {
+  problem.threshold_kind = ThresholdKind::kTotalSeconds;
+  std::vector<SweepRow> rows;
+  rows.reserve(budgets.size());
+  for (double b : budgets) {
+    problem.threshold = b;
+    const ScheduleSolution sol = solve_schedule(problem, options);
+    rows.push_back(make_row(b, problem, sol));
+  }
+  return rows;
+}
+
+std::vector<OutputTradeRow> output_tradeoff(ScheduleProblem problem,
+                                            double sim_output_bytes_per_step, double write_bw,
+                                            long base_output_steps, double base_budget_seconds,
+                                            const std::vector<long>& output_step_choices,
+                                            const SolveOptions& options) {
+  problem.threshold_kind = ThresholdKind::kTotalSeconds;
+  const double per_output_seconds = sim_output_bytes_per_step / write_bw;
+  const double base_output_seconds = per_output_seconds * static_cast<double>(base_output_steps);
+
+  std::vector<OutputTradeRow> rows;
+  rows.reserve(output_step_choices.size());
+  for (long outputs : output_step_choices) {
+    OutputTradeRow row;
+    row.sim_output_steps = outputs;
+    row.output_seconds = per_output_seconds * static_cast<double>(outputs);
+    // Time saved on simulation output is granted to the analyses.
+    row.threshold_seconds = base_budget_seconds + (base_output_seconds - row.output_seconds);
+    problem.threshold = row.threshold_seconds;
+    const ScheduleSolution sol = solve_schedule(problem, options);
+    row.frequencies = sol.frequencies;
+    for (long c : sol.frequencies) row.total_analyses += c;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ScalingRow> strong_scaling(const std::vector<ScalePoint>& scales,
+                                       const SolveOptions& options) {
+  std::vector<ScalingRow> rows;
+  rows.reserve(scales.size());
+  for (const ScalePoint& point : scales) {
+    ScalingRow row;
+    row.processes = point.processes;
+    row.budget_seconds = point.problem.time_budget();
+    const ScheduleSolution sol = solve_schedule(point.problem, options);
+    row.frequencies = sol.frequencies;
+    for (const TimeBreakdown& tb : sol.validation.breakdown)
+      row.per_analysis_seconds.push_back(tb.visible());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ParetoPoint> pareto_frontier(ScheduleProblem problem, double min_budget,
+                                         double max_budget, int samples,
+                                         const SolveOptions& options) {
+  problem.threshold_kind = ThresholdKind::kTotalSeconds;
+  std::vector<ParetoPoint> frontier;
+  if (samples < 2 || !(min_budget > 0.0) || max_budget <= min_budget) return frontier;
+  const double ratio = std::pow(max_budget / min_budget,
+                                1.0 / static_cast<double>(samples - 1));
+  double budget = min_budget;
+  for (int s = 0; s < samples; ++s, budget *= ratio) {
+    problem.threshold = budget;
+    const ScheduleSolution sol = solve_schedule(problem, options);
+    if (!sol.solved) continue;
+    if (!frontier.empty() && sol.objective <= frontier.back().objective + 1e-9) continue;
+    frontier.push_back(ParetoPoint{budget, sol.objective, sol.frequencies});
+  }
+  return frontier;
+}
+
+}  // namespace insched::scheduler

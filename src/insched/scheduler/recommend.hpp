@@ -1,0 +1,92 @@
+#pragma once
+
+// User-facing what-if facade covering the paper's usage scenarios:
+//   - recommend():            one-shot recommendation (Section 3.2 solution)
+//   - threshold_sweep():      threshold as % of simulation time   (Table 5)
+//   - total_threshold_sweep():absolute time budgets               (Table 6)
+//   - output_tradeoff():      simulation-output frequency trade   (Table 7)
+//   - strong_scaling():       moldable-job advisor                (Figure 5)
+
+#include <string>
+#include <vector>
+
+#include "insched/scheduler/solver.hpp"
+
+namespace insched::scheduler {
+
+struct Recommendation {
+  ScheduleSolution solution;
+  std::string summary;  ///< printable multi-line description of the advice
+};
+
+[[nodiscard]] Recommendation recommend(const ScheduleProblem& problem,
+                                       const SolveOptions& options = {});
+
+/// One row of a sweep: the varied budget plus the recommended frequencies.
+struct SweepRow {
+  double threshold_value = 0.0;   ///< fraction or seconds, as given
+  double budget_seconds = 0.0;    ///< resolved absolute budget
+  std::vector<long> frequencies;
+  double analyses_time = 0.0;     ///< visible analysis time of the schedule
+  double utilization = 0.0;       ///< analyses_time / budget ("% within threshold")
+  double solver_seconds = 0.0;
+};
+
+/// Table 5: vary the threshold as a fraction of total simulation time.
+[[nodiscard]] std::vector<SweepRow> threshold_sweep(ScheduleProblem problem,
+                                                    const std::vector<double>& fractions,
+                                                    const SolveOptions& options = {});
+
+/// Table 6: vary an absolute whole-run budget in seconds.
+[[nodiscard]] std::vector<SweepRow> total_threshold_sweep(ScheduleProblem problem,
+                                                          const std::vector<double>& budgets,
+                                                          const SolveOptions& options = {});
+
+/// Table 7: reduce the *simulation* output frequency; the saved I/O time is
+/// granted to the analyses on top of `base_budget_seconds`.
+struct OutputTradeRow {
+  long sim_output_steps = 0;     ///< simulation outputs during the run
+  double output_seconds = 0.0;   ///< time those outputs cost (bytes/bw)
+  double threshold_seconds = 0.0;///< resulting analysis budget
+  long total_analyses = 0;       ///< sum of recommended frequencies
+  std::vector<long> frequencies;
+};
+
+[[nodiscard]] std::vector<OutputTradeRow> output_tradeoff(
+    ScheduleProblem problem, double sim_output_bytes_per_step, double write_bw,
+    long base_output_steps, double base_budget_seconds,
+    const std::vector<long>& output_step_choices, const SolveOptions& options = {});
+
+/// Figure 5: one problem instance per machine scale (strong scaling). Each
+/// entry provides the per-scale simulation time and analysis costs.
+struct ScalePoint {
+  long processes = 0;
+  ScheduleProblem problem;  ///< fully specified at this scale
+};
+
+struct ScalingRow {
+  long processes = 0;
+  std::vector<long> frequencies;
+  std::vector<double> per_analysis_seconds;  ///< visible time per analysis
+  double budget_seconds = 0.0;
+};
+
+[[nodiscard]] std::vector<ScalingRow> strong_scaling(const std::vector<ScalePoint>& scales,
+                                                     const SolveOptions& options = {});
+
+/// Marginal value of overhead: solves across a geometric ladder of budgets
+/// and returns the (budget, objective, frequencies) frontier, deduplicated
+/// to the points where the objective actually changes. Science teams use
+/// this to pick the overhead they are willing to pay.
+struct ParetoPoint {
+  double budget_seconds = 0.0;
+  double objective = 0.0;
+  std::vector<long> frequencies;
+};
+
+[[nodiscard]] std::vector<ParetoPoint> pareto_frontier(ScheduleProblem problem,
+                                                       double min_budget, double max_budget,
+                                                       int samples = 24,
+                                                       const SolveOptions& options = {});
+
+}  // namespace insched::scheduler

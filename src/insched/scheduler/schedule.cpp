@@ -1,0 +1,85 @@
+#include "insched/scheduler/schedule.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+bool AnalysisSchedule::is_analysis_step(long step) const {
+  return std::binary_search(analysis_steps.begin(), analysis_steps.end(), step);
+}
+
+bool AnalysisSchedule::is_output_step(long step) const {
+  return std::binary_search(output_steps.begin(), output_steps.end(), step);
+}
+
+Schedule::Schedule(long steps, std::vector<AnalysisSchedule> analyses)
+    : steps_(steps), analyses_(std::move(analyses)) {
+  INSCHED_EXPECTS(steps_ >= 0);
+  for (const AnalysisSchedule& a : analyses_) {
+    INSCHED_EXPECTS(std::is_sorted(a.analysis_steps.begin(), a.analysis_steps.end()));
+    INSCHED_EXPECTS(std::is_sorted(a.output_steps.begin(), a.output_steps.end()));
+    if (!a.analysis_steps.empty()) {
+      INSCHED_EXPECTS(a.analysis_steps.front() >= 1);
+      INSCHED_EXPECTS(a.analysis_steps.back() <= steps_);
+    }
+    for (long o : a.output_steps) INSCHED_EXPECTS(a.is_analysis_step(o));
+  }
+}
+
+const AnalysisSchedule& Schedule::analysis(std::size_t i) const {
+  INSCHED_EXPECTS(i < analyses_.size());
+  return analyses_[i];
+}
+
+long Schedule::active_count() const noexcept {
+  long active = 0;
+  for (const AnalysisSchedule& a : analyses_)
+    if (a.active()) ++active;
+  return active;
+}
+
+long Schedule::total_analysis_steps() const noexcept {
+  long total = 0;
+  for (const AnalysisSchedule& a : analyses_) total += a.analysis_count();
+  return total;
+}
+
+std::vector<long> Schedule::frequencies() const {
+  std::vector<long> freq;
+  freq.reserve(analyses_.size());
+  for (const AnalysisSchedule& a : analyses_) freq.push_back(a.analysis_count());
+  return freq;
+}
+
+double Schedule::objective(const std::vector<double>& weights) const {
+  INSCHED_EXPECTS(weights.size() == analyses_.size());
+  double value = static_cast<double>(active_count());
+  for (std::size_t i = 0; i < analyses_.size(); ++i)
+    value += weights[i] * static_cast<double>(analyses_[i].analysis_count());
+  return value;
+}
+
+std::string Schedule::render(long max_steps, const std::vector<long>& sim_output_steps) const {
+  std::string out;
+  const long shown = std::min(steps_, max_steps);
+  for (long j = 1; j <= shown; ++j) {
+    out += 'S';
+    if (std::binary_search(sim_output_steps.begin(), sim_output_steps.end(), j)) out += 'o';
+    bool any_analysis = false;
+    bool any_output = false;
+    for (const AnalysisSchedule& a : analyses_) {
+      any_analysis = any_analysis || a.is_analysis_step(j);
+      any_output = any_output || a.is_output_step(j);
+    }
+    if (any_analysis) out += 'A';
+    if (any_output) out += 'O';
+    out += ' ';
+  }
+  if (shown < steps_) out += format("... (%ld more steps)", steps_ - shown);
+  return out;
+}
+
+}  // namespace insched::scheduler

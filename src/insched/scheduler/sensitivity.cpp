@@ -1,0 +1,76 @@
+#include "insched/scheduler/sensitivity.hpp"
+
+#include <cmath>
+
+#include "insched/lp/simplex.hpp"
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/support/assert.hpp"
+
+namespace insched::scheduler {
+
+SensitivityReport analyze_sensitivity(const ScheduleProblem& problem,
+                                      const SensitivityOptions& options) {
+  problem.validate();
+  SensitivityReport report;
+
+  // --- LP relaxation duals ---------------------------------------------
+  const AggregateModel built = build_aggregate_milp(problem);
+  const lp::SimplexResult relaxation = lp::solve_lp(built.model);
+  if (relaxation.optimal()) {
+    for (int i = 0; i < built.model.num_rows(); ++i) {
+      const lp::Row& row = built.model.row(i);
+      if (row.name == "time_budget") {
+        report.time_shadow_price = relaxation.duals[static_cast<std::size_t>(i)];
+        const double activity = built.model.row_activity(i, relaxation.x);
+        report.time_constraint_binding = activity >= row.rhs - 1e-6;
+      } else if (row.name == "memory_budget") {
+        report.memory_shadow_price = relaxation.duals[static_cast<std::size_t>(i)];
+        const double activity = built.model.row_activity(i, relaxation.x);
+        report.memory_constraint_binding = activity >= row.rhs - 1e-6;
+      }
+    }
+  }
+
+  // --- Exact finite differences of the integer optimum --------------------
+  const double budget = problem.time_budget();
+  report.budget_delta_seconds = budget * options.relative_delta;
+
+  const auto solve_at = [&](double scale) {
+    ScheduleProblem scaled = problem;
+    scaled.threshold = problem.threshold * scale;
+    const ScheduleSolution sol = solve_schedule(scaled, options.solve);
+    return sol.solved ? sol.objective : 0.0;
+  };
+  report.objective = solve_at(1.0);
+  report.objective_plus = solve_at(1.0 + options.relative_delta);
+  report.objective_minus = solve_at(1.0 - options.relative_delta);
+
+  // --- Smallest budget increase that buys another analysis step -----------
+  // Doubling search over the extra budget, then refinement by bisection on
+  // the first improving bracket.
+  const double base_objective = report.objective;
+  double lo = 0.0;
+  double hi = -1.0;
+  for (double extra = budget * 0.01; extra <= budget * options.max_extra_fraction;
+       extra *= 2.0) {
+    if (solve_at(1.0 + extra / budget) > base_objective + 1e-9) {
+      hi = extra;
+      break;
+    }
+    lo = extra;
+  }
+  if (hi > 0.0) {
+    for (int iter = 0; iter < 12 && hi - lo > budget * 1e-4; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (solve_at(1.0 + mid / budget) > base_objective + 1e-9) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    report.next_improvement_seconds = hi;
+  }
+  return report;
+}
+
+}  // namespace insched::scheduler

@@ -1,0 +1,43 @@
+#pragma once
+
+// Sensitivity analysis on the scheduling problem: how much would one more
+// second of analysis budget (or one more byte of memory) buy? Computed from
+// the LP relaxation's duals of the aggregate model — the shadow prices the
+// paper's "flexibility to the user" discussion implies — plus finite
+// differences of the integer optimum for the exact marginal counts.
+
+#include <vector>
+
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/solver.hpp"
+
+namespace insched::scheduler {
+
+struct SensitivityReport {
+  // LP shadow prices (relaxation): objective gain per unit of extra budget.
+  double time_shadow_price = 0.0;    ///< per second of analysis budget
+  double memory_shadow_price = 0.0;  ///< per byte of memory budget (0 if slack)
+  bool time_constraint_binding = false;
+  bool memory_constraint_binding = false;
+
+  // Exact finite differences of the integer optimum.
+  double objective = 0.0;            ///< optimum at the given budget
+  double objective_plus = 0.0;       ///< optimum with budget * (1 + delta)
+  double objective_minus = 0.0;      ///< optimum with budget * (1 - delta)
+  double budget_delta_seconds = 0.0; ///< the absolute step used
+
+  /// Smallest extra budget (seconds) that increases the integer optimum, up
+  /// to `max_extra`; negative if no improvement was found in range.
+  double next_improvement_seconds = -1.0;
+};
+
+struct SensitivityOptions {
+  double relative_delta = 0.05;  ///< finite-difference step as budget fraction
+  double max_extra_fraction = 1.0;  ///< search range for next_improvement
+  SolveOptions solve;
+};
+
+[[nodiscard]] SensitivityReport analyze_sensitivity(const ScheduleProblem& problem,
+                                                    const SensitivityOptions& options = {});
+
+}  // namespace insched::scheduler

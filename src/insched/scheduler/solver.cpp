@@ -1,0 +1,157 @@
+#include "insched/scheduler/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/placement.hpp"
+#include "insched/scheduler/timeexp_milp.hpp"
+#include "insched/support/assert.hpp"
+#include "insched/support/log.hpp"
+
+namespace insched::scheduler {
+
+namespace {
+
+std::vector<double> weights_of(const ScheduleProblem& problem) {
+  std::vector<double> w;
+  w.reserve(problem.size());
+  for (const AnalysisParams& a : problem.analyses) w.push_back(a.weight);
+  return w;
+}
+
+ScheduleSolution solve_aggregate(const ScheduleProblem& problem, const SolveOptions& options,
+                                 const std::vector<std::optional<long>>& fixed_counts = {}) {
+  ScheduleSolution out;
+  const AggregateModel built = build_aggregate_milp(problem, fixed_counts);
+  const mip::MipResult res = mip::solve_mip(built.model, options.mip);
+  out.status = res.status;
+  out.solver_seconds = res.solve_seconds;
+  out.nodes = res.nodes;
+  if (!res.has_solution) return out;
+
+  const AggregateCounts counts = decode_aggregate(built, res.x);
+  out.schedule = place(problem, PlacementRequest{counts.analysis_counts, counts.output_counts});
+  out.frequencies = counts.analysis_counts;
+  out.output_counts = counts.output_counts;
+  out.objective = out.schedule.objective(weights_of(problem));
+  out.solved = true;
+  out.proven_optimal = res.optimal();
+  return out;
+}
+
+ScheduleSolution solve_time_expanded(const ScheduleProblem& problem,
+                                     const SolveOptions& options) {
+  ScheduleSolution out;
+  const TimeExpandedModel built = build_time_expanded_milp(problem);
+  const mip::MipResult res = mip::solve_mip(built.model, options.mip);
+  out.status = res.status;
+  out.solver_seconds = res.solve_seconds;
+  out.nodes = res.nodes;
+  if (!res.has_solution) return out;
+
+  out.schedule = decode_time_expanded(problem, built, res.x);
+  out.frequencies = out.schedule.frequencies();
+  out.output_counts.clear();
+  for (const AnalysisSchedule& a : out.schedule.analyses())
+    out.output_counts.push_back(a.output_count());
+  out.objective = out.schedule.objective(weights_of(problem));
+  out.solved = true;
+  out.proven_optimal = res.optimal();
+  return out;
+}
+
+// Strict-priority solve: analyses are grouped into tiers by descending
+// weight; each tier is maximized (|A_tier| + sum |C_i| over the tier) with
+// all higher tiers' counts frozen and all lower tiers disabled, so a
+// higher-priority analysis never gives up budget for a lower-priority one.
+ScheduleSolution solve_lexicographic(const ScheduleProblem& problem,
+                                     const SolveOptions& options) {
+  if (problem.analyses.empty()) return solve_aggregate(problem, options);
+  // Distinct weights, descending.
+  std::vector<double> tiers;
+  for (const AnalysisParams& a : problem.analyses) tiers.push_back(a.weight);
+  std::sort(tiers.begin(), tiers.end(), std::greater<>());
+  tiers.erase(std::unique(tiers.begin(), tiers.end()), tiers.end());
+
+  std::vector<std::optional<long>> fixed(problem.size());
+  ScheduleSolution last;
+  double total_seconds = 0.0;
+  long total_nodes = 0;
+  for (double tier : tiers) {
+    // Sub-problem: current-tier analyses carry unit weight; lower tiers are
+    // disabled (count pinned to 0 unless already fixed).
+    ScheduleProblem sub = problem;
+    std::vector<std::optional<long>> sub_fixed = fixed;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (fixed[i].has_value()) continue;
+      if (problem.analyses[i].weight == tier) {
+        sub.analyses[i].weight = 1.0;
+      } else {
+        sub_fixed[i] = 0;  // lower tier: excluded from this pass
+      }
+    }
+    last = solve_aggregate(sub, options, sub_fixed);
+    total_seconds += last.solver_seconds;
+    total_nodes += last.nodes;
+    if (!last.solved) {
+      last.solver_seconds = total_seconds;
+      return last;
+    }
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (!fixed[i].has_value() && problem.analyses[i].weight == tier)
+        fixed[i] = last.frequencies[i];
+    }
+  }
+  last.solver_seconds = total_seconds;
+  last.nodes = total_nodes;
+  // Report the objective in the paper's Eq-1 form for comparability.
+  std::vector<double> w = weights_of(problem);
+  last.objective = last.schedule.objective(w);
+  return last;
+}
+
+}  // namespace
+
+ScheduleSolution solve_schedule(const ScheduleProblem& problem, const SolveOptions& options) {
+  problem.validate();
+  ScheduleSolution out;
+  if (options.formulation == Formulation::kAggregate) {
+    out = options.weight_mode == WeightMode::kLexicographic
+              ? solve_lexicographic(problem, options)
+              : solve_aggregate(problem, options);
+  } else {
+    out = solve_time_expanded(problem, options);
+  }
+  if (out.solved && options.run_validation) {
+    out.validation = validate_schedule(problem, out.schedule);
+    // The aggregate memory bound is conservative against placement's gap
+    // guarantee, so validation normally passes. If an edge case slips
+    // through (e.g. an exotic grid/output interaction), re-solve with a
+    // tightened memory budget until the exact recurrence accepts the
+    // schedule, rather than returning an infeasible plan.
+    ScheduleProblem tightened = problem;
+    for (int attempt = 0; !out.validation.feasible && attempt < 4; ++attempt) {
+      bool memory_violation = false;
+      for (const std::string& v : out.validation.violations) {
+        INSCHED_LOG_WARN("schedule validation: %s", v.c_str());
+        memory_violation = memory_violation || v.find("memory") != std::string::npos;
+      }
+      if (!memory_violation || !std::isfinite(problem.mth)) break;
+      tightened.mth *= 0.9;
+      out = options.formulation == Formulation::kAggregate
+                ? (options.weight_mode == WeightMode::kLexicographic
+                       ? solve_lexicographic(tightened, options)
+                       : solve_aggregate(tightened, options))
+                : solve_time_expanded(tightened, options);
+      if (!out.solved) break;
+      out.validation = validate_schedule(problem, out.schedule);
+    }
+    INSCHED_ASSERT(!out.solved || out.validation.feasible);
+  }
+  return out;
+}
+
+}  // namespace insched::scheduler

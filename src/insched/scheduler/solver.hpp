@@ -1,0 +1,52 @@
+#pragma once
+
+// InsituScheduler — the library's main entry point. Builds the MILP for a
+// ScheduleProblem (aggregate by default, time-expanded on request), solves it
+// with the branch-and-bound engine, places the recommended counts on the
+// timeline, and validates the resulting schedule against the exact Eqs 2-9.
+
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+#include "insched/scheduler/validator.hpp"
+
+namespace insched::scheduler {
+
+enum class Formulation {
+  kAggregate,     ///< count-based (default; scales to Steps = 10^3 and beyond)
+  kTimeExpanded,  ///< the paper's per-step 0-1 program (exact oracle, small Steps)
+};
+
+/// How importance weights enter the optimization (the paper says "a higher
+/// weight implies more importance"; both readings are provided):
+enum class WeightMode {
+  kWeightedSum,    ///< Eq 1 verbatim: maximize |A| + sum w_i |C_i|
+  kLexicographic,  ///< strict priority tiers by descending weight: maximize
+                   ///< higher-weight analyses first, then lower tiers with
+                   ///< the leftover budget (reproduces Table 8's behaviour)
+};
+
+struct SolveOptions {
+  Formulation formulation = Formulation::kAggregate;
+  WeightMode weight_mode = WeightMode::kWeightedSum;
+  mip::MipOptions mip;
+  bool run_validation = true;
+};
+
+struct ScheduleSolution {
+  bool solved = false;       ///< a feasible schedule was found
+  bool proven_optimal = false;
+  Schedule schedule;
+  std::vector<long> frequencies;    ///< |C_i| per analysis (paper-table rows)
+  std::vector<long> output_counts;  ///< |O_i| per analysis
+  double objective = 0.0;           ///< |A| + sum w_i |C_i|
+  double solver_seconds = 0.0;
+  long nodes = 0;
+  ValidationReport validation;      ///< filled when run_validation
+  lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+};
+
+[[nodiscard]] ScheduleSolution solve_schedule(const ScheduleProblem& problem,
+                                              const SolveOptions& options = {});
+
+}  // namespace insched::scheduler

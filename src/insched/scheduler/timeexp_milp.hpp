@@ -1,0 +1,41 @@
+#pragma once
+
+// Time-expanded MILP — the paper's formulation (Section 3.2) verbatim: one
+// 0-1 variable analysis_{i,j} and output_{i,j} per analysis and simulation
+// step, continuous mStart/mEnd memory recurrences (Eqs 5-7) linearized with
+// big-M rows around the output indicator, the cumulative time constraint
+// (Eqs 2-4) collapsed to its equivalent single linear row, and the interval
+// rule enforced by sliding-window rows ("running total" in the paper).
+//
+// Exact but large: O(|A| * Steps) binaries. Use for small horizons and as a
+// correctness oracle for the aggregate formulation (tests cross-validate
+// their optimal objectives).
+
+#include "insched/lp/model.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+
+namespace insched::scheduler {
+
+struct TimeExpandedVarMap {
+  std::vector<int> active;                    ///< a_i
+  std::vector<std::vector<int>> analysis;     ///< analysis_{i,j}, j = 1..Steps
+  std::vector<std::vector<int>> output;       ///< output_{i,j}; empty under kEveryAnalysis/kNone
+  std::vector<std::vector<int>> mem_start;    ///< mStart_{i,j}; empty when mth unbounded
+  std::vector<std::vector<int>> mem_end;      ///< mEnd_{i,j}
+};
+
+struct TimeExpandedModel {
+  lp::Model model;
+  TimeExpandedVarMap vars;
+  OutputPolicy policy = OutputPolicy::kEveryAnalysis;
+};
+
+[[nodiscard]] TimeExpandedModel build_time_expanded_milp(const ScheduleProblem& problem);
+
+/// Reads a concrete schedule out of a solution vector.
+[[nodiscard]] Schedule decode_time_expanded(const ScheduleProblem& problem,
+                                            const TimeExpandedModel& built,
+                                            const std::vector<double>& x);
+
+}  // namespace insched::scheduler

@@ -1,0 +1,142 @@
+#include "insched/scheduler/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::scheduler {
+
+namespace {
+// Relative slack applied to budget comparisons so that schedules sitting
+// exactly on the budget (the optimum frequently does) are not rejected for
+// floating-point crumbs.
+constexpr double kRelTol = 1e-9;
+}  // namespace
+
+ValidationReport validate_schedule(const ScheduleProblem& problem, const Schedule& schedule) {
+  problem.validate();
+  ValidationReport report;
+  report.time_budget = problem.time_budget();
+  report.memory_budget = problem.mth;
+
+  if (schedule.size() != problem.size()) {
+    report.violations.push_back(
+        format("schedule has %zu analyses, problem has %zu", schedule.size(), problem.size()));
+    return report;
+  }
+  if (schedule.steps() != problem.steps) {
+    report.violations.push_back(format("schedule covers %ld steps, problem has %ld",
+                                       schedule.steps(), problem.steps));
+    return report;
+  }
+
+  const long steps = problem.steps;
+  const std::size_t n = problem.size();
+
+  // --- Structural checks: O_i subset of C_i, interval rule (Eq 9) ---------
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnalysisParams& p = problem.analyses[i];
+    const AnalysisSchedule& s = schedule.analysis(i);
+    for (long o : s.output_steps) {
+      if (!s.is_analysis_step(o))
+        report.violations.push_back(
+            format("%s: output step %ld is not an analysis step", p.name.c_str(), o));
+    }
+    if (problem.output_policy == OutputPolicy::kEveryAnalysis &&
+        s.output_count() != s.analysis_count()) {
+      report.violations.push_back(format("%s: policy requires output at every analysis step",
+                                         p.name.c_str()));
+    }
+    if (problem.output_policy == OutputPolicy::kNone && s.output_count() != 0) {
+      report.violations.push_back(format("%s: policy forbids outputs", p.name.c_str()));
+    }
+    if (s.analysis_count() > problem.max_analysis_steps(i)) {
+      report.violations.push_back(format("%s: %ld analysis steps exceed Steps/itv = %ld",
+                                         p.name.c_str(), s.analysis_count(),
+                                         problem.max_analysis_steps(i)));
+    }
+    for (std::size_t k = 1; k < s.analysis_steps.size(); ++k) {
+      const long gap = s.analysis_steps[k] - s.analysis_steps[k - 1];
+      if (gap < p.itv) {
+        report.violations.push_back(format("%s: gap %ld between steps %ld and %ld below itv %ld",
+                                           p.name.c_str(), gap, s.analysis_steps[k - 1],
+                                           s.analysis_steps[k], p.itv));
+      }
+    }
+  }
+
+  // --- Time recurrence (Eqs 2-4) ------------------------------------------
+  report.breakdown.reserve(n);
+  double total_time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnalysisParams& p = problem.analyses[i];
+    const AnalysisSchedule& s = schedule.analysis(i);
+    TimeBreakdown tb;
+    tb.name = p.name;
+    if (s.active()) {
+      tb.setup = p.ft;                                      // Eq 3
+      tb.per_step = p.it * static_cast<double>(steps);      // it every step
+      tb.compute = p.ct * static_cast<double>(s.analysis_count());
+      tb.output = problem.output_time(i) * static_cast<double>(s.output_count());
+    }
+    total_time += tb.total();
+    report.breakdown.push_back(std::move(tb));
+  }
+  report.total_analysis_time = total_time;
+  if (total_time > report.time_budget * (1.0 + kRelTol) + 1e-9) {
+    report.violations.push_back(format("total analysis time %.6f exceeds budget %.6f",
+                                       total_time, report.time_budget));
+  }
+
+  // --- Memory recurrence (Eqs 5-8), walked step by step -------------------
+  // mEnd_{i,0} = fm_i; at each step j: mStart = mEnd + im + cm[j in C] +
+  // om[j in O]; mEnd = fm at output steps, else mStart.
+  std::vector<double> mem_end(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (schedule.analysis(i).active()) mem_end[i] = problem.analyses[i].fm;
+
+  double peak = 0.0;
+  long peak_step = 0;
+  // Track per-analysis positions in their sorted step lists for O(1) checks.
+  std::vector<std::size_t> next_a(n, 0), next_o(n, 0);
+  for (long j = 1; j <= steps; ++j) {
+    double total_start = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AnalysisSchedule& s = schedule.analysis(i);
+      if (!s.active()) continue;
+      const AnalysisParams& p = problem.analyses[i];
+      const bool is_analysis =
+          next_a[i] < s.analysis_steps.size() && s.analysis_steps[next_a[i]] == j;
+      const bool is_output =
+          next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == j;
+      double m_start = mem_end[i] + p.im;
+      if (is_analysis) {
+        m_start += p.cm;
+        ++next_a[i];
+      }
+      if (is_output) {
+        m_start += p.om;
+        ++next_o[i];
+      }
+      total_start += m_start;
+      mem_end[i] = is_output ? p.fm : m_start;  // Eq 6
+    }
+    if (total_start > peak) {
+      peak = total_start;
+      peak_step = j;
+    }
+  }
+  report.peak_memory = peak;
+  report.peak_memory_step = peak_step;
+  if (std::isfinite(problem.mth) && peak > problem.mth * (1.0 + kRelTol) + 1e-6) {
+    report.violations.push_back(format("peak memory %.0f at step %ld exceeds mth %.0f", peak,
+                                       peak_step, problem.mth));
+  }
+
+  report.feasible = report.violations.empty();
+  return report;
+}
+
+}  // namespace insched::scheduler

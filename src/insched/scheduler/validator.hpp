@@ -1,0 +1,52 @@
+#pragma once
+
+// Exact replay of the paper's constraints (Eqs 2-9) for a concrete schedule.
+// This is the ground truth the MILP formulations and the runtime are tested
+// against: it walks every simulation step and evaluates the tAnalyze and
+// mStart/mEnd recurrences literally.
+
+#include <string>
+#include <vector>
+
+#include "insched/scheduler/params.hpp"
+#include "insched/scheduler/schedule.hpp"
+
+namespace insched::scheduler {
+
+/// Per-analysis cumulative time breakdown (tAnalyze_{i,Steps} decomposed).
+struct TimeBreakdown {
+  std::string name;
+  double setup = 0.0;     ///< ft (once, when active)
+  double per_step = 0.0;  ///< it * Steps (when active)
+  double compute = 0.0;   ///< ct * |C_i|
+  double output = 0.0;    ///< ot * |O_i|
+  [[nodiscard]] double total() const noexcept { return setup + per_step + compute + output; }
+  /// The part a user observes as "analysis time" in the paper's tables
+  /// (compute + output, excluding one-time setup and facilitation).
+  [[nodiscard]] double visible() const noexcept { return compute + output; }
+};
+
+struct ValidationReport {
+  bool feasible = false;
+  std::vector<std::string> violations;
+
+  double total_analysis_time = 0.0;  ///< sum_i tAnalyze_{i,Steps}   (Eq 4 LHS)
+  double time_budget = 0.0;          ///< cth * Steps                (Eq 4 RHS)
+  double peak_memory = 0.0;          ///< max_j sum_i mStart_{i,j}   (Eq 8 LHS)
+  long peak_memory_step = 0;
+  double memory_budget = 0.0;        ///< mth
+  std::vector<TimeBreakdown> breakdown;
+
+  /// Fraction of the allowed analysis time actually used ("% within
+  /// threshold" in Tables 5 and 6).
+  [[nodiscard]] double utilization() const noexcept {
+    return time_budget > 0.0 ? total_analysis_time / time_budget : 0.0;
+  }
+};
+
+/// Validates `schedule` against `problem`. The report is returned even when
+/// infeasible; `violations` lists each violated constraint with context.
+[[nodiscard]] ValidationReport validate_schedule(const ScheduleProblem& problem,
+                                                 const Schedule& schedule);
+
+}  // namespace insched::scheduler

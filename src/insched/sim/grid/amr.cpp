@@ -1,0 +1,106 @@
+#include "insched/sim/grid/amr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+AmrMesh::AmrMesh(const Field3D& density, const GridGeometry& geometry, AmrConfig config)
+    : config_(config) {
+  INSCHED_EXPECTS(config_.cells_per_block >= 2);
+  INSCHED_EXPECTS(geometry.n == density.nx());
+  INSCHED_EXPECTS(geometry.n % config_.cells_per_block == 0);
+  nb_axis_ = geometry.n / config_.cells_per_block;
+  refined_.assign(nb_axis_ * nb_axis_ * nb_axis_, false);
+
+  const std::size_t nb = config_.cells_per_block;
+  const std::size_t n = geometry.n;
+
+  // Refinement criterion per block: max relative density jump between
+  // neighboring cells (|drho| / rho), the standard FLASH-style indicator.
+  for (std::size_t bz = 0; bz < nb_axis_; ++bz)
+    for (std::size_t by = 0; by < nb_axis_; ++by)
+      for (std::size_t bx = 0; bx < nb_axis_; ++bx) {
+        double worst = 0.0;
+        for (std::size_t k = bz * nb; k < (bz + 1) * nb; ++k)
+          for (std::size_t j = by * nb; j < (by + 1) * nb; ++j)
+            for (std::size_t i = bx * nb; i < (bx + 1) * nb; ++i) {
+              const double rho = density.at(i, j, k);
+              if (rho <= 0.0) continue;
+              const double dxp = density.at((i + 1) % n, j, k) - rho;
+              const double dyp = density.at(i, (j + 1) % n, k) - rho;
+              const double dzp = density.at(i, j, (k + 1) % n) - rho;
+              const double jump =
+                  std::max({std::fabs(dxp), std::fabs(dyp), std::fabs(dzp)}) / rho;
+              worst = std::max(worst, jump);
+            }
+        refined_[(bz * nb_axis_ + by) * nb_axis_ + bx] = worst >= config_.refine_threshold;
+      }
+}
+
+bool AmrMesh::is_refined(std::size_t bx, std::size_t by, std::size_t bz) const {
+  INSCHED_EXPECTS(bx < nb_axis_ && by < nb_axis_ && bz < nb_axis_);
+  return refined_[(bz * nb_axis_ + by) * nb_axis_ + bx];
+}
+
+std::size_t AmrMesh::coarse_blocks() const noexcept {
+  std::size_t count = 0;
+  for (bool r : refined_)
+    if (!r) ++count;
+  return count;
+}
+
+std::size_t AmrMesh::refined_blocks() const noexcept {
+  std::size_t count = 0;
+  for (bool r : refined_)
+    if (r) count += 8;  // each refined block is replaced by 8 children
+  return count;
+}
+
+std::size_t AmrMesh::leaf_cells() const noexcept {
+  const std::size_t per_block =
+      config_.cells_per_block * config_.cells_per_block * config_.cells_per_block;
+  return coarse_blocks() * per_block + refined_blocks() * per_block;
+}
+
+double AmrMesh::checkpoint_bytes() const noexcept {
+  return static_cast<double>(leaf_cells()) *
+         static_cast<double>(config_.variables_per_cell) * sizeof(double);
+}
+
+double AmrMesh::compression_ratio() const noexcept {
+  // Everything-at-fine-resolution cells: 8 x the level-0 cell count.
+  const std::size_t per_block =
+      config_.cells_per_block * config_.cells_per_block * config_.cells_per_block;
+  const std::size_t full_fine = refined_.size() * per_block * 8;
+  return leaf_cells() > 0 ? static_cast<double>(full_fine) /
+                                static_cast<double>(leaf_cells())
+                          : 1.0;
+}
+
+Field3D AmrMesh::restrict_field(const Field3D& fine) {
+  INSCHED_EXPECTS(fine.nx() % 2 == 0 && fine.ny() % 2 == 0 && fine.nz() % 2 == 0);
+  Field3D coarse(fine.nx() / 2, fine.ny() / 2, fine.nz() / 2);
+  for (std::size_t k = 0; k < coarse.nz(); ++k)
+    for (std::size_t j = 0; j < coarse.ny(); ++j)
+      for (std::size_t i = 0; i < coarse.nx(); ++i) {
+        double sum = 0.0;
+        for (int c = 0; c < 8; ++c)
+          sum += fine.at(2 * i + (c & 1), 2 * j + ((c >> 1) & 1), 2 * k + ((c >> 2) & 1));
+        coarse.at(i, j, k) = sum / 8.0;  // volume-weighted (equal volumes)
+      }
+  return coarse;
+}
+
+Field3D AmrMesh::prolong_field(const Field3D& coarse) {
+  Field3D fine(coarse.nx() * 2, coarse.ny() * 2, coarse.nz() * 2);
+  for (std::size_t k = 0; k < fine.nz(); ++k)
+    for (std::size_t j = 0; j < fine.ny(); ++j)
+      for (std::size_t i = 0; i < fine.nx(); ++i)
+        fine.at(i, j, k) = coarse.at(i / 2, j / 2, k / 2);
+  return fine;
+}
+
+}  // namespace insched::sim

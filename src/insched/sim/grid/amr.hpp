@@ -1,0 +1,76 @@
+#pragma once
+
+// Block-structured AMR mesh (PARAMESH-style, as used by FLASH): the domain
+// is tiled with nb^3-cell blocks (FLASH runs 16^3); blocks whose solution is
+// "interesting" (large density gradient) are refined into 8 children at twice
+// the resolution. This module builds the block hierarchy from a uniform
+// solution, provides conservative restriction / prolongation between levels,
+// and reports the AMR-compressed storage footprint — which is what couples
+// the mesh to the *scheduling* problem: a FLASH checkpoint's size (om, ot)
+// tracks the refined block count, which changes as features (the Sedov
+// shock) evolve.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "insched/sim/grid/grid3d.hpp"
+
+namespace insched::sim {
+
+struct AmrBlockId {
+  int level = 0;                    ///< 0 = coarse, 1 = refined
+  std::array<std::size_t, 3> pos;   ///< block coordinates at its level
+};
+
+struct AmrConfig {
+  std::size_t cells_per_block = 16;   ///< FLASH default: 16^3 cells per block
+  double refine_threshold = 0.2;      ///< max |grad rho| * dx / rho to refine
+  double derefine_threshold = 0.05;   ///< below this a refined block coarsens
+  int variables_per_cell = 10;        ///< FLASH: 10 mesh variables
+};
+
+class AmrMesh {
+ public:
+  /// Builds the hierarchy for a uniform field whose extent is a multiple of
+  /// cells_per_block. Refinement decisions use the relative density
+  /// gradient within each block.
+  AmrMesh(const Field3D& density, const GridGeometry& geometry, AmrConfig config);
+
+  /// Blocks per axis at level 0.
+  [[nodiscard]] std::size_t blocks_per_axis() const noexcept { return nb_axis_; }
+  [[nodiscard]] std::size_t coarse_blocks() const noexcept;   ///< unrefined level-0 blocks
+  [[nodiscard]] std::size_t refined_blocks() const noexcept;  ///< level-1 child blocks
+  [[nodiscard]] std::size_t leaf_blocks() const noexcept {
+    return coarse_blocks() + refined_blocks();
+  }
+  [[nodiscard]] bool is_refined(std::size_t bx, std::size_t by, std::size_t bz) const;
+
+  /// Total cells stored by the AMR representation (leaves only).
+  [[nodiscard]] std::size_t leaf_cells() const noexcept;
+
+  /// Checkpoint bytes of this mesh (leaf cells x variables x 8 bytes) —
+  /// the om/output-size model for a FLASH-like code.
+  [[nodiscard]] double checkpoint_bytes() const noexcept;
+
+  /// Compression vs. storing everything at the fine resolution.
+  [[nodiscard]] double compression_ratio() const noexcept;
+
+  [[nodiscard]] const AmrConfig& config() const noexcept { return config_; }
+
+  // --- Level transfer operators -------------------------------------------
+  /// Conservative restriction: averages 2x2x2 fine cells onto one coarse
+  /// cell. Output extent is half the input per axis (input extents even).
+  [[nodiscard]] static Field3D restrict_field(const Field3D& fine);
+
+  /// Piecewise-constant prolongation: injects each coarse cell into its
+  /// 2x2x2 fine children. Exact adjoint of restrict_field.
+  [[nodiscard]] static Field3D prolong_field(const Field3D& coarse);
+
+ private:
+  AmrConfig config_;
+  std::size_t nb_axis_ = 0;
+  std::vector<bool> refined_;  ///< per level-0 block
+};
+
+}  // namespace insched::sim

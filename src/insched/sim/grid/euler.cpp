@@ -1,0 +1,206 @@
+#include "insched/sim/grid/euler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::sim {
+
+namespace {
+
+/// Conserved state vector of one cell.
+struct Conserved {
+  double rho, mx, my, mz, e;
+};
+
+struct FluxVec {
+  double rho, mx, my, mz, e;
+};
+
+}  // namespace
+
+EulerSolver::EulerSolver(GridGeometry geometry, EulerParams params)
+    : geometry_(geometry),
+      params_(params),
+      rho_(geometry.n, geometry.n, geometry.n, 1.0),
+      mx_(geometry.n, geometry.n, geometry.n, 0.0),
+      my_(geometry.n, geometry.n, geometry.n, 0.0),
+      mz_(geometry.n, geometry.n, geometry.n, 0.0),
+      e_(geometry.n, geometry.n, geometry.n, 1.0) {
+  INSCHED_EXPECTS(geometry.n >= 2);
+  INSCHED_EXPECTS(params.gamma > 1.0);
+}
+
+void EulerSolver::set_cell(std::size_t i, std::size_t j, std::size_t k,
+                           const Primitive& prim) {
+  INSCHED_EXPECTS(prim.rho > 0.0 && prim.p > 0.0);
+  rho_.at(i, j, k) = prim.rho;
+  mx_.at(i, j, k) = prim.rho * prim.u;
+  my_.at(i, j, k) = prim.rho * prim.v;
+  mz_.at(i, j, k) = prim.rho * prim.w;
+  const double kinetic = 0.5 * prim.rho * (prim.u * prim.u + prim.v * prim.v + prim.w * prim.w);
+  e_.at(i, j, k) = prim.p / (params_.gamma - 1.0) + kinetic;
+}
+
+Primitive EulerSolver::cell(std::size_t i, std::size_t j, std::size_t k) const {
+  Primitive prim;
+  prim.rho = std::max(rho_.at(i, j, k), params_.density_floor);
+  prim.u = mx_.at(i, j, k) / prim.rho;
+  prim.v = my_.at(i, j, k) / prim.rho;
+  prim.w = mz_.at(i, j, k) / prim.rho;
+  const double kinetic = 0.5 * prim.rho * (prim.u * prim.u + prim.v * prim.v + prim.w * prim.w);
+  prim.p = std::max((params_.gamma - 1.0) * (e_.at(i, j, k) - kinetic), params_.pressure_floor);
+  return prim;
+}
+
+double EulerSolver::max_wave_speed() const {
+  const std::size_t n = geometry_.n;
+  double max_speed = 1e-12;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const Primitive prim = cell(i, j, k);
+        const double c = std::sqrt(params_.gamma * prim.p / prim.rho);
+        const double speed =
+            std::max({std::fabs(prim.u), std::fabs(prim.v), std::fabs(prim.w)}) + c;
+        max_speed = std::max(max_speed, speed);
+      }
+  return max_speed;
+}
+
+void EulerSolver::flux_update(double dt) {
+  const std::size_t n = geometry_.n;
+  const double dx = geometry_.dx();
+  const double lambda = dt / dx;
+  const double gamma = params_.gamma;
+
+  // Rusanov flux through the face between left and right states along `axis`.
+  const auto rusanov = [&](const Conserved& left, const Conserved& right,
+                           int axis) -> FluxVec {
+    const auto primitive = [&](const Conserved& c) {
+      Primitive p;
+      p.rho = std::max(c.rho, params_.density_floor);
+      p.u = c.mx / p.rho;
+      p.v = c.my / p.rho;
+      p.w = c.mz / p.rho;
+      const double kin = 0.5 * p.rho * (p.u * p.u + p.v * p.v + p.w * p.w);
+      p.p = std::max((gamma - 1.0) * (c.e - kin), params_.pressure_floor);
+      return p;
+    };
+    const auto physical_flux = [&](const Conserved& c, const Primitive& p) -> FluxVec {
+      const double vel = axis == 0 ? p.u : (axis == 1 ? p.v : p.w);
+      FluxVec f;
+      f.rho = c.rho * vel;
+      f.mx = c.mx * vel + (axis == 0 ? p.p : 0.0);
+      f.my = c.my * vel + (axis == 1 ? p.p : 0.0);
+      f.mz = c.mz * vel + (axis == 2 ? p.p : 0.0);
+      f.e = (c.e + p.p) * vel;
+      return f;
+    };
+    const Primitive pl = primitive(left);
+    const Primitive pr = primitive(right);
+    const FluxVec fl = physical_flux(left, pl);
+    const FluxVec fr = physical_flux(right, pr);
+    const double vl = axis == 0 ? pl.u : (axis == 1 ? pl.v : pl.w);
+    const double vr = axis == 0 ? pr.u : (axis == 1 ? pr.v : pr.w);
+    const double cl = std::sqrt(gamma * pl.p / pl.rho);
+    const double cr = std::sqrt(gamma * pr.p / pr.rho);
+    const double s = std::max(std::fabs(vl) + cl, std::fabs(vr) + cr);
+    return FluxVec{0.5 * (fl.rho + fr.rho) - 0.5 * s * (right.rho - left.rho),
+                   0.5 * (fl.mx + fr.mx) - 0.5 * s * (right.mx - left.mx),
+                   0.5 * (fl.my + fr.my) - 0.5 * s * (right.my - left.my),
+                   0.5 * (fl.mz + fr.mz) - 0.5 * s * (right.mz - left.mz),
+                   0.5 * (fl.e + fr.e) - 0.5 * s * (right.e - left.e)};
+  };
+
+  const auto load = [&](std::size_t i, std::size_t j, std::size_t k) -> Conserved {
+    return Conserved{rho_.at(i, j, k), mx_.at(i, j, k), my_.at(i, j, k), mz_.at(i, j, k),
+                     e_.at(i, j, k)};
+  };
+
+  Field3D new_rho = rho_, new_mx = mx_, new_my = my_, new_mz = mz_, new_e = e_;
+
+  // Dimension-by-dimension flux differencing over the periodic grid; the
+  // outer k-sweep is parallel (each k plane writes disjoint cells).
+  parallel_for(n, [&](std::size_t kb, std::size_t ke) {
+    for (std::size_t k = kb; k < ke; ++k)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < n; ++i) {
+          const Conserved c = load(i, j, k);
+          const std::size_t ip = (i + 1) % n, im = (i + n - 1) % n;
+          const std::size_t jp = (j + 1) % n, jm = (j + n - 1) % n;
+          const std::size_t kp = (k + 1) % n, km = (k + n - 1) % n;
+
+          const FluxVec fxp = rusanov(c, load(ip, j, k), 0);
+          const FluxVec fxm = rusanov(load(im, j, k), c, 0);
+          const FluxVec fyp = rusanov(c, load(i, jp, k), 1);
+          const FluxVec fym = rusanov(load(i, jm, k), c, 1);
+          const FluxVec fzp = rusanov(c, load(i, j, kp), 2);
+          const FluxVec fzm = rusanov(load(i, j, km), c, 2);
+
+          new_rho.at(i, j, k) =
+              c.rho - lambda * (fxp.rho - fxm.rho + fyp.rho - fym.rho + fzp.rho - fzm.rho);
+          new_mx.at(i, j, k) =
+              c.mx - lambda * (fxp.mx - fxm.mx + fyp.mx - fym.mx + fzp.mx - fzm.mx);
+          new_my.at(i, j, k) =
+              c.my - lambda * (fxp.my - fxm.my + fyp.my - fym.my + fzp.my - fzm.my);
+          new_mz.at(i, j, k) =
+              c.mz - lambda * (fxp.mz - fxm.mz + fyp.mz - fym.mz + fzp.mz - fzm.mz);
+          new_e.at(i, j, k) =
+              c.e - lambda * (fxp.e - fxm.e + fyp.e - fym.e + fzp.e - fzm.e);
+        }
+  });
+
+  rho_ = std::move(new_rho);
+  mx_ = std::move(new_mx);
+  my_ = std::move(new_my);
+  mz_ = std::move(new_mz);
+  e_ = std::move(new_e);
+}
+
+void EulerSolver::step() {
+  const double dt = params_.cfl * geometry_.dx() / max_wave_speed();
+  flux_update(dt);
+  time_ += dt;
+  ++step_;
+}
+
+Field3D EulerSolver::pressure() const {
+  const std::size_t n = geometry_.n;
+  Field3D p(n, n, n);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) p.at(i, j, k) = cell(i, j, k).p;
+  return p;
+}
+
+Field3D EulerSolver::velocity(int axis) const {
+  INSCHED_EXPECTS(axis >= 0 && axis <= 2);
+  const std::size_t n = geometry_.n;
+  Field3D v(n, n, n);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const Primitive prim = cell(i, j, k);
+        v.at(i, j, k) = axis == 0 ? prim.u : (axis == 1 ? prim.v : prim.w);
+      }
+  return v;
+}
+
+double EulerSolver::total_mass() const noexcept {
+  double total = 0.0;
+  for (double v : rho_.data()) total += v;
+  const double cell_volume = geometry_.dx() * geometry_.dx() * geometry_.dx();
+  return total * cell_volume;
+}
+
+double EulerSolver::total_energy() const noexcept {
+  double total = 0.0;
+  for (double v : e_.data()) total += v;
+  const double cell_volume = geometry_.dx() * geometry_.dx() * geometry_.dx();
+  return total * cell_volume;
+}
+
+}  // namespace insched::sim

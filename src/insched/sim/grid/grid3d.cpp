@@ -1,0 +1,15 @@
+#include "insched/sim/grid/grid3d.hpp"
+
+namespace insched::sim {
+
+double Field3D::periodic(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) const {
+  const auto wrap = [](std::ptrdiff_t v, std::size_t n) {
+    const auto sn = static_cast<std::ptrdiff_t>(n);
+    v %= sn;
+    if (v < 0) v += sn;
+    return static_cast<std::size_t>(v);
+  };
+  return at(wrap(i, nx_), wrap(j, ny_), wrap(k, nz_));
+}
+
+}  // namespace insched::sim

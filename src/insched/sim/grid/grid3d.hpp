@@ -1,0 +1,63 @@
+#pragma once
+
+// Regular 3-D scalar field and grid geometry — the Eulerian storage the
+// FLASH-like hydrodynamics solver and its diagnostics (vorticity, error
+// norms) operate on. Uniform-grid equivalent of FLASH's UG mode; the paper's
+// Sedov runs use 16^3-cell blocks, which a uniform grid of the same total
+// extent models for analysis purposes.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+class Field3D {
+ public:
+  Field3D() = default;
+  Field3D(std::size_t nx, std::size_t ny, std::size_t nz, double fill = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {}
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t i, std::size_t j, std::size_t k) {
+    INSCHED_ASSERT(i < nx_ && j < ny_ && k < nz_);
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+  [[nodiscard]] double at(std::size_t i, std::size_t j, std::size_t k) const {
+    INSCHED_ASSERT(i < nx_ && j < ny_ && k < nz_);
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+
+  /// Periodic accessor (used by centered differences at the boundary).
+  [[nodiscard]] double periodic(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) const;
+
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// Grid geometry: a cube [0, length]^3 with n cells per axis.
+struct GridGeometry {
+  std::size_t n = 16;
+  double length = 1.0;
+
+  [[nodiscard]] double dx() const noexcept { return length / static_cast<double>(n); }
+  /// Cell-center coordinate along one axis.
+  [[nodiscard]] double center(std::size_t i) const noexcept {
+    return (static_cast<double>(i) + 0.5) * dx();
+  }
+  [[nodiscard]] std::size_t cells() const noexcept { return n * n * n; }
+};
+
+}  // namespace insched::sim

@@ -1,0 +1,94 @@
+#include "insched/sim/grid/sedov.hpp"
+
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+void initialize_sedov(EulerSolver& solver, const SedovSpec& spec) {
+  const GridGeometry& geom = solver.geometry();
+  const std::size_t n = geom.n;
+  const double dx = geom.dx();
+  const double center = 0.5 * geom.length;
+  const double r_dep = spec.deposit_radius_cells * dx;
+
+  // Count deposit cells first so the total energy is exact.
+  std::size_t deposit_cells = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = geom.center(i) - center;
+        const double y = geom.center(j) - center;
+        const double z = geom.center(k) - center;
+        if (std::sqrt(x * x + y * y + z * z) <= r_dep) ++deposit_cells;
+      }
+  INSCHED_ASSERT(deposit_cells > 0);
+
+  const double cell_volume = dx * dx * dx;
+  const double e_per_cell = spec.blast_energy / (static_cast<double>(deposit_cells) * cell_volume);
+  const double gamma = solver.params().gamma;
+
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = geom.center(i) - center;
+        const double y = geom.center(j) - center;
+        const double z = geom.center(k) - center;
+        const bool inside = std::sqrt(x * x + y * y + z * z) <= r_dep;
+        Primitive prim;
+        prim.rho = spec.ambient_density;
+        prim.p = inside ? (gamma - 1.0) * e_per_cell : spec.ambient_pressure;
+        solver.set_cell(i, j, k, prim);
+      }
+}
+
+SedovReference::SedovReference(const SedovSpec& spec, double gamma)
+    : spec_(spec), gamma_(gamma) {
+  INSCHED_EXPECTS(gamma > 1.0);
+  // Similarity constant for 3-D (spherical) Sedov-Taylor; 1.1517 for
+  // gamma = 1.4 (Sedov 1959, standard tables); a weak gamma-dependence fit
+  // covers nearby gamma values.
+  xi0_ = 1.1517 * std::pow(1.4 / gamma, 0.2);
+}
+
+double SedovReference::shock_radius(double t) const {
+  INSCHED_EXPECTS(t > 0.0);
+  return xi0_ * std::pow(spec_.blast_energy * t * t / spec_.ambient_density, 0.2);
+}
+
+double SedovReference::density(double r, double t) const {
+  const double rs = shock_radius(t);
+  if (r >= rs) return spec_.ambient_density;
+  // Immediately behind the shock: strong-shock jump rho2 = rho0 (g+1)/(g-1);
+  // interior falls off steeply toward the hot, rarefied center. The
+  // power-law exponent 3/(gamma-1) matches the exact solution's behaviour
+  // near the shock front.
+  const double rho2 = spec_.ambient_density * (gamma_ + 1.0) / (gamma_ - 1.0);
+  const double xi = std::max(r / rs, 1e-6);
+  return rho2 * std::pow(xi, 3.0 / (gamma_ - 1.0));
+}
+
+double SedovReference::pressure(double r, double t) const {
+  const double rs = shock_radius(t);
+  const double us = 0.4 * rs / t;  // shock speed = dR/dt = (2/5) R / t
+  const double p2 =
+      2.0 / (gamma_ + 1.0) * spec_.ambient_density * us * us;  // strong-shock jump
+  if (r >= rs) return spec_.ambient_pressure;
+  // Pressure is nearly flat in the interior (~0.3-0.4 p2 at the center for
+  // gamma = 1.4).
+  const double xi = r / rs;
+  const double p_center = 0.35 * p2;
+  return p_center + (p2 - p_center) * std::pow(xi, 3.0);
+}
+
+double SedovReference::radial_velocity(double r, double t) const {
+  const double rs = shock_radius(t);
+  if (r >= rs) return 0.0;
+  const double us = 0.4 * rs / t;
+  const double u2 = 2.0 / (gamma_ + 1.0) * us;  // post-shock gas speed
+  // Velocity is close to linear in radius inside the blast.
+  return u2 * (r / rs);
+}
+
+}  // namespace insched::sim

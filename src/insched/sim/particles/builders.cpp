@@ -1,0 +1,118 @@
+#include "insched/sim/particles/builders.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::sim {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+namespace {
+
+/// Cubic box sized for `count` particles at `density`, with a jittered
+/// simple-cubic lattice filling it. Returns lattice sites (possibly slightly
+/// more than `count`; the caller consumes the first `count`).
+struct Lattice {
+  Box box;
+  std::vector<std::array<double, 3>> sites;
+};
+
+Lattice make_lattice(std::size_t count, double density, Rng& rng) {
+  INSCHED_EXPECTS(count > 0 && density > 0.0);
+  const double volume = static_cast<double>(count) / density;
+  const double side = std::cbrt(volume);
+  const auto per_axis = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(count))));
+  const double spacing = side / static_cast<double>(per_axis);
+
+  Lattice lat;
+  lat.box = Box{side, side, side};
+  lat.sites.reserve(per_axis * per_axis * per_axis);
+  for (std::size_t i = 0; i < per_axis; ++i)
+    for (std::size_t j = 0; j < per_axis; ++j)
+      for (std::size_t k = 0; k < per_axis; ++k) {
+        const double jitter = 0.1 * spacing;
+        lat.sites.push_back({(static_cast<double>(i) + 0.5) * spacing +
+                                 rng.uniform(-jitter, jitter),
+                             (static_cast<double>(j) + 0.5) * spacing +
+                                 rng.uniform(-jitter, jitter),
+                             (static_cast<double>(k) + 0.5) * spacing +
+                                 rng.uniform(-jitter, jitter)});
+      }
+  return lat;
+}
+
+}  // namespace
+
+ParticleSystem water_ions(const WaterIonsSpec& spec) {
+  Rng rng(spec.seed);
+  // Each water molecule contributes one O site and two tightly bound H
+  // particles; hydronium and ions replace whole molecules.
+  const std::size_t sites_needed = spec.molecules;
+  Lattice lat = make_lattice(sites_needed, spec.density / 3.0, rng);
+
+  ParticleSystem sys(lat.box);
+  const double h_offset = 0.35;  // O-H distance in sigma units
+  for (std::size_t m = 0; m < spec.molecules; ++m) {
+    const auto& site = lat.sites[m];
+    const double pick = rng.uniform();
+    if (pick < spec.hydronium_fraction) {
+      sys.add_particle(Species::kHydronium, site[0], site[1], site[2], 19.0);
+    } else if (pick < spec.hydronium_fraction + spec.ion_fraction) {
+      sys.add_particle(Species::kIon, site[0], site[1], site[2], 35.0);
+    } else {
+      sys.add_particle(Species::kWaterO, site[0], site[1], site[2], 16.0);
+      for (int h = 0; h < 2; ++h) {
+        const double theta = rng.uniform(0.0, 2.0 * kPi);
+        const double phi = std::acos(rng.uniform(-1.0, 1.0));
+        sys.add_particle(Species::kWaterH,
+                         Box::wrap(site[0] + h_offset * std::sin(phi) * std::cos(theta),
+                                   lat.box.lx),
+                         Box::wrap(site[1] + h_offset * std::sin(phi) * std::sin(theta),
+                                   lat.box.ly),
+                         Box::wrap(site[2] + h_offset * std::cos(phi), lat.box.lz), 1.0);
+      }
+    }
+  }
+  return sys;
+}
+
+ParticleSystem rhodopsin_like(const RhodopsinSpec& spec) {
+  Rng rng(spec.seed);
+  Lattice lat = make_lattice(spec.total_particles, spec.density, rng);
+  INSCHED_ASSERT(lat.sites.size() >= spec.total_particles);
+
+  ParticleSystem sys(lat.box);
+  const Box& box = lat.box;
+  // Protein: sphere in the box center sized to hold protein_fraction of the
+  // particles at uniform density.
+  const double protein_volume = spec.protein_fraction * box.volume();
+  const double protein_radius = std::cbrt(3.0 * protein_volume / (4.0 * kPi));
+  // Membrane: a slab around z = Lz/2 holding membrane_fraction of the box.
+  const double half_slab = 0.5 * spec.membrane_fraction * box.lz;
+
+  for (std::size_t p = 0; p < spec.total_particles; ++p) {
+    const auto& site = lat.sites[p];
+    const double dx = site[0] - 0.5 * box.lx;
+    const double dy = site[1] - 0.5 * box.ly;
+    const double dz = site[2] - 0.5 * box.lz;
+    const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (r < protein_radius) {
+      sys.add_particle(Species::kProtein, site[0], site[1], site[2], 12.0);
+    } else if (std::fabs(dz) < half_slab) {
+      sys.add_particle(Species::kMembrane, site[0], site[1], site[2], 14.0);
+    } else if (rng.uniform() < spec.ion_fraction) {
+      sys.add_particle(Species::kIon, site[0], site[1], site[2], 35.0);
+    } else {
+      sys.add_particle(Species::kWaterO, site[0], site[1], site[2], 16.0);
+    }
+  }
+  return sys;
+}
+
+}  // namespace insched::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+// Synthetic system builders mirroring the paper's two LAMMPS problems:
+//  - water_ions(): box of water molecules solvating hydronium and other ions
+//    (Section 5.2 problem 1, analyses A1-A4),
+//  - rhodopsin_like(): a protein sphere embedded in a membrane slab and
+//    solvated with water and ions (Section 5.2 problem 2, analyses R1-R3).
+// Particles are placed on a jittered lattice at liquid-like density and
+// thermalized; the point is realistic data layouts and species mixes for the
+// analysis kernels, not chemical accuracy.
+
+#include <cstdint>
+
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::sim {
+
+struct WaterIonsSpec {
+  std::size_t molecules = 1000;    ///< water molecules (3 particles each)
+  double hydronium_fraction = 0.01;
+  double ion_fraction = 0.01;
+  double density = 0.8;            ///< particles per sigma^3
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] ParticleSystem water_ions(const WaterIonsSpec& spec);
+
+struct RhodopsinSpec {
+  std::size_t total_particles = 32000;
+  double protein_fraction = 0.10;   ///< particles in the central protein sphere
+  double membrane_fraction = 0.25;  ///< particles in the mid-plane slab
+  double ion_fraction = 0.01;
+  double density = 0.8;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] ParticleSystem rhodopsin_like(const RhodopsinSpec& spec);
+
+}  // namespace insched::sim

@@ -1,0 +1,114 @@
+#include "insched/sim/particles/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/parallel.hpp"
+
+namespace insched::sim {
+
+CellList::CellList(const ParticleSystem& system, double cutoff)
+    : system_(system), cutoff_(cutoff), cutoff2_(cutoff * cutoff) {
+  INSCHED_EXPECTS(cutoff > 0.0);
+  const Box& box = system.box();
+  INSCHED_EXPECTS(box.lx >= cutoff && box.ly >= cutoff && box.lz >= cutoff);
+
+  ncx_ = std::max(1, static_cast<int>(box.lx / cutoff));
+  ncy_ = std::max(1, static_cast<int>(box.ly / cutoff));
+  ncz_ = std::max(1, static_cast<int>(box.lz / cutoff));
+
+  head_.assign(static_cast<std::size_t>(ncx_) * ncy_ * ncz_, -1);
+  next_.assign(system.size(), -1);
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const int cx = std::min(ncx_ - 1, static_cast<int>(Box::wrap(system.x[i], box.lx) /
+                                                       box.lx * ncx_));
+    const int cy = std::min(ncy_ - 1, static_cast<int>(Box::wrap(system.y[i], box.ly) /
+                                                       box.ly * ncy_));
+    const int cz = std::min(ncz_ - 1, static_cast<int>(Box::wrap(system.z[i], box.lz) /
+                                                       box.lz * ncz_));
+    const int cell = cell_index(cx, cy, cz);
+    next_[i] = head_[static_cast<std::size_t>(cell)];
+    head_[static_cast<std::size_t>(cell)] = static_cast<int>(i);
+  }
+}
+
+void CellList::visit_cell_pairs(
+    int cell, const std::function<void(std::size_t, std::size_t, double)>& visit) const {
+  const Box& box = system_.box();
+  const int cx = cell % ncx_;
+  const int cy = (cell / ncx_) % ncy_;
+  const int cz = cell / (ncx_ * ncy_);
+
+  const auto pair_check = [&](int i, int j) {
+    const double dx = Box::min_image(system_.x[static_cast<std::size_t>(i)] -
+                                         system_.x[static_cast<std::size_t>(j)],
+                                     box.lx);
+    const double dy = Box::min_image(system_.y[static_cast<std::size_t>(i)] -
+                                         system_.y[static_cast<std::size_t>(j)],
+                                     box.ly);
+    const double dz = Box::min_image(system_.z[static_cast<std::size_t>(i)] -
+                                         system_.z[static_cast<std::size_t>(j)],
+                                     box.lz);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 <= cutoff2_)
+      visit(static_cast<std::size_t>(i), static_cast<std::size_t>(j), r2);
+  };
+
+  // Full 27-stencil, deduplicated (periodic wrap can alias several offsets
+  // to the same neighbor when a dimension has few cells). Each unordered
+  // cell pair is handled once by the `other > cell` ordering; within the
+  // cell itself the linked-list traversal yields each particle pair once.
+  int neighbors[27];
+  int neighbor_count = 0;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = (cx + dx + ncx_) % ncx_;
+        const int ny = (cy + dy + ncy_) % ncy_;
+        const int nz = (cz + dz + ncz_) % ncz_;
+        const int other = cell_index(nx, ny, nz);
+        if (other <= cell) continue;  // self handled below; pairs ordered
+        bool seen = false;
+        for (int k = 0; k < neighbor_count; ++k) seen = seen || neighbors[k] == other;
+        if (!seen) neighbors[neighbor_count++] = other;
+      }
+
+  // Self pairs.
+  for (int i = head_[static_cast<std::size_t>(cell)]; i >= 0;
+       i = next_[static_cast<std::size_t>(i)])
+    for (int j = next_[static_cast<std::size_t>(i)]; j >= 0;
+         j = next_[static_cast<std::size_t>(j)])
+      pair_check(i, j);
+
+  // Cross-cell pairs.
+  for (int k = 0; k < neighbor_count; ++k) {
+    const int other = neighbors[k];
+    for (int i = head_[static_cast<std::size_t>(cell)]; i >= 0;
+         i = next_[static_cast<std::size_t>(i)])
+      for (int j = head_[static_cast<std::size_t>(other)]; j >= 0;
+           j = next_[static_cast<std::size_t>(j)])
+        pair_check(i, j);
+  }
+}
+
+void CellList::for_each_pair_in_cells(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, double)>& visit) const {
+  INSCHED_EXPECTS(begin <= end && end <= head_.size());
+  for (std::size_t c = begin; c < end; ++c) visit_cell_pairs(static_cast<int>(c), visit);
+}
+
+void CellList::for_each_pair(
+    const std::function<void(std::size_t, std::size_t, double)>& visit, bool parallel) const {
+  const std::size_t cells = head_.size();
+  if (!parallel) {
+    for_each_pair_in_cells(0, cells, visit);
+    return;
+  }
+  parallel_for(cells, [&](std::size_t begin, std::size_t end) {
+    for_each_pair_in_cells(begin, end, visit);
+  });
+}
+
+}  // namespace insched::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+// Linked-cell neighbor structure for cutoff-range pair iteration under
+// periodic boundaries. Shared by the force loop of the mini-MD engine and
+// the RDF analysis kernel. Pair visits are parallelized over cells with a
+// half-stencil so every pair is produced exactly once.
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::sim {
+
+class CellList {
+ public:
+  /// Builds the binning for `system` at interaction range `cutoff`. The box
+  /// must be at least one cutoff wide in each axis.
+  CellList(const ParticleSystem& system, double cutoff);
+
+  /// Calls visit(i, j, r2) for every unordered pair (i < j implied unique)
+  /// with squared minimum-image distance r2 <= cutoff^2. Serial order is
+  /// deterministic; `parallel` distributes cells over threads (the visitor
+  /// must then be thread-safe).
+  void for_each_pair(const std::function<void(std::size_t, std::size_t, double)>& visit,
+                     bool parallel = false) const;
+
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+  [[nodiscard]] std::array<int, 3> cell_counts() const noexcept { return {ncx_, ncy_, ncz_}; }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return head_.size(); }
+
+  /// Serial pair sweep restricted to cells [begin, end) — building block for
+  /// callers that parallelize with per-range accumulation buffers.
+  void for_each_pair_in_cells(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, double)>& visit) const;
+
+ private:
+  [[nodiscard]] int cell_index(int cx, int cy, int cz) const noexcept {
+    return (cz * ncy_ + cy) * ncx_ + cx;
+  }
+  void visit_cell_pairs(int cell,
+                        const std::function<void(std::size_t, std::size_t, double)>& visit) const;
+
+  const ParticleSystem& system_;
+  double cutoff_;
+  double cutoff2_;
+  int ncx_ = 0, ncy_ = 0, ncz_ = 0;
+  std::vector<int> head_;  ///< first particle in each cell (-1 = empty)
+  std::vector<int> next_;  ///< next particle in the same cell (-1 = end)
+};
+
+}  // namespace insched::sim

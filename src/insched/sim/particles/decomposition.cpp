@@ -1,0 +1,69 @@
+#include "insched/sim/particles/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+DomainDecomposition::DomainDecomposition(const ParticleSystem& system, int ranks_per_axis)
+    : system_(system), ranks_axis_(ranks_per_axis) {
+  INSCHED_EXPECTS(ranks_per_axis >= 1);
+  counts_.assign(static_cast<std::size_t>(ranks()), 0);
+  for (std::size_t i = 0; i < system.size(); ++i)
+    ++counts_[static_cast<std::size_t>(owner(i))];
+}
+
+std::int64_t DomainDecomposition::ranks() const noexcept {
+  const auto r = static_cast<std::int64_t>(ranks_axis_);
+  return r * r * r;
+}
+
+std::int64_t DomainDecomposition::owner(std::size_t i) const {
+  INSCHED_EXPECTS(i < system_.size());
+  const Box& box = system_.box();
+  const auto cell = [&](double coord, double extent) {
+    const double w = Box::wrap(coord, extent);
+    return std::min<std::int64_t>(ranks_axis_ - 1,
+                                  static_cast<std::int64_t>(w / extent * ranks_axis_));
+  };
+  const std::int64_t cx = cell(system_.x[i], box.lx);
+  const std::int64_t cy = cell(system_.y[i], box.ly);
+  const std::int64_t cz = cell(system_.z[i], box.lz);
+  return (cz * ranks_axis_ + cy) * ranks_axis_ + cx;
+}
+
+DecompositionStats DomainDecomposition::stats(double cutoff) const {
+  INSCHED_EXPECTS(cutoff >= 0.0);
+  DecompositionStats out;
+  out.ranks = ranks();
+  out.min_particles = counts_.empty() ? 0 : *std::min_element(counts_.begin(), counts_.end());
+  out.max_particles = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  out.mean_particles =
+      static_cast<double>(system_.size()) / static_cast<double>(out.ranks);
+  out.imbalance = out.mean_particles > 0.0
+                      ? static_cast<double>(out.max_particles) / out.mean_particles
+                      : 1.0;
+
+  // Halo census: a particle contributes one copy per subdomain face it sits
+  // within `cutoff` of (corner particles are shipped to several neighbors).
+  const Box& box = system_.box();
+  const double wx = box.lx / ranks_axis_;
+  const double wy = box.ly / ranks_axis_;
+  const double wz = box.lz / ranks_axis_;
+  double halo = 0.0;
+  for (std::size_t i = 0; i < system_.size(); ++i) {
+    const auto near_face = [&](double coord, double width) {
+      const double local = std::fmod(Box::wrap(coord, width * ranks_axis_), width);
+      return (local < cutoff || width - local < cutoff) ? 1.0 : 0.0;
+    };
+    halo += near_face(system_.x[i], wx) + near_face(system_.y[i], wy) +
+            near_face(system_.z[i], wz);
+  }
+  out.mean_halo_particles = halo / static_cast<double>(out.ranks);
+  out.mean_halo_bytes = out.mean_halo_particles * 6.0 * sizeof(double);
+  return out;
+}
+
+}  // namespace insched::sim

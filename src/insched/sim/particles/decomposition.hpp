@@ -1,0 +1,55 @@
+#pragma once
+
+// Spatial domain decomposition of a particle system over virtual MPI ranks —
+// the decomposition LAMMPS uses. Provides the quantities the performance
+// model consumes: per-rank particle counts (load balance), halo-exchange
+// volumes at a given interaction cutoff, and per-rank memory footprints.
+// Together with machine::CollectiveModel this turns "run the RDF on 16384
+// ranks" into concrete communication bytes and times.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::sim {
+
+struct DecompositionStats {
+  std::int64_t ranks = 0;
+  double mean_particles = 0.0;
+  std::size_t max_particles = 0;
+  std::size_t min_particles = 0;
+  /// max / mean — 1.0 is perfect balance.
+  double imbalance = 0.0;
+  /// Particles within `cutoff` of a subdomain face (counted once per face
+  /// they are close to) — the halo-exchange payload in particles.
+  double mean_halo_particles = 0.0;
+  /// Halo bytes per rank per exchange (positions + velocities).
+  double mean_halo_bytes = 0.0;
+};
+
+class DomainDecomposition {
+ public:
+  /// Splits the box into ranks_per_axis^3 equal subdomains.
+  DomainDecomposition(const ParticleSystem& system, int ranks_per_axis);
+
+  [[nodiscard]] std::int64_t ranks() const noexcept;
+  [[nodiscard]] int ranks_per_axis() const noexcept { return ranks_axis_; }
+
+  /// Rank owning particle i.
+  [[nodiscard]] std::int64_t owner(std::size_t i) const;
+
+  /// Particle count per rank.
+  [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+
+  /// Aggregate statistics at the given interaction cutoff.
+  [[nodiscard]] DecompositionStats stats(double cutoff) const;
+
+ private:
+  const ParticleSystem& system_;
+  int ranks_axis_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace insched::sim

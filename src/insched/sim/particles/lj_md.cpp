@@ -1,0 +1,147 @@
+#include "insched/sim/particles/lj_md.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "insched/sim/particles/cell_list.hpp"
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+LjSimulation::LjSimulation(ParticleSystem system, MdParams params)
+    : system_(std::move(system)), params_(params), rng_(params.seed) {
+  INSCHED_EXPECTS(params_.dt > 0.0);
+  INSCHED_EXPECTS(params_.cutoff > 0.0);
+  fx_.assign(system_.size(), 0.0);
+  fy_.assign(system_.size(), 0.0);
+  fz_.assign(system_.size(), 0.0);
+  system_.wrap_positions();
+  compute_forces();
+}
+
+void LjSimulation::thermalize(std::uint64_t seed) {
+  Rng rng(seed);
+  double px = 0.0, py = 0.0, pz = 0.0;
+  for (std::size_t i = 0; i < system_.size(); ++i) {
+    const double s = std::sqrt(params_.temperature / system_.mass[i]);
+    system_.vx[i] = rng.normal(0.0, s);
+    system_.vy[i] = rng.normal(0.0, s);
+    system_.vz[i] = rng.normal(0.0, s);
+    px += system_.mass[i] * system_.vx[i];
+    py += system_.mass[i] * system_.vy[i];
+    pz += system_.mass[i] * system_.vz[i];
+  }
+  if (system_.size() > 0) {
+    double total_mass = 0.0;
+    for (double m : system_.mass) total_mass += m;
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+      system_.vx[i] -= px / total_mass;
+      system_.vy[i] -= py / total_mass;
+      system_.vz[i] -= pz / total_mass;
+    }
+  }
+}
+
+void LjSimulation::minimize(int iterations, double max_move) {
+  INSCHED_EXPECTS(iterations >= 0 && max_move > 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double f_max = 0.0;
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+      const double f =
+          std::sqrt(fx_[i] * fx_[i] + fy_[i] * fy_[i] + fz_[i] * fz_[i]);
+      f_max = std::max(f_max, f);
+    }
+    if (f_max < 1e-8) break;
+    const double scale = std::min(max_move / f_max, 1e-3);
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+      system_.x[i] += scale * fx_[i];
+      system_.y[i] += scale * fy_[i];
+      system_.z[i] += scale * fz_[i];
+    }
+    system_.wrap_positions();
+    compute_forces();
+  }
+}
+
+void LjSimulation::compute_forces() {
+  std::fill(fx_.begin(), fx_.end(), 0.0);
+  std::fill(fy_.begin(), fy_.end(), 0.0);
+  std::fill(fz_.begin(), fz_.end(), 0.0);
+
+  const double rc2 = params_.cutoff * params_.cutoff;
+
+  const CellList cells(system_, params_.cutoff);
+  const Box& box = system_.box();
+  double pe = 0.0;
+
+  // Serial pair sweep: force accumulation into both endpoints makes a naive
+  // parallel sweep racy; at laptop problem sizes the cell-list sweep is
+  // already fast, and determinism matters more for tests.
+  cells.for_each_pair([&](std::size_t i, std::size_t j, double r2) {
+    const double dx = Box::min_image(system_.x[i] - system_.x[j], box.lx);
+    const double dy = Box::min_image(system_.y[i] - system_.y[j], box.ly);
+    const double dz = Box::min_image(system_.z[i] - system_.z[j], box.lz);
+    INSCHED_ASSERT(r2 > 0.0);
+    // Lorentz mixing of per-species diameters.
+    const double scale_i =
+        params_.species_sigma_scale[static_cast<std::size_t>(system_.species[i])];
+    const double scale_j =
+        params_.species_sigma_scale[static_cast<std::size_t>(system_.species[j])];
+    const double sigma_ij = params_.sigma * 0.5 * (scale_i + scale_j);
+    const double sigma2 = sigma_ij * sigma_ij;
+    // Potential shift so U(rc) = 0 (truncated-shifted LJ).
+    const double sr2c = sigma2 / rc2;
+    const double sr6c = sr2c * sr2c * sr2c;
+    const double u_shift = 4.0 * params_.epsilon * (sr6c * sr6c - sr6c);
+    const double sr2 = sigma2 / r2;
+    const double sr6 = sr2 * sr2 * sr2;
+    const double sr12 = sr6 * sr6;
+    pe += 4.0 * params_.epsilon * (sr12 - sr6) - u_shift;
+    const double f_over_r = 24.0 * params_.epsilon * (2.0 * sr12 - sr6) / r2;
+    fx_[i] += f_over_r * dx;
+    fy_[i] += f_over_r * dy;
+    fz_[i] += f_over_r * dz;
+    fx_[j] -= f_over_r * dx;
+    fy_[j] -= f_over_r * dy;
+    fz_[j] -= f_over_r * dz;
+  });
+  potential_energy_ = pe;
+}
+
+void LjSimulation::step() {
+  const double dt = params_.dt;
+  const std::size_t n = system_.size();
+
+  // Velocity Verlet: half-kick, drift, force, half-kick.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_m = 1.0 / system_.mass[i];
+    system_.vx[i] += 0.5 * dt * fx_[i] * inv_m;
+    system_.vy[i] += 0.5 * dt * fy_[i] * inv_m;
+    system_.vz[i] += 0.5 * dt * fz_[i] * inv_m;
+    system_.x[i] += dt * system_.vx[i];
+    system_.y[i] += dt * system_.vy[i];
+    system_.z[i] += dt * system_.vz[i];
+  }
+  system_.wrap_positions();
+  compute_forces();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_m = 1.0 / system_.mass[i];
+    system_.vx[i] += 0.5 * dt * fx_[i] * inv_m;
+    system_.vy[i] += 0.5 * dt * fy_[i] * inv_m;
+    system_.vz[i] += 0.5 * dt * fz_[i] * inv_m;
+  }
+
+  // Langevin thermostat (BAOAB-lite: exact OU velocity update).
+  if (params_.gamma > 0.0) {
+    const double c1 = std::exp(-params_.gamma * dt);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c2 = std::sqrt((1.0 - c1 * c1) * params_.temperature / system_.mass[i]);
+      system_.vx[i] = c1 * system_.vx[i] + c2 * rng_.normal();
+      system_.vy[i] = c1 * system_.vy[i] + c2 * rng_.normal();
+      system_.vz[i] = c1 * system_.vz[i] + c2 * rng_.normal();
+    }
+  }
+  ++step_;
+}
+
+}  // namespace insched::sim

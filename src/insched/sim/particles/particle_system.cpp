@@ -1,0 +1,55 @@
+#include "insched/sim/particles/particle_system.hpp"
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+std::size_t ParticleSystem::add_particle(Species s, double px, double py, double pz,
+                                         double m) {
+  INSCHED_EXPECTS(m > 0.0);
+  x.push_back(px);
+  y.push_back(py);
+  z.push_back(pz);
+  vx.push_back(0.0);
+  vy.push_back(0.0);
+  vz.push_back(0.0);
+  mass.push_back(m);
+  species.push_back(s);
+  return size() - 1;
+}
+
+std::size_t ParticleSystem::count(Species s) const noexcept {
+  std::size_t n = 0;
+  for (Species sp : species)
+    if (sp == s) ++n;
+  return n;
+}
+
+std::vector<std::size_t> ParticleSystem::indices_of(Species s) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (species[i] == s) idx.push_back(i);
+  return idx;
+}
+
+double ParticleSystem::kinetic_energy() const noexcept {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < size(); ++i)
+    ke += 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+  return ke;
+}
+
+double ParticleSystem::temperature() const noexcept {
+  if (size() == 0) return 0.0;
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(size()));
+}
+
+void ParticleSystem::wrap_positions() noexcept {
+  for (std::size_t i = 0; i < size(); ++i) {
+    x[i] = Box::wrap(x[i], box_.lx);
+    y[i] = Box::wrap(y[i], box_.ly);
+    z[i] = Box::wrap(z[i], box_.lz);
+  }
+}
+
+}  // namespace insched::sim

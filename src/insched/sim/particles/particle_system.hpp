@@ -1,0 +1,88 @@
+#pragma once
+
+// Structure-of-arrays particle container with a periodic orthorhombic box —
+// the simulation-memory layout the LAMMPS-like analyses read in place.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace insched::sim {
+
+/// Particle species used by the two LAMMPS-like case studies.
+enum class Species : std::uint8_t {
+  kWaterO = 0,
+  kWaterH = 1,
+  kHydronium = 2,
+  kIon = 3,
+  kProtein = 4,
+  kMembrane = 5,
+};
+inline constexpr int kSpeciesCount = 6;
+
+struct Box {
+  double lx = 1.0, ly = 1.0, lz = 1.0;
+
+  [[nodiscard]] double volume() const noexcept { return lx * ly * lz; }
+
+  /// Minimum-image displacement component for a periodic axis of length l.
+  static double min_image(double d, double l) noexcept {
+    if (d > 0.5 * l) return d - l;
+    if (d < -0.5 * l) return d + l;
+    return d;
+  }
+
+  /// Wraps a coordinate into [0, l). fmod-based: O(1) even for coordinates
+  /// many box lengths away (a diverging integrator must not hang the wrap).
+  static double wrap(double c, double l) noexcept {
+    double w = std::fmod(c, l);
+    if (w < 0.0) w += l;
+    if (w >= l) w -= l;
+    return w;
+  }
+};
+
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+  explicit ParticleSystem(Box box) : box_(box) {}
+
+  std::size_t add_particle(Species species, double px, double py, double pz, double mass = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] const Box& box() const noexcept { return box_; }
+  void set_box(Box box) noexcept { box_ = box; }
+
+  /// Particle count of one species.
+  [[nodiscard]] std::size_t count(Species species) const noexcept;
+
+  /// Indices of all particles of one species.
+  [[nodiscard]] std::vector<std::size_t> indices_of(Species species) const;
+
+  /// Total kinetic energy (1/2 m v^2).
+  [[nodiscard]] double kinetic_energy() const noexcept;
+
+  /// Instantaneous temperature in reduced units (kB = 1): 2 KE / (3 N).
+  [[nodiscard]] double temperature() const noexcept;
+
+  /// Wraps all coordinates back into the box.
+  void wrap_positions() noexcept;
+
+  /// Bytes of one trajectory frame of this system (positions + velocities).
+  [[nodiscard]] double frame_bytes() const noexcept {
+    return static_cast<double>(size()) * 6.0 * sizeof(double);
+  }
+
+  // SoA storage, public on purpose: analysis kernels iterate these directly,
+  // mirroring how LAMMPS computes read the simulation's atom arrays.
+  std::vector<double> x, y, z;
+  std::vector<double> vx, vy, vz;
+  std::vector<double> mass;
+  std::vector<Species> species;
+
+ private:
+  Box box_;
+};
+
+}  // namespace insched::sim

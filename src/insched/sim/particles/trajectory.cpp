@@ -1,0 +1,81 @@
+#include "insched/sim/particles/trajectory.hpp"
+
+#include <stdexcept>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::sim {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4a525449;  // "ITRJ"
+}
+
+TrajectoryWriter::TrajectoryWriter(const std::string& path, std::size_t natoms)
+    : out_(path, std::ios::binary), natoms_(natoms) {
+  if (!out_) throw std::runtime_error("TrajectoryWriter: cannot open " + path);
+  const auto n64 = static_cast<std::uint64_t>(natoms);
+  const std::uint64_t stride = sizeof(std::uint64_t) + natoms * 6 * sizeof(double);
+  out_.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  out_.write(reinterpret_cast<const char*>(&n64), sizeof n64);
+  out_.write(reinterpret_cast<const char*>(&stride), sizeof stride);
+}
+
+void TrajectoryWriter::write_frame(long step, const ParticleSystem& system) {
+  INSCHED_EXPECTS(system.size() == natoms_);
+  const auto s64 = static_cast<std::uint64_t>(step);
+  out_.write(reinterpret_cast<const char*>(&s64), sizeof s64);
+  const auto dump = [&](const std::vector<double>& v) {
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(double)));
+  };
+  dump(system.x);
+  dump(system.y);
+  dump(system.z);
+  dump(system.vx);
+  dump(system.vy);
+  dump(system.vz);
+  if (!out_) throw std::runtime_error("TrajectoryWriter: write failed");
+  ++frames_;
+}
+
+double TrajectoryWriter::bytes_written() const noexcept {
+  return 20.0 + static_cast<double>(frames_) *
+                    (sizeof(std::uint64_t) + static_cast<double>(natoms_) * 6 * sizeof(double));
+}
+
+void TrajectoryWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+TrajectoryReader::TrajectoryReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TrajectoryReader: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t n64 = 0, stride = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in_.read(reinterpret_cast<char*>(&n64), sizeof n64);
+  in_.read(reinterpret_cast<char*>(&stride), sizeof stride);
+  if (!in_ || magic != kMagic)
+    throw std::runtime_error("TrajectoryReader: bad header in " + path);
+  natoms_ = static_cast<std::size_t>(n64);
+}
+
+bool TrajectoryReader::read_frame(TrajectoryFrame& frame) {
+  std::uint64_t s64 = 0;
+  in_.read(reinterpret_cast<char*>(&s64), sizeof s64);
+  if (!in_) return false;
+  frame.step = static_cast<long>(s64);
+  const auto load = [&](std::vector<double>& v) {
+    v.resize(natoms_);
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(natoms_ * sizeof(double)));
+  };
+  load(frame.x);
+  load(frame.y);
+  load(frame.z);
+  load(frame.vx);
+  load(frame.vy);
+  load(frame.vz);
+  return static_cast<bool>(in_);
+}
+
+}  // namespace insched::sim

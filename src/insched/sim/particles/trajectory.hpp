@@ -1,0 +1,59 @@
+#pragma once
+
+// Binary trajectory format for the post-processing pipeline (Table 4): the
+// simulation writes frames to disk; the post-processing analyzer reads them
+// back — paying exactly the storage cost the paper's in-situ mode avoids.
+//
+// Layout (little-endian doubles):
+//   header: magic 'ITRJ', u64 natoms, u64 frame-stride-bytes
+//   frame:  u64 step, natoms * (x y z vx vy vz)
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "insched/sim/particles/particle_system.hpp"
+
+namespace insched::sim {
+
+class TrajectoryWriter {
+ public:
+  /// Opens `path` and writes the header; throws std::runtime_error on error.
+  TrajectoryWriter(const std::string& path, std::size_t natoms);
+
+  /// Appends one frame. The system must have exactly `natoms` particles.
+  void write_frame(long step, const ParticleSystem& system);
+
+  [[nodiscard]] std::size_t frames_written() const noexcept { return frames_; }
+  [[nodiscard]] double bytes_written() const noexcept;
+
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::size_t natoms_;
+  std::size_t frames_ = 0;
+};
+
+/// One frame as read back from disk.
+struct TrajectoryFrame {
+  long step = 0;
+  std::vector<double> x, y, z, vx, vy, vz;
+};
+
+class TrajectoryReader {
+ public:
+  explicit TrajectoryReader(const std::string& path);
+
+  [[nodiscard]] std::size_t natoms() const noexcept { return natoms_; }
+
+  /// Reads the next frame; false at end-of-file.
+  [[nodiscard]] bool read_frame(TrajectoryFrame& frame);
+
+ private:
+  std::ifstream in_;
+  std::size_t natoms_ = 0;
+};
+
+}  // namespace insched::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+// Minimal simulation interface the in-situ runtime drives: advance one time
+// step, report the size of a simulation output frame. Concrete simulations
+// (the LAMMPS-like mini-MD, the FLASH-like Euler/Sedov grid) also expose
+// their typed state, which the analysis kernels capture directly — exactly
+// how in-situ analyses in LAMMPS/FLASH read simulation memory (Section 1).
+
+#include <string>
+
+namespace insched::sim {
+
+class ISimulation {
+ public:
+  virtual ~ISimulation() = default;
+
+  /// Advances the simulation by one time step.
+  virtual void step() = 0;
+
+  /// Steps taken so far.
+  [[nodiscard]] virtual long current_step() const noexcept = 0;
+
+  /// Size of one simulation output frame (bytes), for I/O modeling.
+  [[nodiscard]] virtual double output_frame_bytes() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace insched::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+// Contract-checking macros in the spirit of the C++ Core Guidelines GSL
+// `Expects`/`Ensures`. Violations are programming errors: they abort with a
+// message rather than throwing, since the library cannot recover from a
+// broken precondition.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace insched {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "insched: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace insched
+
+#define INSCHED_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::insched::contract_violation("precondition", #cond, __FILE__,   \
+                                          __LINE__))
+
+#define INSCHED_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::insched::contract_violation("postcondition", #cond, __FILE__,  \
+                                          __LINE__))
+
+#define INSCHED_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::insched::contract_violation("assertion", #cond, __FILE__,      \
+                                          __LINE__))

@@ -1,0 +1,181 @@
+#include "insched/support/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::optional<double> parse_number_with_units(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return std::nullopt;
+
+  // Split into numeric prefix and unit suffix.
+  std::size_t pos = 0;
+  while (pos < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[pos])) || trimmed[pos] == '+' ||
+          trimmed[pos] == '-' || trimmed[pos] == '.' || trimmed[pos] == 'e' ||
+          trimmed[pos] == 'E' ||
+          ((trimmed[pos] == '+' || trimmed[pos] == '-') && pos > 0 &&
+           (trimmed[pos - 1] == 'e' || trimmed[pos - 1] == 'E'))))
+    ++pos;
+  // Back off if an exponent marker was actually the start of a unit ("s"
+  // cannot be confused, but "e" alone could); keep it simple: retry parse.
+  double value = 0.0;
+  std::string_view digits = trimmed.substr(0, pos);
+  auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    // Retry without a trailing 'e'/'E' swallowed from a unit suffix.
+    if (!digits.empty() && (digits.back() == 'e' || digits.back() == 'E')) {
+      digits = digits.substr(0, digits.size() - 1);
+      --pos;
+      auto [p2, e2] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (e2 != std::errc() || p2 != digits.data() + digits.size()) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  const std::string unit = lower(trim(trimmed.substr(pos)));
+  if (unit.empty()) return value;
+  if (unit == "kb") return value * 1e3;
+  if (unit == "mb") return value * 1e6;
+  if (unit == "gb") return value * 1e9;
+  if (unit == "tb") return value * 1e12;
+  if (unit == "kib") return value * 1024.0;
+  if (unit == "mib") return value * 1024.0 * 1024.0;
+  if (unit == "gib") return value * 1024.0 * 1024.0 * 1024.0;
+  if (unit == "tib") return value * 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  if (unit == "b" || unit == "bytes") return value;
+  if (unit == "s" || unit == "sec" || unit == "seconds") return value;
+  if (unit == "ms") return value * 1e-3;
+  if (unit == "us") return value * 1e-6;
+  if (unit == "min" || unit == "m") return value * 60.0;
+  if (unit == "h" || unit == "hours") return value * 3600.0;
+  if (unit == "%" || unit == "percent") return value / 100.0;
+  return std::nullopt;
+}
+
+void ConfigSection::set(std::string key, std::string value) {
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+bool ConfigSection::has(std::string_view key) const noexcept {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return true;
+  return false;
+}
+
+std::optional<std::string> ConfigSection::get(std::string_view key) const {
+  // Last assignment wins, matching common INI semantics.
+  std::optional<std::string> found;
+  for (const auto& [k, v] : entries_)
+    if (k == key) found = v;
+  return found;
+}
+
+std::string ConfigSection::get_string(std::string_view key, const std::string& fallback) const {
+  const auto v = get(key);
+  return v ? *v : fallback;
+}
+
+double ConfigSection::get_number(std::string_view key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_number_with_units(*v);
+  if (!parsed)
+    throw std::runtime_error(format("config: key '%.*s' has non-numeric value '%s'",
+                                    static_cast<int>(key.size()), key.data(), v->c_str()));
+  return *parsed;
+}
+
+long ConfigSection::get_integer(std::string_view key, long fallback) const {
+  return std::lround(get_number(key, static_cast<double>(fallback)));
+}
+
+bool ConfigSection::get_bool(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string s = lower(trim(*v));
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  throw std::runtime_error(format("config: key '%.*s' has non-boolean value '%s'",
+                                  static_cast<int>(key.size()), key.data(), v->c_str()));
+}
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  config.sections_.emplace_back("");  // the unnamed preamble section
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    // Strip comments (# and ;) and whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw std::runtime_error(format("config line %d: unterminated section header", line_no));
+      config.sections_.emplace_back(std::string(trim(line.substr(1, line.size() - 2))));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos)
+      throw std::runtime_error(format("config line %d: expected key = value", line_no));
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty())
+      throw std::runtime_error(format("config line %d: empty key", line_no));
+    config.sections_.back().set(key, value);
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+const ConfigSection* Config::section(std::string_view name) const {
+  for (const ConfigSection& s : sections_)
+    if (s.name() == name) return &s;
+  return nullptr;
+}
+
+std::vector<const ConfigSection*> Config::sections(std::string_view name) const {
+  std::vector<const ConfigSection*> out;
+  for (const ConfigSection& s : sections_)
+    if (s.name() == name) out.push_back(&s);
+  return out;
+}
+
+}  // namespace insched

@@ -1,0 +1,73 @@
+#pragma once
+
+// Minimal INI-style configuration reader used by the command-line planner:
+//
+//   # comment
+//   [section]          ; repeated section names create repeated sections
+//   key = value
+//
+// Values are kept as strings; typed getters parse on access. Sections with
+// the same name are preserved in order (used for repeated [analysis] blocks).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insched {
+
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& fallback = {}) const;
+  /// Parses a double; accepts unit suffixes KB/MB/GB/TB (decimal) and
+  /// KiB/MiB/GiB (binary), e.g. "16 GiB", "4.5GB", "250ms", "2h".
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] long get_integer(std::string_view key, long fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+class Config {
+ public:
+  /// Parses text; throws std::runtime_error with a line number on syntax
+  /// errors. Keys before any [section] land in an unnamed section "".
+  static Config parse(std::string_view text);
+
+  /// Loads and parses a file; throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  /// First section with this name, if any.
+  [[nodiscard]] const ConfigSection* section(std::string_view name) const;
+
+  /// All sections with this name, in file order.
+  [[nodiscard]] std::vector<const ConfigSection*> sections(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<ConfigSection>& all() const noexcept { return sections_; }
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+/// Parses a number with an optional unit suffix (see ConfigSection::get_number).
+/// Returns nullopt when the text is not a number.
+[[nodiscard]] std::optional<double> parse_number_with_units(std::string_view text);
+
+}  // namespace insched

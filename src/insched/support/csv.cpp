@@ -1,0 +1,43 @@
+#include "insched/support/csv.hpp"
+
+#include <stdexcept>
+
+#include "insched/support/string_util.hpp"
+
+namespace insched {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format("%.10g", v));
+  write_row(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace insched

@@ -1,0 +1,27 @@
+#pragma once
+
+// Minimal CSV writer for bench artifacts (plot-ready series).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace insched {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_values(const std::vector<double>& values);
+
+  /// Flushes and closes. Called by the destructor if not called explicitly.
+  void close();
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace insched

@@ -1,0 +1,37 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe at the line level (single write call).
+// Intended for library diagnostics; benches and examples print their own
+// structured output via support/table.hpp.
+
+#include <cstdio>
+#include <string>
+
+namespace insched {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; messages below it are discarded. Defaults to kWarn so
+/// library internals stay quiet unless asked.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (!detail::log_enabled(level)) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  detail::log_line(level, buf);
+}
+
+#define INSCHED_LOG_DEBUG(...) ::insched::log(::insched::LogLevel::kDebug, __VA_ARGS__)
+#define INSCHED_LOG_INFO(...) ::insched::log(::insched::LogLevel::kInfo, __VA_ARGS__)
+#define INSCHED_LOG_WARN(...) ::insched::log(::insched::LogLevel::kWarn, __VA_ARGS__)
+#define INSCHED_LOG_ERROR(...) ::insched::log(::insched::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace insched

@@ -1,0 +1,88 @@
+#include "insched/support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace insched {
+
+namespace {
+std::atomic<int> g_threads{0};
+
+int default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+int hardware_threads() noexcept { return default_threads(); }
+
+void set_thread_count(int count) noexcept { g_threads.store(count, std::memory_order_relaxed); }
+
+int thread_count() noexcept {
+  const int t = g_threads.load(std::memory_order_relaxed);
+  return t > 0 ? t : default_threads();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(thread_count()), n));
+  if (threads == 1 || n < grain) {
+    body(0, n);
+    return;
+  }
+#ifdef _OPENMP
+  const std::size_t chunk = (n + threads - 1) / threads;
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin < end) body(begin, end);
+  }
+#else
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  const std::size_t chunk = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin < end) pool.emplace_back([&, begin, end] { body(begin, end); });
+  }
+  for (auto& th : pool) th.join();
+#endif
+}
+
+double parallel_reduce_sum(std::size_t n, const std::function<double(std::size_t)>& term) {
+  if (n == 0) return 0.0;
+  if (thread_count() == 1 || n < 1024) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += term(i);
+    return total;
+  }
+#ifdef _OPENMP
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) num_threads(thread_count()) schedule(static)
+  for (long long i = 0; i < static_cast<long long>(n); ++i)
+    total += term(static_cast<std::size_t>(i));
+  return total;
+#else
+  std::atomic<double> total{0.0};
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    double local = 0.0;
+    for (std::size_t i = begin; i < end; ++i) local += term(i);
+    double expected = total.load();
+    while (!total.compare_exchange_weak(expected, expected + local)) {
+    }
+  });
+  return total.load();
+#endif
+}
+
+}  // namespace insched

@@ -1,0 +1,31 @@
+#pragma once
+
+// Shared-memory parallel helpers. The analysis kernels are data-parallel
+// loops with reductions — the same decomposition the paper's MPI kernels use
+// (local work + MPI_Allreduce); here the "ranks" are OpenMP threads and the
+// reduction is in shared memory.
+
+#include <cstddef>
+#include <functional>
+
+namespace insched {
+
+/// Number of worker threads the parallel helpers will use.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// Overrides the thread count (0 restores the hardware default). Benches use
+/// this to study kernel scaling.
+void set_thread_count(int count) noexcept;
+[[nodiscard]] int thread_count() noexcept;
+
+/// Runs body(begin, end) on chunked subranges of [0, n) across threads and
+/// blocks until done. Falls back to serial when n < grain or one thread.
+/// Use grain = 1 for coarse tasks (each index is substantial work).
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1024);
+
+/// Parallel sum-reduction: each thread accumulates term(i) over its chunk.
+[[nodiscard]] double parallel_reduce_sum(std::size_t n,
+                                         const std::function<double(std::size_t)>& term);
+
+}  // namespace insched

@@ -1,0 +1,103 @@
+#pragma once
+
+// xoshiro256** PRNG (Blackman & Vigna). Deterministic across platforms —
+// unlike std::mt19937 + std::uniform_real_distribution, whose outputs are
+// implementation-defined — so tests and synthetic workloads reproduce
+// bit-identically everywhere.
+
+#include <cmath>
+#include <cstdint>
+
+#include "insched/support/assert.hpp"
+
+namespace insched {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    INSCHED_ASSERT(n > 0);
+    // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw, which
+    // is negligible for workload generation.
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    INSCHED_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_ratio(s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_ratio(double s) noexcept { return std::sqrt(-2.0 * std::log(s) / s); }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace insched

@@ -1,0 +1,121 @@
+#include "insched/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "insched/support/assert.hpp"
+
+namespace insched {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> values, double q) {
+  INSCHED_EXPECTS(!values.empty());
+  INSCHED_EXPECTS(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> actual) {
+  INSCHED_EXPECTS(predicted.size() == actual.size());
+  INSCHED_EXPECTS(!actual.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    INSCHED_EXPECTS(actual[i] != 0.0);
+    total += std::abs(predicted[i] - actual[i]) / std::abs(actual[i]);
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+double max_relative_error(std::span<const double> predicted,
+                          std::span<const double> actual) {
+  INSCHED_EXPECTS(predicted.size() == actual.size());
+  INSCHED_EXPECTS(!actual.empty());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    INSCHED_EXPECTS(actual[i] != 0.0);
+    worst = std::max(worst, std::abs(predicted[i] - actual[i]) / std::abs(actual[i]));
+  }
+  return worst;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  INSCHED_EXPECTS(x.size() == y.size());
+  INSCHED_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  INSCHED_EXPECTS(denom != 0.0);
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += r * r;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace insched

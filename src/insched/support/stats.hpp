@@ -1,0 +1,66 @@
+#pragma once
+
+// Small descriptive-statistics helpers used by the profiler, the performance
+// model and the benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace insched {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double sum = 0.0;
+};
+
+/// Summarizes `values`; empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 100]. Precondition: non-empty.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Mean absolute relative error of `predicted` vs `actual` (same length,
+/// actual entries non-zero). Used to evaluate interpolation accuracy (Fig 2).
+[[nodiscard]] double mean_relative_error(std::span<const double> predicted,
+                                         std::span<const double> actual);
+
+/// Max absolute relative error; same preconditions as mean_relative_error.
+[[nodiscard]] double max_relative_error(std::span<const double> predicted,
+                                        std::span<const double> actual);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares fit y = slope*x + intercept. Needs >= 2 points.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Online accumulator (Welford) for streaming mean/variance.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace insched

@@ -1,0 +1,78 @@
+#include "insched/support/string_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace insched {
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+  };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs < 1e-6) return format("%.1f ns", seconds * 1e9);
+  if (abs < 1e-3) return format("%.2f us", seconds * 1e6);
+  if (abs < 1.0) return format("%.2f ms", seconds * 1e3);
+  if (abs < 120.0) return format("%.2f s", seconds);
+  if (abs < 7200.0) return format("%.1f min", seconds / 60.0);
+  return format("%.2f h", seconds / 3600.0);
+}
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs < 1024.0) return format("%.0f B", bytes);
+  if (abs < 1024.0 * 1024.0) return format("%.2f KiB", bytes / 1024.0);
+  if (abs < 1024.0 * 1024.0 * 1024.0) return format("%.2f MiB", bytes / (1024.0 * 1024.0));
+  return format("%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace insched

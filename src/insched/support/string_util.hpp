@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insched {
+
+/// Formats with printf semantics into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Human-readable seconds: "12.3 ms", "4.56 s", "1 h 02 m".
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Human-readable bytes: "1.50 GiB".
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace insched

@@ -1,0 +1,74 @@
+#include "insched/support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "insched/support/assert.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched {
+
+void Table::set_header(std::vector<std::string> header) {
+  INSCHED_EXPECTS(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) INSCHED_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_cell(double v) { return format("%.4g", v); }
+std::string Table::to_cell(int v) { return format("%d", v); }
+std::string Table::to_cell(long v) { return format("%ld", v); }
+std::string Table::to_cell(unsigned long v) { return format("%lu", v); }
+
+std::string Table::render() const {
+  const std::size_t cols = header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                                           : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < std::min(cols, row.size()); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  const auto rule = [&] {
+    out += '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.append(width[c] + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out += '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += ' ';
+      out += cell;
+      out.append(width[c] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace insched

@@ -1,0 +1,48 @@
+#pragma once
+
+// ASCII table renderer used by the experiment benches to print paper-style
+// tables ("paper vs measured" rows) in a readable fixed-width layout.
+
+#include <string>
+#include <vector>
+
+namespace insched {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with printf-style "%g"/"%s" free mix.
+  template <typename... Cells>
+  void add(Cells&&... cells) {
+    add_row({to_cell(std::forward<Cells>(cells))...});
+  }
+
+  /// Renders with column widths fitted to content.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(std::string&& s) { return std::move(s); }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v);
+  static std::string to_cell(long v);
+  static std::string to_cell(unsigned long v);
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace insched

@@ -1,0 +1,24 @@
+#pragma once
+
+// Unit helpers. Times are plain `double` seconds and memory plain `double`
+// bytes throughout the library; these helpers make call sites read naturally
+// (`4.0 * GiB`) and keep conversion factors in one place.
+
+namespace insched {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+inline constexpr double TiB = 1024.0 * GiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+
+/// Converts bytes to GiB for display.
+[[nodiscard]] constexpr double to_gib(double bytes) noexcept { return bytes / GiB; }
+
+}  // namespace insched

@@ -1,0 +1,159 @@
+// End-to-end reproduction checks of the paper's evaluation rows from the
+// calibrated case studies — these are the same computations the benches
+// print, asserted as regression tests.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/scheduler/recommend.hpp"
+#include "insched/scheduler/solver.hpp"
+
+namespace insched::casestudy {
+namespace {
+
+using scheduler::ScheduleProblem;
+using scheduler::ScheduleSolution;
+using scheduler::SolveOptions;
+using scheduler::solve_schedule;
+
+long total(const std::vector<long>& v) { return std::accumulate(v.begin(), v.end(), 0L); }
+
+TEST(Table5, ThresholdSweepFrequencies) {
+  // Paper Table 5 (100 M atoms, 16384 cores): A1=A2=A3=10 at every
+  // threshold; A4 = 4 / 2 / 1 / 0 at 20 / 10 / 5 / 1 %.
+  const std::vector<std::pair<double, long>> expected{
+      {0.20, 4}, {0.10, 2}, {0.05, 1}, {0.01, 0}};
+  for (const auto& [fraction, a4] : expected) {
+    const ScheduleProblem problem =
+        water_ions_problem(16384, fraction, true, kWaterIonsTable5SimTime);
+    const ScheduleSolution sol = solve_schedule(problem);
+    ASSERT_TRUE(sol.solved);
+    ASSERT_EQ(sol.frequencies.size(), 4u);
+    EXPECT_EQ(sol.frequencies[0], 10) << "threshold " << fraction;
+    EXPECT_EQ(sol.frequencies[1], 10);
+    EXPECT_EQ(sol.frequencies[2], 10);
+    EXPECT_EQ(sol.frequencies[3], a4) << "threshold " << fraction;
+    EXPECT_TRUE(sol.validation.feasible);
+  }
+}
+
+TEST(Table5, AnalysesTimesMatchPaper) {
+  // Visible analysis times: 103.47 / 52.79 / 27.45 / 2.11 s (paper column 6).
+  const std::vector<std::pair<double, double>> expected{
+      {0.20, 103.47}, {0.10, 52.79}, {0.05, 27.45}, {0.01, 2.11}};
+  for (const auto& [fraction, seconds] : expected) {
+    const ScheduleProblem problem =
+        water_ions_problem(16384, fraction, true, kWaterIonsTable5SimTime);
+    const ScheduleSolution sol = solve_schedule(problem);
+    ASSERT_TRUE(sol.solved);
+    double visible = 0.0;
+    for (const auto& tb : sol.validation.breakdown) visible += tb.visible();
+    EXPECT_NEAR(visible, seconds, 0.25) << "threshold " << fraction;
+  }
+}
+
+TEST(Figure5, StrongScalingA4Falloff) {
+  // Paper Figure 5: with a 10% threshold and analyses {A1, A2, A4}, A1 and
+  // A2 stay at 10 on all core counts while A4 drops 10, 8, 4, 2, 1.
+  const std::vector<long> expected_a4{10, 8, 4, 2, 1};
+  const auto& cores = water_ions_core_counts();
+  for (std::size_t k = 0; k < cores.size(); ++k) {
+    const ScheduleProblem problem =
+        water_ions_problem(cores[k], 0.10, /*include_vacf=*/false);
+    const ScheduleSolution sol = solve_schedule(problem);
+    ASSERT_TRUE(sol.solved) << cores[k];
+    EXPECT_EQ(sol.frequencies[0], 10) << cores[k];
+    EXPECT_EQ(sol.frequencies[1], 10) << cores[k];
+    EXPECT_EQ(sol.frequencies[2], expected_a4[k]) << cores[k];
+  }
+}
+
+TEST(Table6, TotalThresholdSweep) {
+  // Paper Table 6 (1 G atoms rhodopsin, 32768 cores): total analyses
+  // 21 / 15 / 13 / 11 / 10 for budgets 200 / 100 / 60 / 20 / 10 s, with R1
+  // always at its maximum frequency 10.
+  const std::vector<std::pair<double, long>> expected{
+      {200.0, 21}, {100.0, 15}, {60.0, 13}, {20.0, 11}, {10.0, 10}};
+  for (const auto& [budget, count] : expected) {
+    const ScheduleProblem problem = rhodopsin_problem(budget);
+    const ScheduleSolution sol = solve_schedule(problem);
+    ASSERT_TRUE(sol.solved);
+    EXPECT_EQ(total(sol.frequencies), count) << "budget " << budget;
+    EXPECT_EQ(sol.frequencies[0], 10) << "budget " << budget;
+    EXPECT_TRUE(sol.validation.feasible);
+    // Utilization: paper reports >= 85% for budgets where R2/R3 fit.
+    if (budget >= 20.0 && budget <= 200.0) {
+      EXPECT_GT(sol.validation.utilization(), 0.80) << "budget " << budget;
+    }
+  }
+}
+
+TEST(Table7, OutputFrequencyTradeoff) {
+  // Paper Table 7: halving the simulation output frequency frees output
+  // time (200.6 -> 100.3 -> 50.1 s in the paper, which implies a fractional
+  // 2.5 output steps for the last row; with whole output steps the closest
+  // realizable point is 3 outputs = 60.2 s). The recommended analysis count
+  // grows 12 -> 18 -> 21 exactly as in the paper.
+  ScheduleProblem problem = rhodopsin_problem(50.0);
+  const auto rows = scheduler::output_tradeoff(
+      problem, kRhodoSimOutputBytes, rhodopsin_write_bw(), kRhodoDefaultOutputSteps, 50.0,
+      {10, 5, 3});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NEAR(rows[0].output_seconds, 200.6, 0.1);
+  EXPECT_NEAR(rows[1].output_seconds, 100.3, 0.1);
+  EXPECT_NEAR(rows[2].output_seconds, 60.18, 0.1);
+  EXPECT_EQ(rows[0].total_analyses, 12);
+  EXPECT_EQ(rows[1].total_analyses, 18);
+  EXPECT_EQ(rows[2].total_analyses, 21);
+}
+
+TEST(Table8, EqualWeightsThrottleVorticity) {
+  // I1 = (1,1,1): F1 once, F2 and F3 at the maximum frequency 10.
+  const ScheduleProblem problem = flash_problem({1.0, 1.0, 1.0});
+  const ScheduleSolution sol = solve_schedule(problem);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies, (std::vector<long>{1, 10, 10}));
+}
+
+TEST(Table8, PriorityWeightsBoostVorticity) {
+  // I2 = (2,1,2) under the lexicographic (strict-priority) reading:
+  // F1 = 5, F2 = 0, F3 = 10 — the paper's row.
+  const ScheduleProblem problem = flash_problem({2.0, 1.0, 2.0});
+  SolveOptions options;
+  options.weight_mode = scheduler::WeightMode::kLexicographic;
+  const ScheduleSolution sol = solve_schedule(problem, options);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies, (std::vector<long>{5, 0, 10}));
+  EXPECT_TRUE(sol.validation.feasible);
+}
+
+TEST(Table8, WeightedSumModePrefersCheapMix) {
+  // Under the plain Eq-1 weighted sum, (1,10,10) dominates (5,0,10) for any
+  // costs — documented in EXPERIMENTS.md. Verify our exact solver agrees.
+  const ScheduleProblem problem = flash_problem({2.0, 1.0, 2.0});
+  const ScheduleSolution sol = solve_schedule(problem);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies, (std::vector<long>{1, 10, 10}));
+}
+
+TEST(CaseStudies, SolverRuntimesAreCplexLike) {
+  // Paper Section 5.3: CPLEX solve times 0.17 - 1.36 s. Our branch-and-bound
+  // on the same instances should be comfortably within the same order.
+  double worst = 0.0;
+  for (double fraction : {0.20, 0.10, 0.05, 0.01}) {
+    const ScheduleSolution sol = solve_schedule(water_ions_problem(16384, fraction));
+    worst = std::max(worst, sol.solver_seconds);
+  }
+  for (double budget : {200.0, 100.0, 60.0, 20.0, 10.0}) {
+    const ScheduleSolution sol = solve_schedule(rhodopsin_problem(budget));
+    worst = std::max(worst, sol.solver_seconds);
+  }
+  EXPECT_LT(worst, 1.5);
+}
+
+}  // namespace
+}  // namespace insched::casestudy

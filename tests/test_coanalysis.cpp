@@ -1,0 +1,244 @@
+// Tests for the co-analysis (in-transit) extension: mode selection follows
+// the paper's qualitative guidance — cheap analyses stay in-situ, compute-
+// heavy/low-data analyses move to staging, data-heavy analyses stay put; and
+// the staging resource budgets bind correctly.
+
+#include <gtest/gtest.h>
+
+#include "insched/machine/energy.hpp"
+#include "insched/runtime/hybrid_exec.hpp"
+#include "insched/scheduler/coanalysis.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::scheduler {
+namespace {
+
+AnalysisParams insitu_analysis(std::string name, double ct, long itv, double weight = 1.0) {
+  AnalysisParams a;
+  a.name = std::move(name);
+  a.ct = ct;
+  a.ot = 0.0;
+  a.itv = itv;
+  a.weight = weight;
+  return a;
+}
+
+CoanalysisProblem base_problem(double budget_seconds) {
+  CoanalysisProblem p;
+  p.base.steps = 1000;
+  p.base.threshold_kind = ThresholdKind::kTotalSeconds;
+  p.base.threshold = budget_seconds;
+  p.base.output_policy = OutputPolicy::kEveryAnalysis;
+  p.network_bw = 1e9;  // 1 GB/s to staging
+  p.stage_capacity_seconds = 500.0;
+  p.stage_memory = 8e9;
+  return p;
+}
+
+TEST(Coanalysis, CheapAnalysisStaysInsitu) {
+  CoanalysisProblem p = base_problem(100.0);
+  p.base.analyses.push_back(insitu_analysis("cheap", 0.1, 100));
+  // Staging it would cost 2 s of transfer per step vs 0.1 s in-situ.
+  p.remote.push_back(StagingParams{.transfer_bytes = 2e9, .stage_ct = 0.1, .stage_mem = 1e6});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.modes[0], ExecutionMode::kInsitu);
+  EXPECT_EQ(sol.frequencies[0], 10);
+}
+
+TEST(Coanalysis, HeavyComputeSmallDataMovesToStaging) {
+  // In-situ it eats 30 s/step of a 50 s budget (1 step); staged, the sim
+  // only pays 0.5 s transfer per step -> full frequency.
+  CoanalysisProblem p = base_problem(50.0);
+  p.base.analyses.push_back(insitu_analysis("pca", 30.0, 100));
+  p.remote.push_back(StagingParams{.transfer_bytes = 5e8, .stage_ct = 30.0, .stage_mem = 1e9});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.modes[0], ExecutionMode::kStaging);
+  EXPECT_EQ(sol.frequencies[0], 10);
+  EXPECT_NEAR(sol.network_bytes, 5e9, 1.0);
+  EXPECT_NEAR(sol.staging_seconds, 300.0, 1e-9);
+}
+
+TEST(Coanalysis, HugeDataStaysInsituDespiteComputeCost) {
+  // Shipping 100 GB per step (100 s of transfer) is worse than computing
+  // 3 s in-situ — the paper's "faster in some cases to analyze in-situ than
+  // to transfer" observation.
+  CoanalysisProblem p = base_problem(40.0);
+  p.base.analyses.push_back(insitu_analysis("rdf-on-raw", 3.0, 100));
+  p.remote.push_back(
+      StagingParams{.transfer_bytes = 100e9, .stage_ct = 0.5, .stage_mem = 1e9});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.modes[0], ExecutionMode::kInsitu);
+  EXPECT_EQ(sol.frequencies[0], 10);
+}
+
+TEST(Coanalysis, StagingCapacityBindsFrequency) {
+  CoanalysisProblem p = base_problem(20.0);
+  p.stage_capacity_seconds = 100.0;
+  p.base.analyses.push_back(insitu_analysis("expensive", 50.0, 100));
+  p.remote.push_back(StagingParams{.transfer_bytes = 1e8, .stage_ct = 40.0, .stage_mem = 1e8});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.modes[0], ExecutionMode::kStaging);
+  EXPECT_EQ(sol.frequencies[0], 2);  // 2 x 40 s fits the 100 s staging budget
+}
+
+TEST(Coanalysis, StagingMemoryExcludesLargeResidents) {
+  CoanalysisProblem p = base_problem(10.0);
+  p.stage_memory = 1e9;
+  p.base.analyses.push_back(insitu_analysis("large-resident", 20.0, 100));
+  p.remote.push_back(StagingParams{.transfer_bytes = 1e8, .stage_ct = 1.0, .stage_mem = 2e9});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  // Staging memory forbids the move; in-situ does not fit the 10 s budget.
+  EXPECT_EQ(sol.modes[0], ExecutionMode::kSkipped);
+  EXPECT_EQ(sol.frequencies[0], 0);
+}
+
+TEST(Coanalysis, TransferOverlapEnablesStaging) {
+  CoanalysisProblem p = base_problem(15.0);
+  p.base.analyses.push_back(insitu_analysis("borderline", 5.0, 100));
+  p.remote.push_back(StagingParams{.transfer_bytes = 2e9, .stage_ct = 5.0, .stage_mem = 1e8});
+  // Blocking transfers: 2 s/step -> 7 steps affordable either way; in-situ
+  // gives 3 (15/5); staging 7 (15/2).
+  const CoanalysisSolution blocking = solve_coanalysis(p);
+  ASSERT_TRUE(blocking.solved);
+  EXPECT_EQ(blocking.modes[0], ExecutionMode::kStaging);
+  EXPECT_EQ(blocking.frequencies[0], 7);
+  // 90% overlap: 0.2 s visible/step -> full frequency.
+  p.transfer_overlap = 0.9;
+  const CoanalysisSolution overlapped = solve_coanalysis(p);
+  ASSERT_TRUE(overlapped.solved);
+  EXPECT_EQ(overlapped.frequencies[0], 10);
+}
+
+TEST(Coanalysis, DisabledStagingMatchesInsituSolver) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    CoanalysisProblem p = base_problem(rng.uniform(10.0, 80.0));
+    const int n = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < n; ++i) {
+      p.base.analyses.push_back(insitu_analysis("a" + std::to_string(i),
+                                                rng.uniform(0.5, 8.0),
+                                                rng.uniform_int(50, 200),
+                                                rng.uniform(0.5, 2.0)));
+      p.remote.push_back(StagingParams{.transfer_bytes = 1e9, .stage_ct = 1.0,
+                                       .stage_mem = 1e8});
+    }
+    p.stage_capacity_seconds = 0.0;  // staging unusable
+    const CoanalysisSolution hybrid = solve_coanalysis(p);
+    const ScheduleSolution insitu_only = solve_schedule(p.base);
+    ASSERT_TRUE(hybrid.solved);
+    ASSERT_TRUE(insitu_only.solved);
+    EXPECT_NEAR(hybrid.objective, insitu_only.objective, 1e-6);
+    for (const ExecutionMode mode : hybrid.modes)
+      EXPECT_NE(mode, ExecutionMode::kStaging);
+  }
+}
+
+TEST(Coanalysis, HybridNeverWorseThanInsituOnly) {
+  Rng rng(315);
+  for (int trial = 0; trial < 15; ++trial) {
+    CoanalysisProblem p = base_problem(rng.uniform(10.0, 60.0));
+    const int n = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < n; ++i) {
+      p.base.analyses.push_back(insitu_analysis("a" + std::to_string(i),
+                                                rng.uniform(0.5, 20.0),
+                                                rng.uniform_int(50, 250),
+                                                rng.uniform(0.5, 2.0)));
+      p.remote.push_back(StagingParams{.transfer_bytes = rng.uniform(1e8, 20e9),
+                                       .stage_ct = rng.uniform(0.5, 10.0),
+                                       .stage_mem = rng.uniform(1e7, 4e9)});
+    }
+    const CoanalysisSolution hybrid = solve_coanalysis(p);
+    const ScheduleSolution insitu_only = solve_schedule(p.base);
+    ASSERT_TRUE(hybrid.solved);
+    ASSERT_TRUE(insitu_only.solved);
+    EXPECT_GE(hybrid.objective, insitu_only.objective - 1e-6);
+  }
+}
+
+TEST(Coanalysis, ValidatesInputs) {
+  CoanalysisProblem p = base_problem(10.0);
+  p.base.analyses.push_back(insitu_analysis("a", 1.0, 100));
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // remote size mismatch
+  p.remote.push_back(StagingParams{});
+  p.transfer_overlap = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.transfer_overlap = 0.0;
+  p.base.output_policy = OutputPolicy::kOptimized;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+
+TEST(HybridExec, StagingDrainsBehindSimulation) {
+  // 10 staged steps of 30 s compute over a 870 s run: staging keeps up, the
+  // sim lane is the critical path.
+  CoanalysisProblem p = base_problem(50.0);
+  p.base.sim_time_per_step = 0.87;
+  p.base.analyses.push_back(insitu_analysis("pca", 30.0, 100));
+  p.remote.push_back(StagingParams{.transfer_bytes = 5e8, .stage_ct = 30.0, .stage_mem = 1e9});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  ASSERT_EQ(sol.modes[0], ExecutionMode::kStaging);
+
+  const runtime::HybridRunReport report = runtime::hybrid_execute(p, sol);
+  EXPECT_GT(report.sim_lane_seconds, 870.0);  // sim steps dominate
+  EXPECT_NEAR(report.staging_busy_seconds, 300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.end_to_end_seconds, report.staging_lane_seconds);
+  EXPECT_NEAR(report.network_bytes, 5e9, 1.0);
+  // Staging keeps pace: the backlog never exceeds one analysis, and the run
+  // extends past the simulation only by the final analysis (whose transfer
+  // arrives at the last step).
+  EXPECT_LE(report.peak_staging_backlog_seconds, 30.0 + 1e-9);
+  EXPECT_LE(report.end_to_end_seconds - report.sim_lane_seconds, 30.0 + 1e-9);
+}
+
+TEST(HybridExec, SlowStagingBecomesCriticalPath) {
+  // A staged kernel needing 200 s per step on a short run: the staging lane
+  // finishes long after the simulation.
+  CoanalysisProblem p = base_problem(50.0);
+  p.base.steps = 100;
+  p.base.sim_time_per_step = 0.1;
+  p.stage_capacity_seconds = 1e9;
+  p.base.analyses.push_back(insitu_analysis("deep", 45.0, 20));
+  p.remote.push_back(StagingParams{.transfer_bytes = 1e8, .stage_ct = 200.0,
+                                   .stage_mem = 1e8});
+  const CoanalysisSolution sol = solve_coanalysis(p);
+  ASSERT_TRUE(sol.solved);
+  ASSERT_EQ(sol.modes[0], ExecutionMode::kStaging);
+  const runtime::HybridRunReport report = runtime::hybrid_execute(p, sol);
+  EXPECT_TRUE(report.staging_is_critical_path);
+  EXPECT_GT(report.staging_lane_seconds, report.sim_lane_seconds);
+  EXPECT_GT(report.peak_staging_backlog_seconds, 100.0);
+}
+
+TEST(EnergyModel, AccountsComputeNetworkStorage) {
+  machine::EnergyModel energy(machine::EnergyParams{});
+  // 100 nodes busy 10 s: 100 * 80 W * 10 s = 80 kJ.
+  EXPECT_DOUBLE_EQ(energy.node_energy(100, 10.0), 80000.0);
+  // Idle draw at 70%.
+  EXPECT_DOUBLE_EQ(energy.node_energy(100, 0.0, 10.0), 56000.0);
+  EXPECT_DOUBLE_EQ(energy.transfer_energy(1e9), 0.5);
+  EXPECT_DOUBLE_EQ(energy.storage_energy(1e9), 2.0);
+  const machine::EnergyBreakdown run =
+      energy.run_energy(100, 10.0, 10, 5.0, 5.0, 1e9, 1e9);
+  EXPECT_DOUBLE_EQ(run.compute_joules, 80000.0 + 10 * 80.0 * 5.0 + 10 * 80.0 * 0.7 * 5.0);
+  EXPECT_DOUBLE_EQ(run.total(), run.compute_joules + 0.5 + 2.0);
+}
+
+TEST(EnergyModel, InsituBeatsPostprocessingOnIo) {
+  // Same analysis work; post-processing additionally writes + reads the full
+  // trajectory. With equal compute, the I/O bytes decide.
+  machine::EnergyModel energy(machine::EnergyParams{});
+  const double trajectory_bytes = 5e12;  // 5 TB of frames
+  const double insitu = energy.run_energy(1024, 600.0, 0, 0, 0, 0, 1e9).total();
+  const double post =
+      energy.run_energy(1024, 600.0, 0, 0, 0, 0, 1e9 + 2.0 * trajectory_bytes).total();
+  EXPECT_GT(post, insitu + 1e4);  // tens of kJ of storage traffic
+}
+}  // namespace
+}  // namespace insched::scheduler

@@ -1,0 +1,229 @@
+// Tests for the INI config reader, unit parsing, the problem loader used by
+// the insched_plan CLI, and the sensitivity analyzer.
+
+#include <gtest/gtest.h>
+
+#include "insched/scheduler/problem_io.hpp"
+#include "insched/scheduler/sensitivity.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/support/config.hpp"
+
+namespace insched {
+namespace {
+
+TEST(UnitParsing, NumbersAndSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("2e3"), 2000.0);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("4 GB"), 4e9);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("16GiB"), 16.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("2 TiB"), 2.0 * 1024.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("250 ms"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("3 s"), 3.0);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("2 h"), 7200.0);
+  EXPECT_DOUBLE_EQ(*parse_number_with_units("10 %"), 0.1);
+  EXPECT_FALSE(parse_number_with_units("abc").has_value());
+  EXPECT_FALSE(parse_number_with_units("3 parsecs").has_value());
+  EXPECT_FALSE(parse_number_with_units("").has_value());
+}
+
+TEST(ConfigParse, SectionsKeysComments) {
+  const Config config = Config::parse(
+      "top = 1\n"
+      "# full-line comment\n"
+      "[alpha]\n"
+      "x = 10   ; trailing comment\n"
+      "y = hello world\n"
+      "[beta]\n"
+      "x = 2.5\n"
+      "[alpha]\n"
+      "x = 99\n");
+  ASSERT_NE(config.section(""), nullptr);
+  EXPECT_DOUBLE_EQ(config.section("")->get_number("top", 0), 1.0);
+  const auto alphas = config.sections("alpha");
+  ASSERT_EQ(alphas.size(), 2u);
+  EXPECT_DOUBLE_EQ(alphas[0]->get_number("x", 0), 10.0);
+  EXPECT_EQ(alphas[0]->get_string("y"), "hello world");
+  EXPECT_DOUBLE_EQ(alphas[1]->get_number("x", 0), 99.0);
+  EXPECT_DOUBLE_EQ(config.section("beta")->get_number("x", 0), 2.5);
+  EXPECT_EQ(config.section("gamma"), nullptr);
+}
+
+TEST(ConfigParse, LastAssignmentWinsWithinSection) {
+  const Config config = Config::parse("[s]\nk = 1\nk = 2\n");
+  EXPECT_DOUBLE_EQ(config.section("s")->get_number("k", 0), 2.0);
+}
+
+TEST(ConfigParse, BooleansAndFallbacks) {
+  const Config config = Config::parse("[s]\nyes1 = true\nno1 = off\n");
+  const ConfigSection* s = config.section("s");
+  EXPECT_TRUE(s->get_bool("yes1", false));
+  EXPECT_FALSE(s->get_bool("no1", true));
+  EXPECT_TRUE(s->get_bool("missing", true));
+  EXPECT_EQ(s->get_integer("missing", 7), 7);
+}
+
+TEST(ConfigParse, SyntaxErrorsCarryLineNumbers) {
+  EXPECT_THROW((void)Config::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW((void)Config::parse("[s]\nno_equals_here\n"), std::runtime_error);
+  EXPECT_THROW((void)Config::parse("[s]\n= value\n"), std::runtime_error);
+}
+
+namespace sched = ::insched::scheduler;
+
+TEST(ProblemIo, LoadsFullProblem) {
+  const sched::ScheduleProblem p = sched::problem_from_string(
+      "[run]\n"
+      "steps = 500\n"
+      "sim_time_per_step = 1.2 s\n"
+      "threshold = 8 %\n"
+      "threshold_kind = fraction\n"
+      "memory = 2 GB\n"
+      "bandwidth = 1 GB\n"
+      "output_policy = optimized\n"
+      "[analysis]\n"
+      "name = temporal\n"
+      "ft = 3 s\nit = 2 ms\nim = 40 MB\nct = 2.5 s\ncm = 100 MB\nom = 400 MB\n"
+      "itv = 10\nweight = 2\n"
+      "[analysis]\n"
+      "name = spectrum\n"
+      "ct = 0.9\nitv = 25\n");
+  EXPECT_EQ(p.steps, 500);
+  EXPECT_DOUBLE_EQ(p.sim_time_per_step, 1.2);
+  EXPECT_DOUBLE_EQ(p.threshold, 0.08);
+  EXPECT_EQ(p.threshold_kind, sched::ThresholdKind::kFractionOfSimTime);
+  EXPECT_DOUBLE_EQ(p.mth, 2e9);
+  EXPECT_EQ(p.output_policy, sched::OutputPolicy::kOptimized);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.analyses[0].name, "temporal");
+  EXPECT_DOUBLE_EQ(p.analyses[0].it, 0.002);
+  EXPECT_DOUBLE_EQ(p.analyses[0].im, 40e6);
+  EXPECT_DOUBLE_EQ(p.analyses[0].weight, 2.0);
+  EXPECT_EQ(p.analyses[0].itv, 10);
+  EXPECT_EQ(p.analyses[1].itv, 25);
+}
+
+TEST(ProblemIo, RejectsIncompleteConfigs) {
+  EXPECT_THROW((void)sched::problem_from_string("[analysis]\nname = x\n"),
+               std::runtime_error);  // no [run]
+  EXPECT_THROW((void)sched::problem_from_string("[run]\nsteps = 10\n"),
+               std::runtime_error);  // no analyses
+  EXPECT_THROW((void)sched::problem_from_string("[run]\nsteps = 10\n[analysis]\nct = 1\n"),
+               std::runtime_error);  // unnamed analysis
+  EXPECT_THROW(
+      (void)sched::problem_from_string(
+          "[run]\nsteps = 10\nthreshold_kind = bogus\n[analysis]\nname = a\n"),
+      std::runtime_error);
+}
+
+TEST(ProblemIo, RoundTripsThroughConfigText) {
+  sched::ScheduleProblem p;
+  p.steps = 777;
+  p.sim_time_per_step = 0.25;
+  p.threshold = 12.5;
+  p.threshold_kind = sched::ThresholdKind::kTotalSeconds;
+  p.mth = 3e9;
+  p.bw = 2e9;
+  p.output_policy = sched::OutputPolicy::kOptimized;
+  sched::AnalysisParams a;
+  a.name = "alpha";
+  a.ft = 0.5;
+  a.it = 0.001;
+  a.ct = 1.5;
+  a.fm = 1e6;
+  a.im = 2e6;
+  a.cm = 3e6;
+  a.om = 4e6;
+  a.weight = 2.5;
+  a.itv = 7;
+  p.analyses.push_back(a);
+
+  const sched::ScheduleProblem q = sched::problem_from_string(sched::problem_to_config(p));
+  EXPECT_EQ(q.steps, p.steps);
+  EXPECT_DOUBLE_EQ(q.threshold, p.threshold);
+  EXPECT_EQ(q.threshold_kind, p.threshold_kind);
+  EXPECT_DOUBLE_EQ(q.mth, p.mth);
+  EXPECT_EQ(q.output_policy, p.output_policy);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.analyses[0].name, "alpha");
+  EXPECT_DOUBLE_EQ(q.analyses[0].it, a.it);
+  EXPECT_DOUBLE_EQ(q.analyses[0].om, a.om);
+  EXPECT_DOUBLE_EQ(q.analyses[0].weight, a.weight);
+  EXPECT_EQ(q.analyses[0].itv, a.itv);
+}
+
+
+TEST(ProblemIo, HybridConfigLoadsStagingParams) {
+  const std::string text =
+      "[run]\n"
+      "steps = 1000\nsim_time_per_step = 0.87\nthreshold = 5 %\n"
+      "threshold_kind = fraction\noutput_policy = every_analysis\n"
+      "[staging]\n"
+      "network_bw = 16 GB\ncapacity = 870 s\nmemory = 1 TiB\n"
+      "transfer_overlap = 0.5\n"
+      "[analysis]\n"
+      "name = f1\nct = 8 s\nitv = 100\n"
+      "transfer_bytes = 40 GB\nstage_ct = 60 s\nstage_mem = 48 GiB\n";
+  const Config config = Config::parse(text);
+  EXPECT_TRUE(sched::has_staging_section(config));
+  const sched::CoanalysisProblem p = sched::coanalysis_from_config(config);
+  EXPECT_DOUBLE_EQ(p.network_bw, 16e9);
+  EXPECT_DOUBLE_EQ(p.stage_capacity_seconds, 870.0);
+  EXPECT_DOUBLE_EQ(p.transfer_overlap, 0.5);
+  ASSERT_EQ(p.remote.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.remote[0].transfer_bytes, 40e9);
+  EXPECT_DOUBLE_EQ(p.remote[0].stage_ct, 60.0);
+  // Visible transfer at 50% overlap: 40e9/16e9 * 0.5 = 1.25 s.
+  EXPECT_NEAR(p.transfer_time(0), 1.25, 1e-12);
+}
+
+TEST(ProblemIo, HybridConfigRequiresStagingSection) {
+  const Config config = Config::parse(
+      "[run]\nsteps = 10\n[analysis]\nname = a\nct = 1\n");
+  EXPECT_FALSE(sched::has_staging_section(config));
+  EXPECT_THROW((void)sched::coanalysis_from_config(config), std::runtime_error);
+}
+
+TEST(Sensitivity, BindingBudgetHasPositiveShadowPrice) {
+  // Tight budget: one more second clearly buys objective.
+  sched::ScheduleProblem p;
+  p.steps = 100;
+  p.threshold_kind = sched::ThresholdKind::kTotalSeconds;
+  p.threshold = 10.0;
+  sched::AnalysisParams a;
+  a.name = "a";
+  a.ct = 1.0;
+  a.itv = 5;  // max 20 steps, budget allows 10
+  p.analyses.push_back(a);
+
+  sched::SensitivityOptions options;
+  options.relative_delta = 0.15;  // +-1.5 s: enough to add/remove one step
+  const sched::SensitivityReport report = sched::analyze_sensitivity(p, options);
+  EXPECT_TRUE(report.time_constraint_binding);
+  EXPECT_GT(report.time_shadow_price, 0.0);
+  EXPECT_GT(report.objective_plus, report.objective);
+  EXPECT_LT(report.objective_minus, report.objective);
+  // One more step costs exactly 1 s.
+  EXPECT_GT(report.next_improvement_seconds, 0.0);
+  EXPECT_LE(report.next_improvement_seconds, 1.05);
+}
+
+TEST(Sensitivity, SlackBudgetHasNoImprovement) {
+  sched::ScheduleProblem p;
+  p.steps = 100;
+  p.threshold_kind = sched::ThresholdKind::kTotalSeconds;
+  p.threshold = 1000.0;  // everything fits
+  sched::AnalysisParams a;
+  a.name = "a";
+  a.ct = 1.0;
+  a.itv = 10;
+  p.analyses.push_back(a);
+
+  const sched::SensitivityReport report = sched::analyze_sensitivity(p);
+  EXPECT_FALSE(report.time_constraint_binding);
+  EXPECT_DOUBLE_EQ(report.objective, report.objective_plus);
+  EXPECT_LT(report.next_improvement_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace insched

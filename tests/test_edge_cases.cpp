@@ -1,0 +1,227 @@
+// Assorted edge-case and failure-path coverage across modules: empty inputs,
+// boundary sizes, error paths, and odd-but-legal configurations.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "insched/lp/lp_format.hpp"
+#include "insched/lp/simplex.hpp"
+#include "insched/machine/storage.hpp"
+#include "insched/scheduler/problem_io.hpp"
+#include "insched/scheduler/serialize.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/sim/grid/euler.hpp"
+#include "insched/sim/particles/cell_list.hpp"
+#include "insched/sim/particles/trajectory.hpp"
+#include "insched/support/config.hpp"
+#include "insched/support/log.hpp"
+#include "insched/support/string_util.hpp"
+#include "insched/support/table.hpp"
+
+namespace insched {
+namespace {
+
+TEST(EdgeCases, EmptyParticleSystemCellList) {
+  sim::ParticleSystem sys(sim::Box{5, 5, 5});
+  const sim::CellList cells(sys, 1.0);
+  int visits = 0;
+  cells.for_each_pair([&](std::size_t, std::size_t, double) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_GT(cells.num_cells(), 0u);
+}
+
+TEST(EdgeCases, SingleParticleHasNoPairs) {
+  sim::ParticleSystem sys(sim::Box{5, 5, 5});
+  sys.add_particle(sim::Species::kIon, 2.5, 2.5, 2.5);
+  const sim::CellList cells(sys, 2.0);
+  int visits = 0;
+  cells.for_each_pair([&](std::size_t, std::size_t, double) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(EdgeCases, TwoParticlesAcrossTheWholeBoxPeriodic) {
+  // Distance through the boundary is 1.0 even though coordinates differ by 4.
+  sim::ParticleSystem sys(sim::Box{5, 5, 5});
+  sys.add_particle(sim::Species::kIon, 0.5, 2.5, 2.5);
+  sys.add_particle(sim::Species::kIon, 4.5, 2.5, 2.5);
+  const sim::CellList cells(sys, 1.5);
+  int visits = 0;
+  double r2_seen = 0.0;
+  cells.for_each_pair([&](std::size_t, std::size_t, double r2) {
+    ++visits;
+    r2_seen = r2;
+  });
+  EXPECT_EQ(visits, 1);
+  EXPECT_NEAR(r2_seen, 1.0, 1e-12);
+}
+
+TEST(EdgeCases, TrajectoryReaderRejectsGarbage) {
+  machine::TempDir dir("edge");
+  const std::string path = dir.file("bad.itrj").string();
+  std::ofstream(path) << "this is not a trajectory";
+  EXPECT_THROW((void)sim::TrajectoryReader{path}, std::runtime_error);
+  EXPECT_THROW((void)sim::TrajectoryReader{"/nonexistent/nowhere.itrj"}, std::runtime_error);
+}
+
+TEST(EdgeCases, TrajectoryTruncatedFrameDetected) {
+  machine::TempDir dir("edge2");
+  const std::string path = dir.file("trunc.itrj").string();
+  sim::ParticleSystem sys(sim::Box{5, 5, 5});
+  for (int i = 0; i < 8; ++i) sys.add_particle(sim::Species::kIon, 1, 1, 1);
+  {
+    sim::TrajectoryWriter writer(path, 8);
+    writer.write_frame(1, sys);
+    writer.close();
+  }
+  // Chop the file mid-frame.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 50);
+  sim::TrajectoryReader reader(path);
+  sim::TrajectoryFrame frame;
+  EXPECT_FALSE(reader.read_frame(frame));  // graceful end, no crash
+}
+
+TEST(EdgeCases, ScheduleProblemWithoutAnalyses) {
+  scheduler::ScheduleProblem p;
+  p.steps = 10;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 5.0;
+  const scheduler::ScheduleSolution sol = scheduler::solve_schedule(p);
+  EXPECT_TRUE(sol.solved);
+  EXPECT_TRUE(sol.frequencies.empty());
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(EdgeCases, ZeroBudgetSchedulesNothing) {
+  scheduler::ScheduleProblem p;
+  p.steps = 100;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 0.0;
+  scheduler::AnalysisParams a;
+  a.name = "a";
+  a.ct = 1.0;
+  a.itv = 10;
+  p.analyses.push_back(a);
+  const scheduler::ScheduleSolution sol = scheduler::solve_schedule(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies[0], 0);
+}
+
+TEST(EdgeCases, FreeCostAnalysisMaxesOut) {
+  // ct = 0: the only caps are the interval rule.
+  scheduler::ScheduleProblem p;
+  p.steps = 100;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 0.0;
+  scheduler::AnalysisParams a;
+  a.name = "free";
+  a.ct = 0.0;
+  a.itv = 7;
+  p.analyses.push_back(a);
+  const scheduler::ScheduleSolution sol = scheduler::solve_schedule(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies[0], 100 / 7);
+  EXPECT_TRUE(sol.validation.feasible);
+}
+
+TEST(EdgeCases, SingleStepProblem) {
+  scheduler::ScheduleProblem p;
+  p.steps = 1;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 10.0;
+  scheduler::AnalysisParams a;
+  a.name = "once";
+  a.ct = 1.0;
+  a.itv = 1;
+  p.analyses.push_back(a);
+  const scheduler::ScheduleSolution sol = scheduler::solve_schedule(p);
+  ASSERT_TRUE(sol.solved);
+  EXPECT_EQ(sol.frequencies[0], 1);
+  EXPECT_EQ(sol.schedule.analysis(0).analysis_steps, (std::vector<long>{1}));
+}
+
+TEST(EdgeCases, ConfigFileRoundTripThroughDisk) {
+  machine::TempDir dir("cfg");
+  const std::string path = dir.file("p.ini").string();
+  scheduler::ScheduleProblem p;
+  p.steps = 123;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 9.5;
+  scheduler::AnalysisParams a;
+  a.name = "disk";
+  a.ct = 0.25;
+  a.itv = 3;
+  p.analyses.push_back(a);
+  std::ofstream(path) << scheduler::problem_to_config(p);
+  const scheduler::ScheduleProblem loaded =
+      scheduler::problem_from_config(Config::load(path));
+  EXPECT_EQ(loaded.steps, 123);
+  EXPECT_EQ(loaded.analyses[0].itv, 3);
+  EXPECT_THROW((void)Config::load("/nonexistent/p.ini"), std::runtime_error);
+}
+
+TEST(EdgeCases, LpFormatFileRoundTrip) {
+  machine::TempDir dir("lp");
+  const std::string path = dir.file("m.lp").string();
+  lp::Model m;
+  m.set_sense(lp::Sense::kMaximize);
+  const int x = m.add_column("x", 0, 7, 2.0, lp::VarType::kInteger);
+  m.add_row("r", lp::RowType::kLe, 5.5, {{x, 1.0}});
+  std::ofstream(path) << lp::write_lp(m);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const lp::Model parsed = lp::read_lp(buffer.str());
+  const lp::SimplexResult res = lp::solve_lp(parsed);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.objective, 11.0, 1e-9);  // LP relaxation: 2 * 5.5
+}
+
+TEST(EdgeCases, GanttHandlesEmptyAndWideSchedules) {
+  EXPECT_NE(scheduler::render_gantt(scheduler::Schedule{}, 40).find("empty"),
+            std::string::npos);
+  // One analysis step in a one-step schedule at minimal width.
+  const scheduler::Schedule tiny(1, {scheduler::AnalysisSchedule{"t", {1}, {1}}});
+  const std::string gantt = scheduler::render_gantt(tiny, 10);
+  EXPECT_NE(gantt.find('O'), std::string::npos);
+}
+
+TEST(EdgeCases, TableWithoutHeaderRenders) {
+  Table t;
+  t.add("a", 1);
+  t.add("bb", 22);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bb"), std::string::npos);
+}
+
+TEST(EdgeCases, LogLevelGatesOutput) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kInfo));
+  set_log_level(saved);
+}
+
+TEST(EdgeCases, FormatSecondsExtremes) {
+  EXPECT_EQ(format_seconds(2.5e-9), "2.5 ns");
+  EXPECT_EQ(format_seconds(90.0), "90.00 s");
+  EXPECT_EQ(format_seconds(600.0), "10.0 min");
+  EXPECT_EQ(format_seconds(7300.0), "2.03 h");
+}
+
+TEST(EdgeCases, MinimalGridSolverIsStable) {
+  // 2^3 grid: the smallest the Euler solver accepts; steps must not blow up.
+  sim::EulerSolver solver(sim::GridGeometry{2, 1.0}, sim::EulerParams{});
+  for (int s = 0; s < 10; ++s) solver.step();
+  const sim::Primitive p = solver.cell(0, 0, 0);
+  EXPECT_GT(p.rho, 0.0);
+  EXPECT_GT(p.p, 0.0);
+}
+
+}  // namespace
+}  // namespace insched

@@ -1,0 +1,196 @@
+// Tests for the grid substrate: fields, the Euler solver's conservation
+// properties, and the Sedov blast initial condition + reference solution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "insched/sim/grid/amr.hpp"
+#include "insched/sim/grid/euler.hpp"
+#include "insched/sim/grid/grid3d.hpp"
+#include "insched/sim/grid/sedov.hpp"
+
+namespace insched::sim {
+namespace {
+
+TEST(Field, IndexingAndPeriodicAccess) {
+  Field3D f(4, 3, 2, 0.0);
+  f.at(1, 2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(f.at(1, 2, 1), 7.0);
+  EXPECT_EQ(f.size(), 24u);
+  EXPECT_DOUBLE_EQ(f.periodic(1, 2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(f.periodic(5, -1, 3), 7.0);  // wraps to (1, 2, 1)
+  f.fill(1.5);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 1.5);
+}
+
+TEST(Geometry, CellCentersAndSpacing) {
+  GridGeometry g{10, 2.0};
+  EXPECT_DOUBLE_EQ(g.dx(), 0.2);
+  EXPECT_DOUBLE_EQ(g.center(0), 0.1);
+  EXPECT_DOUBLE_EQ(g.center(9), 1.9);
+  EXPECT_EQ(g.cells(), 1000u);
+}
+
+TEST(Euler, UniformStateStaysUniform) {
+  EulerSolver solver(GridGeometry{8, 1.0}, EulerParams{});
+  for (std::size_t k = 0; k < 8; ++k)
+    for (std::size_t j = 0; j < 8; ++j)
+      for (std::size_t i = 0; i < 8; ++i)
+        solver.set_cell(i, j, k, Primitive{1.0, 0.0, 0.0, 0.0, 1.0});
+  for (int s = 0; s < 5; ++s) solver.step();
+  const Primitive p = solver.cell(3, 4, 5);
+  EXPECT_NEAR(p.rho, 1.0, 1e-12);
+  EXPECT_NEAR(p.p, 1.0, 1e-12);
+  EXPECT_NEAR(p.u, 0.0, 1e-12);
+}
+
+TEST(Euler, ConservesMassAndEnergyThroughBlast) {
+  EulerSolver solver(GridGeometry{16, 1.0}, EulerParams{});
+  initialize_sedov(solver, SedovSpec{});
+  const double m0 = solver.total_mass();
+  const double e0 = solver.total_energy();
+  for (int s = 0; s < 20; ++s) solver.step();
+  EXPECT_NEAR(solver.total_mass(), m0, m0 * 1e-10);
+  EXPECT_NEAR(solver.total_energy(), e0, e0 * 1e-10);
+}
+
+TEST(Euler, SedovBlastExpandsOutward) {
+  EulerSolver solver(GridGeometry{24, 1.0}, EulerParams{});
+  SedovSpec spec;
+  initialize_sedov(solver, spec);
+
+  const auto density_peak_radius = [&] {
+    const std::size_t n = solver.geometry().n;
+    const double c = 0.5 * solver.geometry().length;
+    double best_r = 0.0;
+    double best_rho = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < n; ++i) {
+          const double rho = solver.density().at(i, j, k);
+          if (rho > best_rho) {
+            best_rho = rho;
+            const double x = solver.geometry().center(i) - c;
+            const double y = solver.geometry().center(j) - c;
+            const double z = solver.geometry().center(k) - c;
+            best_r = std::sqrt(x * x + y * y + z * z);
+          }
+        }
+    return best_r;
+  };
+
+  for (int s = 0; s < 15; ++s) solver.step();
+  const double r1 = density_peak_radius();
+  for (int s = 0; s < 30; ++s) solver.step();
+  const double r2 = density_peak_radius();
+  EXPECT_GT(r2, r1);               // the shell moves outward
+  EXPECT_GT(solver.time(), 0.0);
+  // Shocked shell must be denser than ambient.
+  double max_rho = 0.0;
+  for (double v : solver.density().data()) max_rho = std::max(max_rho, v);
+  EXPECT_GT(max_rho, 1.3);
+}
+
+TEST(Euler, OutputFrameIsTenVariablesPerCell) {
+  EulerSolver solver(GridGeometry{16, 1.0}, EulerParams{});
+  EXPECT_DOUBLE_EQ(solver.output_frame_bytes(), 16.0 * 16.0 * 16.0 * 10.0 * 8.0);
+  EXPECT_EQ(solver.name(), "euler3d");
+}
+
+TEST(SedovReferenceProfile, ShockRadiusScalesAsT25) {
+  const SedovReference ref(SedovSpec{}, 1.4);
+  const double r1 = ref.shock_radius(0.1);
+  const double r2 = ref.shock_radius(0.2);
+  EXPECT_NEAR(r2 / r1, std::pow(2.0, 0.4), 1e-9);
+}
+
+TEST(SedovReferenceProfile, StrongShockJumps) {
+  const SedovReference ref(SedovSpec{}, 1.4);
+  const double t = 0.1;
+  const double rs = ref.shock_radius(t);
+  // Just inside the shock: density jump (g+1)/(g-1) = 6 for gamma = 1.4.
+  EXPECT_NEAR(ref.density(rs * 0.999, t), 6.0, 0.1);
+  // Outside: ambient.
+  EXPECT_DOUBLE_EQ(ref.density(rs * 1.01, t), 1.0);
+  EXPECT_DOUBLE_EQ(ref.radial_velocity(rs * 1.01, t), 0.0);
+  // Interior density far below the shell's.
+  EXPECT_LT(ref.density(rs * 0.2, t), 0.1);
+  // Pressure positive everywhere inside.
+  EXPECT_GT(ref.pressure(0.0, t), 0.0);
+  EXPECT_GT(ref.pressure(rs * 0.5, t), ref.pressure(rs * 1.5, t));
+}
+
+
+TEST(Amr, UniformFieldHasNoRefinement) {
+  const GridGeometry geom{32, 1.0};
+  Field3D rho(32, 32, 32, 1.0);
+  const AmrMesh mesh(rho, geom, AmrConfig{});
+  EXPECT_EQ(mesh.blocks_per_axis(), 2u);
+  EXPECT_EQ(mesh.refined_blocks(), 0u);
+  EXPECT_EQ(mesh.coarse_blocks(), 8u);
+  EXPECT_EQ(mesh.leaf_cells(), 32u * 32 * 32);
+  EXPECT_DOUBLE_EQ(mesh.compression_ratio(), 8.0);  // vs everything refined
+}
+
+TEST(Amr, SharpJumpRefinesItsBlock) {
+  const GridGeometry geom{32, 1.0};
+  Field3D rho(32, 32, 32, 1.0);
+  rho.at(5, 5, 5) = 3.0;  // jump inside block (0,0,0)
+  AmrConfig config;
+  config.refine_threshold = 0.5;
+  const AmrMesh mesh(rho, geom, config);
+  EXPECT_TRUE(mesh.is_refined(0, 0, 0));
+  EXPECT_FALSE(mesh.is_refined(1, 1, 1));
+  EXPECT_EQ(mesh.refined_blocks(), 8u);  // one parent -> 8 children
+  EXPECT_EQ(mesh.coarse_blocks(), 7u);
+  // 7 coarse blocks + 8 children, 16^3 cells each.
+  EXPECT_EQ(mesh.leaf_cells(), (7u + 8u) * 16 * 16 * 16);
+  EXPECT_DOUBLE_EQ(mesh.checkpoint_bytes(), mesh.leaf_cells() * 10.0 * 8.0);
+}
+
+TEST(Amr, SedovShockRefinesMoreBlocksOverTime) {
+  EulerSolver solver(GridGeometry{64, 1.0}, EulerParams{});
+  initialize_sedov(solver, SedovSpec{});
+  AmrConfig config;
+  config.refine_threshold = 0.08;
+  const AmrMesh early(solver.density(), solver.geometry(), config);
+  for (int s = 0; s < 40; ++s) solver.step();
+  const AmrMesh late(solver.density(), solver.geometry(), config);
+  // The expanding shell intersects more blocks.
+  EXPECT_GT(late.refined_blocks(), early.refined_blocks());
+  EXPECT_GT(late.checkpoint_bytes(), early.checkpoint_bytes());
+  EXPECT_LT(late.compression_ratio(), early.compression_ratio());
+}
+
+TEST(Amr, RestrictionConservesMass) {
+  Field3D fine(8, 8, 8);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 8; ++k)
+    for (std::size_t j = 0; j < 8; ++j)
+      for (std::size_t i = 0; i < 8; ++i) {
+        fine.at(i, j, k) = 1.0 + 0.1 * static_cast<double>(i + 2 * j + 3 * k);
+        total += fine.at(i, j, k);
+      }
+  const Field3D coarse = AmrMesh::restrict_field(fine);
+  EXPECT_EQ(coarse.nx(), 4u);
+  double coarse_total = 0.0;
+  for (double v : coarse.data()) coarse_total += v;
+  // Each coarse cell covers 8x the volume: total integral must match.
+  EXPECT_NEAR(coarse_total * 8.0, total, 1e-10);
+}
+
+TEST(Amr, ProlongThenRestrictIsIdentity) {
+  Field3D coarse(4, 4, 4);
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t i = 0; i < 4; ++i)
+        coarse.at(i, j, k) = std::sin(static_cast<double>(i + 5 * j + 17 * k));
+  const Field3D round_trip = AmrMesh::restrict_field(AmrMesh::prolong_field(coarse));
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(round_trip.at(i, j, k), coarse.at(i, j, k), 1e-12);
+}
+}  // namespace
+}  // namespace insched::sim

@@ -1,0 +1,143 @@
+// Tests for the CPLEX LP-format writer/reader: round trips, objective
+// equivalence under the solver, parse errors, and interop with the
+// scheduling models.
+
+#include <gtest/gtest.h>
+
+#include "insched/lp/lp_format.hpp"
+#include "insched/lp/simplex.hpp"
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/params.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::lp {
+namespace {
+
+TEST(LpFormat, WritesCanonicalSections) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_column("x", 0.0, 4.0, 3.0);
+  const int y = m.add_column("y", 0.0, kInf, 5.0, VarType::kInteger);
+  const int b = m.add_column("flag", 0, 1, 1.0, VarType::kBinary);
+  m.add_row("cap", RowType::kLe, 18.0, {{x, 3.0}, {y, 2.0}, {b, 1.0}});
+  const std::string text = write_lp(m);
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find("Binary"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+  EXPECT_NE(text.find("3 x"), std::string::npos);
+}
+
+TEST(LpFormat, SanitizesAwkwardNames) {
+  Model m;
+  (void)m.add_column("hydronium rdf (A1)", 0.0, 1.0, 1.0);
+  (void)m.add_column("hydronium rdf (A1)", 0.0, 1.0, 2.0);  // collision after sanitize
+  (void)m.add_column("", 0.0, 1.0, 3.0);
+  (void)m.add_column("2fast", 0.0, 1.0, 4.0);
+  const std::string text = write_lp(m);
+  const Model parsed = read_lp(text);
+  EXPECT_EQ(parsed.num_columns(), 4);
+  // Distinct names survived the round trip.
+  EXPECT_NE(parsed.column(0).name, parsed.column(1).name);
+}
+
+TEST(LpFormat, RoundTripPreservesOptimum) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    Model m;
+    m.set_sense(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-3.0, 0.0);
+      const double hi = rng.uniform(1.0, 6.0);
+      const VarType type = rng.bernoulli(0.4) ? VarType::kInteger : VarType::kContinuous;
+      m.add_column("v" + std::to_string(j), type == VarType::kInteger ? 0.0 : lo, hi,
+                   rng.uniform(-4.0, 4.0), type);
+    }
+    const int rows = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<RowEntry> entries;
+      for (int j = 0; j < n; ++j)
+        if (rng.bernoulli(0.6)) entries.push_back({j, rng.uniform(-2.0, 2.0)});
+      if (entries.empty()) entries.push_back({0, 1.0});
+      const RowType type =
+          rng.bernoulli(0.5) ? RowType::kLe : (rng.bernoulli(0.5) ? RowType::kGe : RowType::kEq);
+      // Keep instances feasible-ish: generous rhs for Le/Ge, tight for Eq.
+      const double rhs = type == RowType::kEq ? 0.0 : rng.uniform(1.0, 10.0) *
+                                                          (type == RowType::kGe ? -1.0 : 1.0);
+      m.add_row("r" + std::to_string(i), type, rhs, std::move(entries));
+    }
+
+    const Model parsed = read_lp(write_lp(m));
+    ASSERT_EQ(parsed.num_columns(), m.num_columns());
+    ASSERT_EQ(parsed.num_rows(), m.num_rows());
+    const mip::MipResult a = mip::solve_mip(m);
+    const mip::MipResult b = mip::solve_mip(parsed);
+    ASSERT_EQ(a.status, b.status) << write_lp(m);
+    if (a.has_solution && b.has_solution) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6);
+    }
+  }
+}
+
+TEST(LpFormat, SchedulingModelRoundTrips) {
+  scheduler::ScheduleProblem p;
+  p.steps = 1000;
+  p.threshold_kind = scheduler::ThresholdKind::kTotalSeconds;
+  p.threshold = 100.0;
+  p.mth = 4e9;
+  scheduler::AnalysisParams a;
+  a.name = "membrane histogram (R2)";
+  a.ct = 17.193;
+  a.om = 64e6;
+  a.ot = 0.0;
+  a.cm = 64e6;
+  a.itv = 100;
+  p.analyses.push_back(a);
+  const scheduler::AggregateModel built = scheduler::build_aggregate_milp(p);
+
+  const Model parsed = read_lp(write_lp(built.model));
+  const mip::MipResult original = mip::solve_mip(built.model);
+  const mip::MipResult reparsed = mip::solve_mip(parsed);
+  ASSERT_TRUE(original.optimal());
+  ASSERT_TRUE(reparsed.optimal());
+  EXPECT_NEAR(original.objective, reparsed.objective, 1e-6);
+}
+
+TEST(LpFormat, ParsesHandWrittenFile) {
+  const Model m = read_lp(
+      "\\ a comment line\n"
+      "Minimize\n"
+      " cost: 2 x + 3 y - z\n"
+      "Subject To\n"
+      " c1: x + y >= 4\n"
+      " c2: - x + 2 z <= 10\n"
+      "Bounds\n"
+      " 1 <= x <= 5\n"
+      " z free\n"
+      "General\n"
+      " y\n"
+      "End\n");
+  EXPECT_EQ(m.num_columns(), 3);
+  EXPECT_EQ(m.num_rows(), 2);
+  EXPECT_EQ(m.sense(), Sense::kMinimize);
+  EXPECT_DOUBLE_EQ(m.column(0).lower, 1.0);
+  EXPECT_DOUBLE_EQ(m.column(0).upper, 5.0);
+  EXPECT_EQ(m.column(1).type, VarType::kInteger);
+  EXPECT_TRUE(std::isinf(m.column(2).lower));
+  const SimplexResult res = solve_lp(m);
+  ASSERT_TRUE(res.optimal());
+}
+
+TEST(LpFormat, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_lp("Optimize\n x\nEnd\n"), std::runtime_error);
+  EXPECT_THROW((void)read_lp("Minimize\n x\n"), std::runtime_error);  // no Subject To
+  EXPECT_THROW((void)read_lp("Minimize\n x\nSubject To\n c1: x ? 3\nEnd\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace insched::lp

@@ -1,0 +1,138 @@
+// Tests for the machine model: torus topology, Mira presets, storage
+// accounting, temp directories.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "insched/machine/collectives.hpp"
+#include "insched/machine/machine.hpp"
+#include "insched/machine/storage.hpp"
+#include "insched/machine/topology.hpp"
+#include "insched/support/units.hpp"
+
+namespace insched::machine {
+namespace {
+
+TEST(Torus, NodeCountAndDiameter) {
+  const Torus5D t({4, 4, 4, 4, 2});
+  EXPECT_EQ(t.num_nodes(), 512);
+  EXPECT_EQ(t.diameter(), 2 + 2 + 2 + 2 + 1);
+  EXPECT_EQ(t.to_string(), "4x4x4x4x2");
+}
+
+TEST(Torus, BgqPartitionsAreConsistent) {
+  for (std::int64_t nodes : {512L, 1024L, 2048L, 4096L, 8192L, 16384L, 32768L, 49152L}) {
+    ASSERT_TRUE(is_valid_bgq_partition(nodes));
+    const Torus5D t = bgq_partition(nodes);
+    EXPECT_EQ(t.num_nodes(), nodes) << t.to_string();
+  }
+  EXPECT_FALSE(is_valid_bgq_partition(777));
+}
+
+TEST(Torus, DiameterGrowsWithPartitionSize) {
+  int prev = 0;
+  for (std::int64_t nodes : {512L, 2048L, 8192L, 32768L}) {
+    const int d = bgq_partition(nodes).diameter();
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Machine, MiraPreset) {
+  const MachineModel m = mira();
+  EXPECT_EQ(m.nodes, 49152);
+  EXPECT_EQ(m.total_cores(), 49152 * 16);
+  EXPECT_DOUBLE_EQ(m.mem_per_node_bytes, 16.0 * GiB);
+  EXPECT_DOUBLE_EQ(m.peak_io_bw, 240.0 * GB);
+  EXPECT_DOUBLE_EQ(m.mem_per_rank(), GiB);
+}
+
+TEST(Machine, PartitionScalesIoBandwidth) {
+  const MachineModel part = mira_partition(1024);
+  // 1024 of 49152 nodes -> proportional share of 240 GB/s.
+  EXPECT_NEAR(part.peak_io_bw, 240.0 * GB * 1024.0 / 49152.0, 1e-3);
+  EXPECT_EQ(part.total_ranks(), 1024 * 16);
+}
+
+TEST(Machine, GenericClusterPreset) {
+  const MachineModel m = generic_cluster(256);
+  EXPECT_EQ(m.nodes, 256);
+  EXPECT_EQ(m.total_cores(), 256 * 64);
+  EXPECT_EQ(m.total_ranks(), 256 * 8);
+  EXPECT_DOUBLE_EQ(m.mem_per_rank(), 32.0 * GiB);
+  EXPECT_GT(m.peak_io_bw, mira().peak_io_bw);  // a decade newer
+}
+
+TEST(Machine, IoBandwidthSaturatesAtPeak) {
+  const MachineModel m = mira();
+  EXPECT_DOUBLE_EQ(m.io_bandwidth(m.nodes), m.peak_io_bw);
+  EXPECT_LT(m.io_bandwidth(512), m.peak_io_bw);
+  EXPECT_DOUBLE_EQ(m.io_bandwidth(0), 0.0);
+}
+
+TEST(Storage, WriteReadTimesFollowModel) {
+  const StorageModel model{.write_bw = 100.0, .read_bw = 50.0, .latency_s = 0.5};
+  EXPECT_DOUBLE_EQ(model.write_time(1000.0), 0.5 + 10.0);
+  EXPECT_DOUBLE_EQ(model.read_time(1000.0), 0.5 + 20.0);
+  EXPECT_DOUBLE_EQ(model.write_time(0.0), 0.0);
+}
+
+TEST(Storage, SimulatedStoreAccumulates) {
+  SimulatedStore store(StorageModel{.write_bw = 10.0, .read_bw = 10.0, .latency_s = 0.0});
+  EXPECT_DOUBLE_EQ(store.write(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(store.write(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(store.read(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(store.bytes_written(), 150.0);
+  EXPECT_DOUBLE_EQ(store.write_seconds(), 15.0);
+  EXPECT_DOUBLE_EQ(store.bytes_read(), 20.0);
+  EXPECT_EQ(store.writes(), 2);
+}
+
+TEST(Storage, TempDirCreatesAndCleansUp) {
+  std::filesystem::path where;
+  {
+    TempDir dir("insched-test");
+    where = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(where));
+    std::ofstream(dir.file("probe.bin")) << "data";
+    EXPECT_TRUE(std::filesystem::exists(dir.file("probe.bin")));
+  }
+  EXPECT_FALSE(std::filesystem::exists(where));
+}
+
+
+TEST(Collectives, AllreduceGrowsWithDiameterAndBytes) {
+  const NetworkParams net;
+  const CollectiveModel small(bgq_partition(512), net);
+  const CollectiveModel large(bgq_partition(32768), net);
+  // Larger partitions (bigger diameter) cost more for the same payload.
+  EXPECT_GT(large.allreduce_seconds(1e6), small.allreduce_seconds(1e6));
+  // More bytes cost more on the same partition.
+  EXPECT_GT(small.allreduce_seconds(1e7), small.allreduce_seconds(1e3));
+  // Latency floor: even a zero-byte allreduce pays the per-hop latency.
+  EXPECT_GE(small.allreduce_seconds(0.0),
+            2.0 * net.link_latency_s * small.topology().diameter());
+}
+
+TEST(Collectives, BroadcastCheaperThanAllreduce) {
+  const CollectiveModel model(bgq_partition(8192), NetworkParams{});
+  EXPECT_LT(model.broadcast_seconds(1e6), model.allreduce_seconds(1e6));
+}
+
+TEST(Collectives, AllgatherScalesWithRanks) {
+  const CollectiveModel model(bgq_partition(1024), NetworkParams{});
+  EXPECT_GT(model.allgather_seconds(1e4, 4096), model.allgather_seconds(1e4, 64));
+}
+
+TEST(Collectives, HaloExchangeIsNeighborOnly) {
+  // Halo exchange must not depend on the partition size, only on face bytes.
+  const NetworkParams net;
+  const CollectiveModel small(bgq_partition(512), net);
+  const CollectiveModel large(bgq_partition(32768), net);
+  EXPECT_DOUBLE_EQ(small.halo_exchange_seconds(1e5), large.halo_exchange_seconds(1e5));
+  EXPECT_GT(small.halo_exchange_seconds(1e6), small.halo_exchange_seconds(1e3));
+}
+}  // namespace
+}  // namespace insched::machine

@@ -1,0 +1,310 @@
+// Tests for the particle substrate: box arithmetic, SoA container, cell list
+// (cross-checked against O(n^2) brute force), the mini-MD engine and the
+// trajectory format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <set>
+
+#include "insched/machine/storage.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/sim/particles/cell_list.hpp"
+#include "insched/sim/particles/decomposition.hpp"
+#include "insched/sim/particles/lj_md.hpp"
+#include "insched/sim/particles/particle_system.hpp"
+#include "insched/sim/particles/trajectory.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::sim {
+namespace {
+
+TEST(BoxMath, WrapAndMinImage) {
+  EXPECT_DOUBLE_EQ(Box::wrap(-1.0, 10.0), 9.0);
+  EXPECT_DOUBLE_EQ(Box::wrap(12.5, 10.0), 2.5);
+  EXPECT_DOUBLE_EQ(Box::wrap(3.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(Box::min_image(7.0, 10.0), -3.0);
+  EXPECT_DOUBLE_EQ(Box::min_image(-7.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(Box::min_image(4.0, 10.0), 4.0);
+}
+
+TEST(ParticleSystemType, AddAndQuery) {
+  ParticleSystem sys(Box{10, 10, 10});
+  sys.add_particle(Species::kWaterO, 1, 2, 3, 16.0);
+  sys.add_particle(Species::kIon, 4, 5, 6, 35.0);
+  sys.add_particle(Species::kWaterO, 7, 8, 9, 16.0);
+  EXPECT_EQ(sys.size(), 3u);
+  EXPECT_EQ(sys.count(Species::kWaterO), 2u);
+  EXPECT_EQ(sys.count(Species::kIon), 1u);
+  EXPECT_EQ(sys.indices_of(Species::kWaterO), (std::vector<std::size_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(sys.frame_bytes(), 3 * 6 * 8.0);
+}
+
+TEST(ParticleSystemType, KineticEnergyAndTemperature) {
+  ParticleSystem sys(Box{10, 10, 10});
+  const std::size_t i = sys.add_particle(Species::kIon, 0, 0, 0, 2.0);
+  sys.vx[i] = 3.0;
+  EXPECT_DOUBLE_EQ(sys.kinetic_energy(), 0.5 * 2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(sys.temperature(), 2.0 * 9.0 / 3.0);
+}
+
+// Property: the cell list must find exactly the pairs an O(n^2) sweep finds.
+class CellListPairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellListPairs, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717u + 1u);
+  const double side = rng.uniform(5.0, 12.0);
+  const double cutoff = rng.uniform(1.0, side / 2.0);
+  ParticleSystem sys(Box{side, side, side});
+  const int n = static_cast<int>(rng.uniform_int(2, 200));
+  for (int i = 0; i < n; ++i)
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, side), rng.uniform(0.0, side),
+                     rng.uniform(0.0, side));
+
+  std::set<std::pair<std::size_t, std::size_t>> brute;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const double dx = Box::min_image(sys.x[i] - sys.x[j], side);
+      const double dy = Box::min_image(sys.y[i] - sys.y[j], side);
+      const double dz = Box::min_image(sys.z[i] - sys.z[j], side);
+      if (dx * dx + dy * dy + dz * dz <= cutoff * cutoff) brute.insert({i, j});
+    }
+
+  const CellList cells(sys, cutoff);
+  std::set<std::pair<std::size_t, std::size_t>> found;
+  std::size_t duplicates = 0;
+  cells.for_each_pair([&](std::size_t i, std::size_t j, double r2) {
+    EXPECT_LE(r2, cutoff * cutoff + 1e-12);
+    const auto key = std::minmax(i, j);
+    if (!found.insert({key.first, key.second}).second) ++duplicates;
+  });
+  EXPECT_EQ(duplicates, 0u);
+  EXPECT_EQ(found, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CellListPairs, ::testing::Range(0, 25));
+
+TEST(CellListParallel, SamePairsAsSerial) {
+  Rng rng(5);
+  ParticleSystem sys(Box{10, 10, 10});
+  for (int i = 0; i < 500; ++i)
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 10.0));
+  const CellList cells(sys, 2.0);
+  std::set<std::pair<std::size_t, std::size_t>> serial;
+  cells.for_each_pair([&](std::size_t i, std::size_t j, double) {
+    const auto key = std::minmax(i, j);
+    serial.insert({key.first, key.second});
+  });
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> parallel;
+  cells.for_each_pair(
+      [&](std::size_t i, std::size_t j, double) {
+        const auto key = std::minmax(i, j);
+        std::lock_guard<std::mutex> lock(mutex);
+        parallel.insert({key.first, key.second});
+      },
+      true);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(LjMd, ConservesEnergyWithoutThermostat) {
+  WaterIonsSpec spec;
+  spec.molecules = 200;
+  ParticleSystem sys = water_ions(spec);
+  MdParams params;
+  params.gamma = 0.0;  // NVE
+  params.dt = 0.002;
+  LjSimulation md(std::move(sys), params);
+  md.minimize(200);
+  md.thermalize(7);
+  // Let initial lattice artifacts relax, then track drift.
+  for (int s = 0; s < 20; ++s) md.step();
+  const double e0 = md.total_energy();
+  for (int s = 0; s < 100; ++s) md.step();
+  const double e1 = md.total_energy();
+  EXPECT_NEAR(e1, e0, std::max(1.0, std::fabs(e0)) * 0.05);
+}
+
+TEST(LjMd, ThermostatReachesTargetTemperature) {
+  WaterIonsSpec spec;
+  spec.molecules = 150;
+  ParticleSystem sys = water_ions(spec);
+  MdParams params;
+  params.temperature = 0.8;
+  params.gamma = 2.0;
+  LjSimulation md(std::move(sys), params);
+  md.minimize(200);
+  md.thermalize(3);
+  double avg = 0.0;
+  const int measure = 150;
+  for (int s = 0; s < 100; ++s) md.step();
+  for (int s = 0; s < measure; ++s) {
+    md.step();
+    avg += md.system().temperature();
+  }
+  avg /= measure;
+  EXPECT_NEAR(avg, 0.8, 0.15);
+}
+
+TEST(LjMd, ThermalizeRemovesNetMomentum) {
+  WaterIonsSpec spec;
+  spec.molecules = 100;
+  ParticleSystem sys = water_ions(spec);
+  LjSimulation md(std::move(sys), MdParams{});
+  md.thermalize(11);
+  const ParticleSystem& s = md.system();
+  double px = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) px += s.mass[i] * s.vx[i];
+  EXPECT_NEAR(px, 0.0, 1e-9);
+  EXPECT_GT(s.temperature(), 0.1);
+}
+
+TEST(LjMd, ImplementsSimulationInterface) {
+  WaterIonsSpec spec;
+  spec.molecules = 50;
+  LjSimulation md(water_ions(spec), MdParams{});
+  md.minimize(50);
+  ISimulation& sim = md;
+  EXPECT_EQ(sim.current_step(), 0);
+  sim.step();
+  EXPECT_EQ(sim.current_step(), 1);
+  EXPECT_GT(sim.output_frame_bytes(), 0.0);
+  EXPECT_EQ(sim.name(), "lj-md");
+}
+
+TEST(Builders, WaterIonsSpeciesMix) {
+  WaterIonsSpec spec;
+  spec.molecules = 4000;
+  spec.hydronium_fraction = 0.05;
+  spec.ion_fraction = 0.05;
+  const ParticleSystem sys = water_ions(spec);
+  const double waters = static_cast<double>(sys.count(Species::kWaterO));
+  const double hyd = static_cast<double>(sys.count(Species::kHydronium));
+  const double ion = static_cast<double>(sys.count(Species::kIon));
+  EXPECT_EQ(sys.count(Species::kWaterH), 2 * sys.count(Species::kWaterO));
+  EXPECT_NEAR(hyd / 4000.0, 0.05, 0.02);
+  EXPECT_NEAR(ion / 4000.0, 0.05, 0.02);
+  EXPECT_GT(waters, 3000);
+}
+
+TEST(Builders, RhodopsinLayout) {
+  RhodopsinSpec spec;
+  spec.total_particles = 20000;
+  const ParticleSystem sys = rhodopsin_like(spec);
+  EXPECT_EQ(sys.size(), 20000u);
+  EXPECT_GT(sys.count(Species::kProtein), 1000u);
+  EXPECT_GT(sys.count(Species::kMembrane), 3000u);
+  EXPECT_GT(sys.count(Species::kWaterO), 8000u);
+  // Protein particles concentrated near the center.
+  const Box& box = sys.box();
+  double max_r = 0.0;
+  for (std::size_t i : sys.indices_of(Species::kProtein)) {
+    const double dx = sys.x[i] - 0.5 * box.lx;
+    const double dy = sys.y[i] - 0.5 * box.ly;
+    const double dz = sys.z[i] - 0.5 * box.lz;
+    max_r = std::max(max_r, std::sqrt(dx * dx + dy * dy + dz * dz));
+  }
+  EXPECT_LT(max_r, 0.5 * box.lx);
+}
+
+
+TEST(Decomposition, CountsPartitionAllParticles) {
+  Rng rng(21);
+  ParticleSystem sys(Box{12, 12, 12});
+  for (int i = 0; i < 5000; ++i)
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0),
+                     rng.uniform(0.0, 12.0));
+  const DomainDecomposition decomp(sys, 4);
+  EXPECT_EQ(decomp.ranks(), 64);
+  std::size_t total = 0;
+  for (std::size_t c : decomp.counts()) total += c;
+  EXPECT_EQ(total, sys.size());
+  // Uniform gas over 64 ranks: near-even split.
+  const DecompositionStats stats = decomp.stats(1.0);
+  EXPECT_NEAR(stats.mean_particles, 5000.0 / 64.0, 1e-9);
+  EXPECT_LT(stats.imbalance, 1.7);
+  EXPECT_GT(stats.mean_halo_particles, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_halo_bytes, stats.mean_halo_particles * 48.0);
+}
+
+TEST(Decomposition, OwnerMatchesSubdomain) {
+  ParticleSystem sys(Box{8, 8, 8});
+  sys.add_particle(Species::kIon, 1.0, 1.0, 1.0);  // rank (0,0,0)
+  sys.add_particle(Species::kIon, 7.0, 7.0, 7.0);  // rank (1,1,1) of 2^3
+  const DomainDecomposition decomp(sys, 2);
+  EXPECT_EQ(decomp.owner(0), 0);
+  EXPECT_EQ(decomp.owner(1), 7);
+}
+
+TEST(Decomposition, HaloGrowsWithCutoffAndRankCount) {
+  Rng rng(33);
+  ParticleSystem sys(Box{16, 16, 16});
+  for (int i = 0; i < 8000; ++i)
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, 16.0), rng.uniform(0.0, 16.0),
+                     rng.uniform(0.0, 16.0));
+  const DomainDecomposition coarse(sys, 2);
+  const DomainDecomposition fine(sys, 4);
+  // More ranks -> smaller subdomains -> larger halo fraction.
+  EXPECT_GT(fine.stats(1.0).mean_halo_particles / fine.stats(1.0).mean_particles,
+            coarse.stats(1.0).mean_halo_particles / coarse.stats(1.0).mean_particles);
+  // Larger cutoff -> more halo.
+  EXPECT_GT(coarse.stats(2.0).mean_halo_particles, coarse.stats(0.5).mean_halo_particles);
+}
+
+TEST(Decomposition, ClusteredSystemIsImbalanced) {
+  ParticleSystem sys(Box{10, 10, 10});
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i)  // everything in one corner octant
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, 4.9), rng.uniform(0.0, 4.9),
+                     rng.uniform(0.0, 4.9));
+  const DomainDecomposition decomp(sys, 2);
+  EXPECT_GT(decomp.stats(1.0).imbalance, 7.0);  // ~8x: one of 8 ranks owns all
+}
+
+TEST(Trajectory, RoundTrip) {
+  machine::TempDir dir("traj");
+  ParticleSystem sys(Box{5, 5, 5});
+  Rng rng(9);
+  for (int i = 0; i < 17; ++i)
+    sys.add_particle(Species::kWaterO, rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0),
+                     rng.uniform(0.0, 5.0));
+  sys.vx[3] = 1.25;
+
+  const std::string path = dir.file("test.itrj").string();
+  {
+    TrajectoryWriter writer(path, sys.size());
+    writer.write_frame(10, sys);
+    sys.x[0] += 0.5;
+    writer.write_frame(20, sys);
+    EXPECT_EQ(writer.frames_written(), 2u);
+    writer.close();
+  }
+  TrajectoryReader reader(path);
+  EXPECT_EQ(reader.natoms(), 17u);
+  TrajectoryFrame frame;
+  ASSERT_TRUE(reader.read_frame(frame));
+  EXPECT_EQ(frame.step, 10);
+  EXPECT_DOUBLE_EQ(frame.vx[3], 1.25);
+  const double first_x0 = frame.x[0];
+  ASSERT_TRUE(reader.read_frame(frame));
+  EXPECT_EQ(frame.step, 20);
+  EXPECT_DOUBLE_EQ(frame.x[0], first_x0 + 0.5);
+  EXPECT_FALSE(reader.read_frame(frame));
+}
+
+TEST(Trajectory, BytesWrittenMatchesLayout) {
+  machine::TempDir dir("traj2");
+  ParticleSystem sys(Box{5, 5, 5});
+  sys.add_particle(Species::kIon, 1, 1, 1);
+  const std::string path = dir.file("b.itrj").string();
+  TrajectoryWriter writer(path, 1);
+  writer.write_frame(0, sys);
+  writer.close();
+  EXPECT_DOUBLE_EQ(writer.bytes_written(), 20.0 + 8.0 + 6 * 8.0);
+  EXPECT_EQ(static_cast<double>(std::filesystem::file_size(path)), writer.bytes_written());
+}
+
+}  // namespace
+}  // namespace insched::sim

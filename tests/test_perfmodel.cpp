@@ -1,0 +1,211 @@
+// Tests for the bilinear-interpolation performance model and the HPM-like
+// profiler. The RandomSurface property suites mirror the paper's Section 4
+// claim: <6% compute-time and <8% communication-time prediction error.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "insched/perfmodel/bilinear.hpp"
+#include "insched/perfmodel/predictor.hpp"
+#include "insched/perfmodel/profiler.hpp"
+#include "insched/perfmodel/sample_grid.hpp"
+#include "insched/support/random.hpp"
+#include "insched/support/stats.hpp"
+
+namespace insched::perfmodel {
+namespace {
+
+TEST(SampleGrid, StoresRowMajorValues) {
+  const SampleGrid g({1.0, 2.0}, {10.0, 20.0, 30.0}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(g.nx(), 2u);
+  EXPECT_EQ(g.ny(), 3u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 2), 5.0);
+  EXPECT_TRUE(g.contains(1.5, 15.0));
+  EXPECT_FALSE(g.contains(0.5, 15.0));
+}
+
+TEST(SampleGrid, SampleFunctionHelper) {
+  const SampleGrid g = sample_function({1.0, 2.0, 3.0}, {1.0, 2.0},
+                                       [](double x, double y) { return x * y; });
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 6.0);
+}
+
+TEST(Bilinear, ExactOnGridPoints) {
+  const SampleGrid g = sample_function({1.0, 2.0, 4.0}, {1.0, 3.0},
+                                       [](double x, double y) { return 2 * x + y; });
+  const BilinearInterpolator f(g);
+  for (std::size_t ix = 0; ix < g.nx(); ++ix)
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+      EXPECT_NEAR(f(g.xs()[ix], g.ys()[iy]), g.at(ix, iy), 1e-12);
+}
+
+TEST(Bilinear, ExactForBilinearFunctions) {
+  // Bilinear interpolation reproduces any function a + bx + cy + dxy exactly.
+  const auto fn = [](double x, double y) { return 3.0 + 2.0 * x - y + 0.5 * x * y; };
+  const SampleGrid g = sample_function({0.0, 5.0, 10.0}, {0.0, 4.0, 8.0}, fn);
+  const BilinearInterpolator f(g);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    const double y = rng.uniform(0.0, 8.0);
+    EXPECT_NEAR(f(x, y), fn(x, y), 1e-9);
+  }
+}
+
+TEST(Bilinear, ExtrapolatesLinearlyBeyondEdges) {
+  const auto fn = [](double x, double y) { return x + 2.0 * y; };
+  const SampleGrid g = sample_function({1.0, 2.0}, {1.0, 2.0}, fn);
+  const BilinearInterpolator f(g);
+  EXPECT_NEAR(f(3.0, 1.0), 5.0, 1e-12);   // beyond x range
+  EXPECT_NEAR(f(1.0, 0.0), 1.0, 1e-12);   // below y range
+}
+
+TEST(Bilinear, SinglePointGridIsConstant) {
+  const SampleGrid g({4.0}, {8.0}, {42.0});
+  const BilinearInterpolator f(g);
+  EXPECT_DOUBLE_EQ(f(4.0, 8.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(100.0, -3.0), 42.0);
+}
+
+TEST(Bilinear, LogAxesHandleDecades) {
+  // t(n, p) = c * n / p is linear in (log n, log p) after log of value? No:
+  // but sampling densely in log space keeps relative error small.
+  const auto fn = [](double n, double p) { return 1e-6 * n / p; };
+  std::vector<double> ns, ps;
+  for (double n = 1e4; n <= 1e8 + 1; n *= 10.0) ns.push_back(n);
+  for (double p = 64; p <= 65536 + 1; p *= 4.0) ps.push_back(p);
+  const SampleGrid g = sample_function(ns, ps, fn);
+  const BilinearInterpolator f(g, AxisScale::kLog, AxisScale::kLog);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double n = rng.uniform(1e4, 1e8);
+    const double p = rng.uniform(64.0, 65536.0);
+    const double rel = std::fabs(f(n, p) - fn(n, p)) / fn(n, p);
+    EXPECT_LT(rel, 1.5);  // coarse grid; accuracy tested tighter below
+  }
+}
+
+// Property suite reproducing the Section 4 error bounds: realistic smooth
+// cost surfaces sampled on the measurement grid the paper describes (a few
+// problem sizes x a few core counts), evaluated at dense off-grid points.
+class ComputeSurface : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComputeSurface, PredictionErrorUnderSixPercent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911u + 5u);
+  // t(n, p) = a*n/p + b*log2(p) + c  — compute scales, plus overhead terms.
+  const double a = rng.uniform(1e-7, 5e-7);
+  const double b = rng.uniform(1e-3, 5e-3);
+  const double c = rng.uniform(0.01, 0.05);
+  const auto fn = [&](double n, double p) {
+    return a * n / p + b * std::log2(p) + c;
+  };
+  // Factor-2 measurement grid ("few problem sizes on few core counts").
+  std::vector<double> ns, ps;
+  for (double n = 16e6; n <= 1024e6 + 1; n *= 2.0) ns.push_back(n);
+  for (double p = 2048; p <= 32768 + 1; p *= 2.0) ps.push_back(p);
+  const SampleGrid g = sample_function(ns, ps, fn);
+  const BilinearInterpolator f(g, AxisScale::kLog, AxisScale::kLog, AxisScale::kLog);
+
+  std::vector<double> pred, actual;
+  for (double n = 16e6; n <= 1024e6; n *= 1.7)
+    for (double p = 2048; p <= 32768; p *= 1.6) {
+      pred.push_back(f(n, p));
+      actual.push_back(fn(n, p));
+    }
+  EXPECT_LT(max_relative_error(pred, actual), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComputeSurface, ::testing::Range(0, 20));
+
+class CommSurface : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommSurface, PredictionErrorUnderEightPercent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 401u + 3u);
+  // Collective time grows with message size and network diameter:
+  // t(n, d) = alpha*d + beta*n^(2/3)*d + gamma (allreduce-like).
+  const double alpha = rng.uniform(1e-6, 5e-6);
+  const double beta = rng.uniform(1e-9, 4e-9);
+  const double gamma = rng.uniform(1e-5, 1e-4);
+  const auto fn = [&](double n, double d) {
+    return alpha * d + beta * std::pow(n, 2.0 / 3.0) * d + gamma;
+  };
+  std::vector<double> ns, ds{10, 14, 18, 22, 26, 30, 34};
+  for (double n = 16e6; n <= 1024e6 + 1; n *= 2.0) ns.push_back(n);
+  const SampleGrid g = sample_function(ns, ds, fn);
+  const BilinearInterpolator f(g, AxisScale::kLog, AxisScale::kLinear, AxisScale::kLog);
+
+  std::vector<double> pred, actual;
+  for (double n = 16e6; n <= 1024e6; n *= 1.9)
+    for (double d = 10; d <= 34; d += 3.0) {
+      pred.push_back(f(n, d));
+      actual.push_back(fn(n, d));
+    }
+  EXPECT_LT(max_relative_error(pred, actual), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CommSurface, ::testing::Range(0, 20));
+
+TEST(Predictor, CombinesComputeAndComm) {
+  // Bilinear cost surfaces (exactly representable) on linear axes.
+  KernelPredictor pred;
+  pred.set_scales({AxisScale::kLinear, AxisScale::kLinear, AxisScale::kLinear});
+  pred.set_compute(sample_function({1.0, 10.0}, {1.0, 4.0},
+                                   [](double n, double p) { return 2.0 * n + p; }));
+  pred.set_communication(sample_function({1.0, 10.0}, {2.0, 6.0},
+                                         [](double n, double d) { return 0.1 * n * d; }));
+  pred.set_memory(sample_function({1.0, 10.0}, {1.0, 4.0},
+                                  [](double n, double p) { return 8.0 * n + p; }));
+  EXPECT_NEAR(pred.compute_time(10.0, 2.0), 22.0, 1e-9);
+  EXPECT_NEAR(pred.comm_time(10.0, 4.0), 4.0, 1e-9);
+  EXPECT_NEAR(pred.total_time(10.0, 2.0, 4.0), 26.0, 1e-9);
+  EXPECT_NEAR(pred.memory(10.0, 4.0), 84.0, 1e-9);
+  EXPECT_TRUE(pred.has_compute());
+  EXPECT_TRUE(pred.has_communication());
+}
+
+TEST(Profiler, AccumulatesRegions) {
+  Profiler p;
+  p.add_sample("sim", 1.0);
+  p.add_sample("sim", 3.0);
+  p.add_sample("analysis/rdf", 0.5);
+  const RegionStats s = p.stats("sim");
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.total_s, 4.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_s(), 2.0);
+  EXPECT_EQ(p.all().size(), 2u);
+}
+
+TEST(Profiler, StartStopMeasuresWallClock) {
+  Profiler p;
+  p.start("outer");
+  p.start("inner");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  p.stop("inner");
+  p.stop("outer");
+  EXPECT_GE(p.stats("outer").total_s, 0.004);
+  EXPECT_GE(p.stats("outer/inner").total_s, 0.004);
+  EXPECT_EQ(p.stats("inner").count, 0);  // nested key, not a flat one
+}
+
+TEST(Profiler, ScopedRegionAndReport) {
+  Profiler p;
+  {
+    ScopedRegion r(p, "scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(p.stats("scoped").count, 1);
+  const std::string report = p.report();
+  EXPECT_NE(report.find("scoped"), std::string::npos);
+  p.reset();
+  EXPECT_TRUE(p.all().empty());
+}
+
+}  // namespace
+}  // namespace insched::perfmodel

@@ -1,0 +1,168 @@
+// insched_probe — measures the Table-1 cost parameters of the built-in
+// analysis kernels on synthetic systems and emits ready-to-edit [analysis]
+// config blocks for insched_plan. Closes the paper's workflow loop:
+// profile (Section 4) -> model -> schedule.
+//
+//   insched_probe water [molecules=4000] [write_bw=1e9]
+//   insched_probe rhodopsin [particles=32000] [write_bw=1e9]
+//   insched_probe sedov [grid=32] [write_bw=1e9]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "insched/analysis/cost_probe.hpp"
+#include "insched/analysis/density_histogram.hpp"
+#include "insched/analysis/error_norms.hpp"
+#include "insched/analysis/gyration.hpp"
+#include "insched/analysis/msd.hpp"
+#include "insched/analysis/rdf.hpp"
+#include "insched/analysis/vacf.hpp"
+#include "insched/analysis/vorticity.hpp"
+#include "insched/sim/grid/sedov.hpp"
+#include "insched/sim/particles/builders.hpp"
+#include "insched/sim/particles/lj_md.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace {
+
+using namespace insched;
+
+void emit(const scheduler::AnalysisParams& p) {
+  std::printf("\n[analysis]\nname = %s\n", p.name.c_str());
+  if (p.ft > 1e-9) std::printf("ft = %.6g s\n", p.ft);
+  if (p.it > 1e-9) std::printf("it = %.6g s\n", p.it);
+  std::printf("ct = %.6g s\n", p.ct);
+  if (p.ot > 1e-12) std::printf("ot = %.6g s\n", p.ot);
+  if (p.fm > 0.5) std::printf("fm = %.6g\n", p.fm);
+  if (p.im > 0.5) std::printf("im = %.6g\n", p.im);
+  if (p.cm > 0.5) std::printf("cm = %.6g\n", p.cm);
+  if (p.om > 0.5) std::printf("om = %.6g\n", p.om);
+  std::printf("itv = 1   ; edit: minimum interval between analysis steps\n");
+}
+
+double measure_sim_step(const std::function<void()>& step, int rounds = 5) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (int s = 0; s < rounds; ++s) step();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count() /
+         rounds;
+}
+
+int probe_water(std::size_t molecules, double write_bw) {
+  sim::WaterIonsSpec spec;
+  spec.molecules = molecules;
+  spec.hydronium_fraction = 0.02;
+  spec.ion_fraction = 0.02;
+  sim::LjSimulation md(sim::water_ions(spec), sim::MdParams{});
+  md.minimize(100);
+  md.thermalize(9);
+  const double sim_step = measure_sim_step([&] { md.step(); });
+
+  std::printf("# probed on a %zu-particle water+ions system\n[run]\n", md.system().size());
+  std::printf("steps = 1000\nsim_time_per_step = %.6g s\nthreshold = 10 %%\n", sim_step);
+  std::printf("threshold_kind = fraction\nbandwidth = %.6g\noutput_policy = every_analysis\n",
+              write_bw);
+
+  analysis::ProbeOptions options;
+  options.write_bw = write_bw;
+
+  analysis::RdfConfig a1;
+  a1.pairs = {{sim::Species::kHydronium, sim::Species::kWaterO},
+              {sim::Species::kHydronium, sim::Species::kHydronium},
+              {sim::Species::kHydronium, sim::Species::kIon}};
+  analysis::RdfAnalysis rdf1("hydronium rdf (A1)", md.system(), a1);
+  emit(analysis::probe_analysis(rdf1, options));
+
+  analysis::RdfConfig a2;
+  a2.pairs = {{sim::Species::kIon, sim::Species::kWaterO},
+              {sim::Species::kIon, sim::Species::kIon}};
+  analysis::RdfAnalysis rdf2("ion rdf (A2)", md.system(), a2);
+  emit(analysis::probe_analysis(rdf2, options));
+
+  analysis::VacfConfig a3;
+  a3.group = {sim::Species::kWaterO, sim::Species::kHydronium, sim::Species::kIon};
+  analysis::VacfAnalysis vacf("vacf (A3)", md.system(), a3);
+  emit(analysis::probe_analysis(vacf, options));
+
+  analysis::MsdConfig a4;
+  a4.group = {sim::Species::kHydronium, sim::Species::kIon};
+  analysis::MsdAnalysis msd("msd (A4)", md.system(), a4);
+  emit(analysis::probe_analysis(msd, options));
+  return 0;
+}
+
+int probe_rhodopsin(std::size_t particles, double write_bw) {
+  sim::RhodopsinSpec spec;
+  spec.total_particles = particles;
+  sim::LjSimulation md(sim::rhodopsin_like(spec), sim::MdParams{});
+  md.minimize(60);
+  md.thermalize(9);
+  const double sim_step = measure_sim_step([&] { md.step(); });
+
+  std::printf("# probed on a %zu-particle rhodopsin-like system\n[run]\n",
+              md.system().size());
+  std::printf("steps = 1000\nsim_time_per_step = %.6g s\nthreshold = 10 %%\n", sim_step);
+  std::printf("threshold_kind = fraction\nbandwidth = %.6g\noutput_policy = every_analysis\n",
+              write_bw);
+
+  analysis::ProbeOptions options;
+  options.write_bw = write_bw;
+  analysis::GyrationAnalysis rg("radius of gyration (R1)", md.system(),
+                                sim::Species::kProtein);
+  emit(analysis::probe_analysis(rg, options));
+  analysis::DensityHistogramConfig r2;
+  r2.group = sim::Species::kMembrane;
+  analysis::DensityHistogramAnalysis mem("membrane histogram (R2)", md.system(), r2);
+  emit(analysis::probe_analysis(mem, options));
+  analysis::DensityHistogramConfig r3;
+  r3.group = sim::Species::kProtein;
+  analysis::DensityHistogramAnalysis prot("protein histogram (R3)", md.system(), r3);
+  emit(analysis::probe_analysis(prot, options));
+  return 0;
+}
+
+int probe_sedov(std::size_t grid, double write_bw) {
+  sim::EulerSolver solver(sim::GridGeometry{grid, 1.0}, sim::EulerParams{});
+  sim::SedovSpec blast;
+  sim::initialize_sedov(solver, blast);
+  const sim::SedovReference reference(blast, solver.params().gamma);
+  const double sim_step = measure_sim_step([&] { solver.step(); });
+
+  std::printf("# probed on a %zu^3 Sedov grid\n[run]\n", grid);
+  std::printf("steps = 1000\nsim_time_per_step = %.6g s\nthreshold = 5 %%\n", sim_step);
+  std::printf("threshold_kind = fraction\nbandwidth = %.6g\noutput_policy = every_analysis\n",
+              write_bw);
+
+  analysis::ProbeOptions options;
+  options.write_bw = write_bw;
+  analysis::VorticityAnalysis vort("vorticity (F1)", solver);
+  emit(analysis::probe_analysis(vort, options));
+  analysis::ErrorNormAnalysis l1("L1 error norm (F2)", solver, reference,
+                                 analysis::NormKind::kL1DensityPressure);
+  emit(analysis::probe_analysis(l1, options));
+  analysis::ErrorNormAnalysis l2("L2 error norm (F3)", solver, reference,
+                                 analysis::NormKind::kL2Velocity);
+  emit(analysis::probe_analysis(l2, options));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <water|rhodopsin|sedov> [size] [write_bw]\n", argv[0]);
+    return 2;
+  }
+  const std::string which = argv[1];
+  const std::size_t size = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+  const double bw = argc > 3 ? std::strtod(argv[3], nullptr) : 1e9;
+  if (which == "water") return probe_water(size ? size : 4000, bw);
+  if (which == "rhodopsin") return probe_rhodopsin(size ? size : 32000, bw);
+  if (which == "sedov") return probe_sedov(size ? size : 32, bw);
+  std::fprintf(stderr, "unknown system '%s'\n", which.c_str());
+  return 2;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the solver benchmark suite and writes BENCH_solver.json at the repo
+# root (google-benchmark JSON format). Pass a previously saved JSON file as
+# $1 to embed it as a "baseline" section for before/after comparison:
+#
+#   bench/run_benchmarks.sh                # fresh run, no baseline
+#   bench/run_benchmarks.sh old.json       # fresh run + baseline embedded
+#
+# The interesting comparison for the warm-start PR is
+# BM_schedule_*_config/threads:1/warm:0 (seed-equivalent cold serial search)
+# vs BM_schedule_*_config/threads:4/warm:1.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${OUT:-$repo_root/BENCH_solver.json}"
+baseline="${1:-}"
+
+if [[ ! -x "$build_dir/bench/solver_perf" ]]; then
+  echo "building solver_perf in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target solver_perf -j >/dev/null
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+"$build_dir/bench/solver_perf" \
+  --benchmark_format=json \
+  --benchmark_min_time=${BENCH_MIN_TIME:-0.2} \
+  --benchmark_filter="${BENCH_FILTER:-.}" \
+  >"$raw"
+
+if [[ -n "$baseline" && -f "$baseline" ]]; then
+  python3 - "$raw" "$baseline" "$out" <<'EOF'
+import json, sys
+current = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+current["baseline"] = baseline
+
+def times(doc):
+    return {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+cur, base = times(current), times(baseline)
+speedups = {}
+for name in sorted(cur):
+    if name in base and cur[name] > 0:
+        speedups[name] = round(base[name] / cur[name], 3)
+current["speedup_vs_baseline"] = speedups
+json.dump(current, open(sys.argv[3], "w"), indent=1)
+print(f"wrote {sys.argv[3]} with baseline + speedups", file=sys.stderr)
+EOF
+else
+  cp "$raw" "$out"
+  echo "wrote $out (no baseline given)" >&2
+fi

@@ -1,0 +1,63 @@
+#include "insched/lp/basis.hpp"
+
+#include <sstream>
+
+namespace insched::lp {
+
+bool Basis::consistent() const noexcept {
+  if (basic.empty() || status.empty()) return false;
+  if (basic.size() > status.size()) return false;
+  std::vector<bool> seen(status.size(), false);
+  for (const int j : basic) {
+    if (j < 0 || j >= variables()) return false;
+    if (status[static_cast<std::size_t>(j)] != BasisStatus::kBasic) return false;
+    if (seen[static_cast<std::size_t>(j)]) return false;
+    seen[static_cast<std::size_t>(j)] = true;
+  }
+  int basic_marks = 0;
+  for (const BasisStatus s : status)
+    if (s == BasisStatus::kBasic) ++basic_marks;
+  return basic_marks == rows();
+}
+
+std::string Basis::to_string() const {
+  std::ostringstream out;
+  out << "basis v1 " << rows() << ' ' << variables() << '\n';
+  for (std::size_t i = 0; i < basic.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << basic[i];
+  }
+  out << '\n';
+  static constexpr char kCode[] = {'B', 'L', 'U', 'F'};
+  for (const BasisStatus s : status) out << kCode[static_cast<int>(s)];
+  out << '\n';
+  return out.str();
+}
+
+std::optional<Basis> Basis::from_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag, version;
+  int m = 0, total = 0;
+  if (!(in >> tag >> version >> m >> total)) return std::nullopt;
+  if (tag != "basis" || version != "v1" || m < 0 || total < m) return std::nullopt;
+  Basis out;
+  out.basic.resize(static_cast<std::size_t>(m));
+  for (int& j : out.basic)
+    if (!(in >> j)) return std::nullopt;
+  std::string codes;
+  if (!(in >> codes) || codes.size() != static_cast<std::size_t>(total)) return std::nullopt;
+  out.status.reserve(codes.size());
+  for (const char c : codes) {
+    switch (c) {
+      case 'B': out.status.push_back(BasisStatus::kBasic); break;
+      case 'L': out.status.push_back(BasisStatus::kAtLower); break;
+      case 'U': out.status.push_back(BasisStatus::kAtUpper); break;
+      case 'F': out.status.push_back(BasisStatus::kFree); break;
+      default: return std::nullopt;
+    }
+  }
+  if (!out.consistent()) return std::nullopt;
+  return out;
+}
+
+}  // namespace insched::lp

@@ -1,0 +1,68 @@
+#pragma once
+
+// Simplex basis snapshots. A `Basis` records, for one solved LP, which
+// variable is basic in each row and at which bound every nonbasic variable
+// rests. Together with the (unchanged) constraint matrix this fully
+// determines the vertex, so a child problem that differs only in column
+// bounds — exactly what branch-and-bound produces — can restart the dual
+// simplex from the parent's optimal basis and re-solve in a handful of
+// pivots instead of a two-phase cold start.
+//
+// A `Factorization` is the dense basis-inverse snapshot that goes with a
+// Basis. It is optional: a warm start without one refactorizes from the
+// basis (O(m^3)); with one it starts pivoting immediately. The MIP search
+// keeps factorizations in a small LRU cache keyed by node id, so hot
+// subtrees skip refactorization entirely while memory stays bounded.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace insched::lp {
+
+/// Where a variable sits in a basis snapshot. Variables are indexed
+/// [0, n) structural then [n, n + m) row slacks, matching the simplex
+/// working problem.
+enum class BasisStatus : std::uint8_t {
+  kBasic = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+  kFree = 3,  ///< nonbasic free variable pinned at zero
+};
+
+struct Basis {
+  std::vector<int> basic;               ///< basic[i] = variable basic in row i
+  std::vector<BasisStatus> status;      ///< one entry per structural + slack variable
+
+  [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+  [[nodiscard]] int rows() const noexcept { return static_cast<int>(basic.size()); }
+  [[nodiscard]] int variables() const noexcept { return static_cast<int>(status.size()); }
+
+  /// Structural consistency: sizes agree, every basic index is in range and
+  /// marked kBasic, no variable is basic in two rows.
+  [[nodiscard]] bool consistent() const noexcept;
+
+  /// Compact text form ("basis v1 ..."), stable across platforms; use for
+  /// debugging dumps and cross-process warm-start handoff.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Basis> from_string(const std::string& text);
+};
+
+/// Dense snapshot of the basis inverse (row-major m x m) belonging to one
+/// Basis. Immutable once built; shared between sibling nodes.
+struct Factorization {
+  std::vector<std::vector<double>> binv;
+
+  [[nodiscard]] int rows() const noexcept { return static_cast<int>(binv.size()); }
+};
+
+/// One column-bound change relative to a base model (the branch decisions on
+/// the path from the root to a node).
+struct BoundOverride {
+  int column = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+}  // namespace insched::lp

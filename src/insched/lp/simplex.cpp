@@ -25,15 +25,19 @@ namespace {
 enum class VarState { kBasic, kAtLower, kAtUpper, kFreeZero };
 
 // Internal working problem: minimize c.z subject to A.z = b, l <= z <= u,
-// where z = [structural | slacks | artificials].
-class Simplex {
+// where z = [structural | slacks | artificials]. One Engine is reusable
+// across solves of the same base model with different column bounds: the
+// constraint matrix is built once, per-solve state is reset in prepare().
+class Engine {
  public:
-  Simplex(const Model& model, const SimplexOptions& options)
+  Engine(const Model& model, const SimplexOptions& options)
       : model_(model), opt_(options), m_(model.num_rows()), n_(model.num_columns()) {
-    build();
+    build_arrays();
   }
 
-  SimplexResult run();
+  [[nodiscard]] SimplexResult solve_cold(const std::vector<BoundOverride>& overrides);
+  [[nodiscard]] SimplexResult solve_dual(const std::vector<BoundOverride>& overrides,
+                                         const Basis& start, const Factorization* hint);
 
  private:
   struct Entry {
@@ -41,9 +45,11 @@ class Simplex {
     double coeff;
   };
 
-  void build();
+  void build_arrays();
+  void prepare(const std::vector<BoundOverride>& overrides);
+  void start_cold();
   void add_artificials();
-  [[nodiscard]] double nonbasic_value(int j) const;
+  [[nodiscard]] bool load_basis(const Basis& start, const Factorization* hint);
   void compute_basic_values();
   [[nodiscard]] bool refactorize();
   [[nodiscard]] std::vector<double> compute_duals(const std::vector<double>& cost) const;
@@ -51,7 +57,11 @@ class Simplex {
                                     const std::vector<double>& y) const;
   [[nodiscard]] std::vector<double> ftran(int j) const;  // Binv * A_j
   SolveStatus iterate(const std::vector<double>& cost, double* objective_out, int* iters);
+  SolveStatus iterate_dual(const std::vector<double>& cost, int* iters);
   [[nodiscard]] double phase1_infeasibility() const;
+  [[nodiscard]] bool residuals_ok() const;
+  void extract(SimplexResult* result) const;
+  void export_basis(SimplexResult* result) const;
 
   const Model& model_;
   SimplexOptions opt_;
@@ -61,6 +71,7 @@ class Simplex {
   bool maximize_ = false;
 
   std::vector<std::vector<Entry>> cols_;  // sparse columns of A
+  std::vector<double> base_lower_, base_upper_;  // pristine bounds (n + m)
   std::vector<double> lower_, upper_;
   std::vector<double> cost2_;             // phase-2 cost (minimize convention)
   std::vector<double> cost1_;             // phase-1 cost (artificial infeasibility)
@@ -76,19 +87,19 @@ class Simplex {
   int first_artificial_ = 0;
 };
 
-void Simplex::build() {
+void Engine::build_arrays() {
   maximize_ = model_.sense() == Sense::kMaximize;
-  total_ = n_ + m_;  // artificials appended later
+  total_ = n_ + m_;
   cols_.assign(static_cast<std::size_t>(total_), {});
-  lower_.resize(static_cast<std::size_t>(total_));
-  upper_.resize(static_cast<std::size_t>(total_));
+  base_lower_.resize(static_cast<std::size_t>(total_));
+  base_upper_.resize(static_cast<std::size_t>(total_));
   cost2_.assign(static_cast<std::size_t>(total_), 0.0);
   b_.resize(static_cast<std::size_t>(m_));
 
   for (int j = 0; j < n_; ++j) {
     const Column& c = model_.column(j);
-    lower_[static_cast<std::size_t>(j)] = c.lower;
-    upper_[static_cast<std::size_t>(j)] = c.upper;
+    base_lower_[static_cast<std::size_t>(j)] = c.lower;
+    base_upper_[static_cast<std::size_t>(j)] = c.upper;
     cost2_[static_cast<std::size_t>(j)] = maximize_ ? -c.objective : c.objective;
   }
   for (int i = 0; i < m_; ++i) {
@@ -100,23 +111,44 @@ void Simplex::build() {
     cols_[static_cast<std::size_t>(slack)].push_back(Entry{i, 1.0});
     switch (r.type) {
       case RowType::kLe:
-        lower_[static_cast<std::size_t>(slack)] = 0.0;
-        upper_[static_cast<std::size_t>(slack)] = kInf;
+        base_lower_[static_cast<std::size_t>(slack)] = 0.0;
+        base_upper_[static_cast<std::size_t>(slack)] = kInf;
         break;
       case RowType::kGe:
-        lower_[static_cast<std::size_t>(slack)] = -kInf;
-        upper_[static_cast<std::size_t>(slack)] = 0.0;
+        base_lower_[static_cast<std::size_t>(slack)] = -kInf;
+        base_upper_[static_cast<std::size_t>(slack)] = 0.0;
         break;
       case RowType::kEq:
-        lower_[static_cast<std::size_t>(slack)] = 0.0;
-        upper_[static_cast<std::size_t>(slack)] = 0.0;
+        base_lower_[static_cast<std::size_t>(slack)] = 0.0;
+        base_upper_[static_cast<std::size_t>(slack)] = 0.0;
         break;
     }
   }
+}
 
-  // Start every variable nonbasic at the finite bound nearest zero.
+void Engine::prepare(const std::vector<BoundOverride>& overrides) {
+  // Drop artificial columns left over from a previous cold solve on this
+  // workspace and restore the pristine bounds.
+  total_ = n_ + m_;
+  first_artificial_ = total_;
+  cols_.resize(static_cast<std::size_t>(total_));
+  cost2_.resize(static_cast<std::size_t>(total_));
+  lower_ = base_lower_;
+  upper_ = base_upper_;
+  for (const BoundOverride& o : overrides) {
+    INSCHED_ASSERT(o.column >= 0 && o.column < n_);
+    lower_[static_cast<std::size_t>(o.column)] = o.lower;
+    upper_[static_cast<std::size_t>(o.column)] = o.upper;
+  }
   state_.assign(static_cast<std::size_t>(total_), VarState::kAtLower);
   value_.assign(static_cast<std::size_t>(total_), 0.0);
+  pivots_since_refactor_ = 0;
+  total_iterations_ = 0;
+  phase1_iterations_ = 0;
+}
+
+void Engine::start_cold() {
+  // Start every variable nonbasic at the finite bound nearest zero.
   for (int j = 0; j < total_; ++j) {
     const double lo = lower_[static_cast<std::size_t>(j)];
     const double hi = upper_[static_cast<std::size_t>(j)];
@@ -139,11 +171,10 @@ void Simplex::build() {
       value_[static_cast<std::size_t>(j)] = 0.0;
     }
   }
-
   add_artificials();
 }
 
-void Simplex::add_artificials() {
+void Engine::add_artificials() {
   // Residual of each row with every variable at its starting value.
   std::vector<double> residual = b_;
   for (int j = 0; j < total_; ++j) {
@@ -194,7 +225,52 @@ void Simplex::add_artificials() {
   for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
 }
 
-void Simplex::compute_basic_values() {
+bool Engine::load_basis(const Basis& start, const Factorization* hint) {
+  if (start.rows() != m_ || start.variables() != total_) return false;
+  if (!start.consistent()) return false;
+
+  basis_ = start.basic;
+  for (int j = 0; j < total_; ++j) {
+    const double lo = lower_[static_cast<std::size_t>(j)];
+    const double hi = upper_[static_cast<std::size_t>(j)];
+    VarState st;
+    switch (start.status[static_cast<std::size_t>(j)]) {
+      case BasisStatus::kBasic: st = VarState::kBasic; break;
+      case BasisStatus::kAtLower: st = VarState::kAtLower; break;
+      case BasisStatus::kAtUpper: st = VarState::kAtUpper; break;
+      default: st = VarState::kFreeZero; break;
+    }
+    // Snap nonbasic variables onto the (possibly moved) bounds; this is the
+    // warm-start step that keeps the basis dual feasible while primal
+    // feasibility is restored by the dual pivots.
+    if (st == VarState::kAtLower && !std::isfinite(lo)) st = std::isfinite(hi) ? VarState::kAtUpper : VarState::kFreeZero;
+    if (st == VarState::kAtUpper && !std::isfinite(hi)) st = std::isfinite(lo) ? VarState::kAtLower : VarState::kFreeZero;
+    if (st == VarState::kFreeZero) {
+      if (lo > 0.0) st = VarState::kAtLower;
+      else if (hi < 0.0) st = VarState::kAtUpper;
+    }
+    state_[static_cast<std::size_t>(j)] = st;
+    switch (st) {
+      case VarState::kBasic: break;  // filled by compute_basic_values
+      case VarState::kAtLower: value_[static_cast<std::size_t>(j)] = lo; break;
+      case VarState::kAtUpper: value_[static_cast<std::size_t>(j)] = hi; break;
+      case VarState::kFreeZero: value_[static_cast<std::size_t>(j)] = 0.0; break;
+    }
+  }
+
+  if (hint != nullptr && hint->rows() == m_) {
+    binv_ = hint->binv;
+    pivots_since_refactor_ = 0;
+    compute_basic_values();
+    return true;
+  }
+  binv_.assign(static_cast<std::size_t>(m_),
+               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
+  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  return refactorize();
+}
+
+void Engine::compute_basic_values() {
   // xB = Binv (b - N xN)
   std::vector<double> rhs = b_;
   for (int j = 0; j < total_; ++j) {
@@ -212,7 +288,7 @@ void Simplex::compute_basic_values() {
   }
 }
 
-bool Simplex::refactorize() {
+bool Engine::refactorize() {
   // Rebuild Binv by Gauss-Jordan elimination of the basis matrix.
   std::vector<std::vector<double>> B(static_cast<std::size_t>(m_),
                                      std::vector<double>(static_cast<std::size_t>(m_), 0.0));
@@ -262,7 +338,7 @@ bool Simplex::refactorize() {
   return true;
 }
 
-std::vector<double> Simplex::compute_duals(const std::vector<double>& cost) const {
+std::vector<double> Engine::compute_duals(const std::vector<double>& cost) const {
   std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
   for (int i = 0; i < m_; ++i) {
     const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
@@ -273,15 +349,15 @@ std::vector<double> Simplex::compute_duals(const std::vector<double>& cost) cons
   return y;
 }
 
-double Simplex::reduced_cost(int j, const std::vector<double>& cost,
-                             const std::vector<double>& y) const {
+double Engine::reduced_cost(int j, const std::vector<double>& cost,
+                            const std::vector<double>& y) const {
   double d = cost[static_cast<std::size_t>(j)];
   for (const Entry& e : cols_[static_cast<std::size_t>(j)])
     d -= y[static_cast<std::size_t>(e.row)] * e.coeff;
   return d;
 }
 
-std::vector<double> Simplex::ftran(int j) const {
+std::vector<double> Engine::ftran(int j) const {
   std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
   for (const Entry& e : cols_[static_cast<std::size_t>(j)]) {
     const double a = e.coeff;
@@ -291,14 +367,31 @@ std::vector<double> Simplex::ftran(int j) const {
   return w;
 }
 
-double Simplex::phase1_infeasibility() const {
+double Engine::phase1_infeasibility() const {
   double total = 0.0;
   for (int j = first_artificial_; j < total_; ++j)
     total += cost1_[static_cast<std::size_t>(j)] * value_[static_cast<std::size_t>(j)];
   return total;
 }
 
-SolveStatus Simplex::iterate(const std::vector<double>& cost, double* objective_out, int* iters) {
+bool Engine::residuals_ok() const {
+  std::vector<double> activity(static_cast<std::size_t>(m_), 0.0);
+  for (int j = 0; j < total_; ++j) {
+    const double v = value_[static_cast<std::size_t>(j)];
+    if (v == 0.0) continue;
+    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+      activity[static_cast<std::size_t>(e.row)] += e.coeff * v;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double rhs = b_[static_cast<std::size_t>(i)];
+    if (std::fabs(activity[static_cast<std::size_t>(i)] - rhs) >
+        1e-6 * (1.0 + std::fabs(rhs)))
+      return false;
+  }
+  return true;
+}
+
+SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_out, int* iters) {
   int stall = 0;
   bool bland = false;
   double last_objective = kInf;
@@ -461,7 +554,244 @@ SolveStatus Simplex::iterate(const std::vector<double>& cost, double* objective_
   }
 }
 
-SimplexResult Simplex::run() {
+// Bounded-variable dual simplex: the basis is dual feasible (all reduced
+// costs have the right sign for their nonbasic state); pivots restore primal
+// feasibility row by row. Each iteration selects the most-violated basic
+// variable as leaving, then the entering variable by the dual ratio test
+// (smallest |d_j / alpha_j| keeps every reduced cost on the right side of
+// zero). Ties break to the larger |alpha| for stability, then the smaller
+// column index for cross-run determinism.
+SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
+  int stall = 0;
+  bool bland = false;
+
+  while (true) {
+    if (total_iterations_ >= opt_.max_iterations) return SolveStatus::kIterationLimit;
+
+    // Leaving row: largest bound violation among basic variables (Bland
+    // fallback: smallest basic variable index with any violation).
+    int leaving_row = -1;
+    bool below = false;
+    double worst = opt_.feasibility_tol;
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basis_[static_cast<std::size_t>(i)];
+      const double v = value_[static_cast<std::size_t>(bj)];
+      const double viol_lo = lower_[static_cast<std::size_t>(bj)] - v;
+      const double viol_hi = v - upper_[static_cast<std::size_t>(bj)];
+      if (bland) {
+        if (viol_lo > opt_.feasibility_tol || viol_hi > opt_.feasibility_tol) {
+          if (leaving_row < 0 ||
+              bj < basis_[static_cast<std::size_t>(leaving_row)]) {
+            leaving_row = i;
+            below = viol_lo > viol_hi;
+          }
+        }
+        continue;
+      }
+      if (viol_lo > worst) {
+        worst = viol_lo;
+        leaving_row = i;
+        below = true;
+      }
+      if (viol_hi > worst) {
+        worst = viol_hi;
+        leaving_row = i;
+        below = false;
+      }
+    }
+    if (leaving_row < 0) return SolveStatus::kOptimal;  // primal feasible
+
+    ++total_iterations_;
+    if (iters) ++(*iters);
+
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    const double target = below ? lower_[static_cast<std::size_t>(leaving)]
+                                : upper_[static_cast<std::size_t>(leaving)];
+    const auto& br = binv_[static_cast<std::size_t>(leaving_row)];  // e_r^T Binv
+    const std::vector<double> y = compute_duals(cost);
+
+    // Dual ratio test over the nonbasic columns.
+    int entering = -1;
+    int entering_dir = 0;
+    double best_ratio = kInf;
+    double best_alpha = 0.0;
+    // Maximum repair of the violated row achievable by columns whose alpha
+    // is below pivot_tol. They are unusable as pivots, but a sub-tolerance
+    // alpha times a wide variable range (big-M columns) can still move the
+    // row, so an eventual "no entering column" verdict proves infeasibility
+    // only if the violation exceeds this slack.
+    double tiny_gain = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+      if (lower_[static_cast<std::size_t>(j)] == upper_[static_cast<std::size_t>(j)])
+        continue;  // fixed variable cannot move
+      double alpha = 0.0;
+      for (const Entry& e : cols_[static_cast<std::size_t>(j)])
+        alpha += br[static_cast<std::size_t>(e.row)] * e.coeff;
+      if (std::fabs(alpha) <= opt_.pivot_tol) {
+        if (alpha != 0.0) {
+          // Repair of x_B(r) per unit increase of x_j is -alpha (below
+          // violation) or +alpha (above); moving down gives the negative.
+          const double range = upper_[static_cast<std::size_t>(j)] -
+                               lower_[static_cast<std::size_t>(j)];
+          const double up_help = below ? -alpha : alpha;
+          const VarState st = state_[static_cast<std::size_t>(j)];
+          if (st != VarState::kAtUpper && up_help > 0.0) tiny_gain += up_help * range;
+          else if (st != VarState::kAtLower && up_help < 0.0) tiny_gain += -up_help * range;
+        }
+        continue;
+      }
+      // x_B(r) changes by -alpha per unit increase of x_j; pick the
+      // direction that moves the leaving variable toward its violated bound.
+      const int dir = (below ? alpha < 0.0 : alpha > 0.0) ? +1 : -1;
+      const VarState st = state_[static_cast<std::size_t>(j)];
+      if (dir > 0 && st == VarState::kAtUpper) continue;
+      if (dir < 0 && st == VarState::kAtLower) continue;
+      const double d = reduced_cost(j, cost, y);
+      const double ratio = std::fabs(d) / std::fabs(alpha);
+      const bool better =
+          entering < 0 || ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           (bland ? j < entering
+                  : (std::fabs(alpha) > std::fabs(best_alpha) + 1e-12 ||
+                     (std::fabs(alpha) >= std::fabs(best_alpha) - 1e-12 && j < entering))));
+      if (better) {
+        entering = j;
+        entering_dir = dir;
+        best_ratio = ratio;
+        best_alpha = alpha;
+      }
+    }
+    if (entering < 0) {
+      // No usable column can repair the violated row: the current nonbasic
+      // point extremizes the row's value over the bound box (blocked
+      // columns only move it the wrong way), so the row stays violated for
+      // every choice of the nonbasics — a valid infeasibility proof
+      // provided the sub-tolerance columns' combined slack cannot close the
+      // gap. Otherwise the proof is in doubt and the caller must fall back
+      // to the cold path.
+      const double viol = below
+                              ? lower_[static_cast<std::size_t>(leaving)] -
+                                    value_[static_cast<std::size_t>(leaving)]
+                              : value_[static_cast<std::size_t>(leaving)] -
+                                    upper_[static_cast<std::size_t>(leaving)];
+      if (viol <= tiny_gain + opt_.feasibility_tol) return SolveStatus::kNumericalFailure;
+      // The alphas came from `br`, which may have drifted through
+      // product-form updates. The proof is only as good as br being a true
+      // row of the basis inverse: check br * B = e_r before certifying.
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        double dot = 0.0;
+        for (const Entry& e : cols_[static_cast<std::size_t>(bj)])
+          dot += br[static_cast<std::size_t>(e.row)] * e.coeff;
+        if (std::fabs(dot - (i == leaving_row ? 1.0 : 0.0)) > 1e-6)
+          return SolveStatus::kNumericalFailure;
+      }
+      return SolveStatus::kInfeasible;
+    }
+
+    const double sigma = static_cast<double>(entering_dir);
+    const std::vector<double> w = ftran(entering);
+    const double wr = w[static_cast<std::size_t>(leaving_row)];
+    if (std::fabs(wr) <= opt_.pivot_tol) return SolveStatus::kNumericalFailure;
+
+    // Primal step: drive the leaving variable exactly onto its violated
+    // bound. t >= 0 by the entering-direction choice.
+    double t = (value_[static_cast<std::size_t>(leaving)] - target) / (sigma * wr);
+    if (t < 0.0) t = 0.0;  // degenerate guard against round-off
+
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      const int bj = basis_[static_cast<std::size_t>(i)];
+      value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t;
+    }
+    value_[static_cast<std::size_t>(entering)] += sigma * t;
+    state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
+    state_[static_cast<std::size_t>(leaving)] = below ? VarState::kAtLower : VarState::kAtUpper;
+    value_[static_cast<std::size_t>(leaving)] = target;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+
+    // Product-form update of Binv (same as the primal pivot).
+    auto& pivot_row = binv_[static_cast<std::size_t>(leaving_row)];
+    for (int k = 0; k < m_; ++k) pivot_row[static_cast<std::size_t>(k)] /= wr;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      const double factor = w[static_cast<std::size_t>(i)];
+      if (factor == 0.0) continue;
+      auto& row = binv_[static_cast<std::size_t>(i)];
+      for (int k = 0; k < m_; ++k)
+        row[static_cast<std::size_t>(k)] -= factor * pivot_row[static_cast<std::size_t>(k)];
+    }
+    if (++pivots_since_refactor_ >= opt_.refactor_interval) {
+      if (!refactorize()) return SolveStatus::kNumericalFailure;
+    }
+
+    // Anti-cycling: degenerate pivots (zero step) switch to Bland-style
+    // smallest-index selection until real progress resumes.
+    if (t > 1e-12) {
+      stall = 0;
+      bland = false;
+    } else if (++stall > opt_.stall_limit) {
+      bland = true;
+    }
+  }
+}
+
+void Engine::extract(SimplexResult* result) const {
+  result->x.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j)
+    result->x[static_cast<std::size_t>(j)] = value_[static_cast<std::size_t>(j)];
+  result->objective = model_.objective_value(result->x);
+
+  if (opt_.want_duals) {
+    const std::vector<double> y = compute_duals(cost2_);
+    result->duals.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i)
+      result->duals[static_cast<std::size_t>(i)] =
+          maximize_ ? -y[static_cast<std::size_t>(i)] : y[static_cast<std::size_t>(i)];
+    result->reduced_costs.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const double d = reduced_cost(j, cost2_, y);
+      result->reduced_costs[static_cast<std::size_t>(j)] = maximize_ ? -d : d;
+    }
+  }
+}
+
+void Engine::export_basis(SimplexResult* result) const {
+  const int structural_and_slack = n_ + m_;
+  for (int i = 0; i < m_; ++i)
+    if (basis_[static_cast<std::size_t>(i)] >= structural_and_slack)
+      return;  // a basic artificial survived (degenerate); no snapshot
+  Basis basis;
+  basis.basic = basis_;
+  basis.status.resize(static_cast<std::size_t>(structural_and_slack));
+  for (int j = 0; j < structural_and_slack; ++j) {
+    BasisStatus s;
+    switch (state_[static_cast<std::size_t>(j)]) {
+      case VarState::kBasic: s = BasisStatus::kBasic; break;
+      case VarState::kAtLower: s = BasisStatus::kAtLower; break;
+      case VarState::kAtUpper: s = BasisStatus::kAtUpper; break;
+      default: s = BasisStatus::kFree; break;
+    }
+    basis.status[static_cast<std::size_t>(j)] = s;
+  }
+  auto factor = std::make_shared<Factorization>();
+  factor->binv = binv_;
+  result->basis = std::move(basis);
+  result->factor = std::move(factor);
+}
+
+SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
+  prepare(overrides);
+  for (int j = 0; j < total_; ++j) {
+    if (lower_[static_cast<std::size_t>(j)] > upper_[static_cast<std::size_t>(j)]) {
+      SimplexResult result;
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+  start_cold();
+
   SimplexResult result;
 
   // Phase 1: drive artificial infeasibility to zero (skipped when the slack
@@ -500,28 +830,82 @@ SimplexResult Simplex::run() {
   result.status = st;
   if (st != SolveStatus::kOptimal) return result;
 
-  result.x.assign(static_cast<std::size_t>(n_), 0.0);
-  for (int j = 0; j < n_; ++j) result.x[static_cast<std::size_t>(j)] = value_[static_cast<std::size_t>(j)];
-  result.objective = model_.objective_value(result.x);
+  extract(&result);
+  if (opt_.collect_basis) export_basis(&result);
+  return result;
+}
 
-  const std::vector<double> y = compute_duals(cost2_);
-  result.duals.assign(static_cast<std::size_t>(m_), 0.0);
-  for (int i = 0; i < m_; ++i)
-    result.duals[static_cast<std::size_t>(i)] =
-        maximize_ ? -y[static_cast<std::size_t>(i)] : y[static_cast<std::size_t>(i)];
-  result.reduced_costs.assign(static_cast<std::size_t>(n_), 0.0);
-  for (int j = 0; j < n_; ++j) {
-    const double d = reduced_cost(j, cost2_, y);
-    result.reduced_costs[static_cast<std::size_t>(j)] = maximize_ ? -d : d;
+SimplexResult Engine::solve_dual(const std::vector<BoundOverride>& overrides,
+                                 const Basis& start, const Factorization* hint) {
+  prepare(overrides);
+  SimplexResult result;
+  for (int j = 0; j < total_; ++j) {
+    if (lower_[static_cast<std::size_t>(j)] > upper_[static_cast<std::size_t>(j)]) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
   }
+  if (!load_basis(start, hint)) {
+    result.status = SolveStatus::kNumericalFailure;
+    return result;
+  }
+
+  int dual_iters = 0;
+  SolveStatus st = iterate_dual(cost2_, &dual_iters);
+  if (st == SolveStatus::kOptimal) {
+    // The dual loop restored primal feasibility; a short primal cleanup
+    // clears any dual infeasibility introduced by bound snapping (usually
+    // zero pivots).
+    double obj = 0.0;
+    int cleanup_iters = 0;
+    st = iterate(cost2_, &obj, &cleanup_iters);
+  }
+  result.iterations = total_iterations_;
+  result.status = st;
+  if (st != SolveStatus::kOptimal) return result;
+  if (!residuals_ok()) {
+    // A stale factorization hint can silently corrupt the solution; verify
+    // A x = b before trusting the warm result.
+    result.status = SolveStatus::kNumericalFailure;
+    return result;
+  }
+
+  extract(&result);
+  if (opt_.collect_basis) export_basis(&result);
   return result;
 }
 
 }  // namespace
 
+struct WarmSimplex::Impl {
+  Engine engine;
+  Impl(const Model& base, const SimplexOptions& options) : engine(base, options) {}
+};
+
+WarmSimplex::WarmSimplex(const Model& base, const SimplexOptions& options)
+    : impl_(std::make_unique<Impl>(base, options)) {}
+WarmSimplex::~WarmSimplex() = default;
+WarmSimplex::WarmSimplex(WarmSimplex&&) noexcept = default;
+WarmSimplex& WarmSimplex::operator=(WarmSimplex&&) noexcept = default;
+
+SimplexResult WarmSimplex::solve_dual(const std::vector<BoundOverride>& overrides,
+                                      const Basis& start, const Factorization* hint) {
+  return impl_->engine.solve_dual(overrides, start, hint);
+}
+
+SimplexResult WarmSimplex::solve_cold(const std::vector<BoundOverride>& overrides) {
+  return impl_->engine.solve_cold(overrides);
+}
+
 SimplexResult solve_lp(const Model& model, const SimplexOptions& options) {
-  Simplex solver(model, options);
-  return solver.run();
+  Engine engine(model, options);
+  return engine.solve_cold({});
+}
+
+SimplexResult solve_lp_dual(const Model& model, const Basis& start,
+                            const SimplexOptions& options) {
+  Engine engine(model, options);
+  return engine.solve_dual({}, start, nullptr);
 }
 
 }  // namespace insched::lp

@@ -1,19 +1,30 @@
 #pragma once
 
-// Dense revised primal simplex with bounded variables and a two-phase start
-// (artificial variables, phase-1 infeasibility minimization). This is the LP
-// engine under the branch-and-bound MIP solver: the scheduling MILPs the
-// paper solves with CPLEX are solved here instead.
+// Dense revised simplex with bounded variables: a two-phase *primal* cold
+// start (artificial variables, phase-1 infeasibility minimization) and a
+// *dual* warm-start path that re-solves a bound-perturbed problem from a
+// given basis. The LP engine under the branch-and-bound MIP solver: the
+// scheduling MILPs the paper solves with CPLEX are solved here instead.
 //
 // Scope: exact dense linear algebra with an explicitly maintained basis
 // inverse, periodic refactorization, Dantzig pricing with a Bland's-rule
 // fallback for anti-cycling. Intended for the small/medium instances this
 // library produces (tens to a few thousand variables), not for general
 // large-scale LP.
+//
+// Warm starts: branch-and-bound children differ from their parent only in
+// one tightened column bound, which keeps the parent's optimal basis dual
+// feasible. `WarmSimplex` keeps a per-thread workspace bound to one base
+// model and re-solves `base + bound overrides` with the dual simplex from a
+// `Basis` snapshot (optionally seeded with the parent's `Factorization` to
+// skip refactorization). Numerical trouble is reported, never patched — the
+// caller falls back to the cold primal path.
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "insched/lp/basis.hpp"
 #include "insched/lp/model.hpp"
 
 namespace insched::lp {
@@ -35,6 +46,8 @@ struct SimplexOptions {
   int max_iterations = 200000;    ///< across both phases
   int refactor_interval = 128;    ///< pivots between basis re-inversions
   int stall_limit = 64;           ///< degenerate pivots before Bland's rule
+  bool collect_basis = false;     ///< export the optimal basis + factorization
+  bool want_duals = true;         ///< compute duals/reduced costs on optimal exit
 };
 
 struct SimplexResult {
@@ -46,10 +59,48 @@ struct SimplexResult {
   int iterations = 0;
   int phase1_iterations = 0;
 
+  /// Optimal basis snapshot; filled when `collect_basis` is set, the solve
+  /// proved optimality, and no artificial variable remained basic.
+  Basis basis;
+  /// Basis-inverse snapshot matching `basis` (same conditions).
+  std::shared_ptr<const Factorization> factor;
+
   [[nodiscard]] bool optimal() const noexcept { return status == SolveStatus::kOptimal; }
 };
 
-/// Solves the LP relaxation of `model` (integrality marks are ignored).
+/// Solves the LP relaxation of `model` (integrality marks are ignored) with
+/// the two-phase primal simplex from a fresh slack basis.
 [[nodiscard]] SimplexResult solve_lp(const Model& model, const SimplexOptions& options = {});
+
+/// One-shot dual warm start: re-solves `model` starting from `start`.
+/// Convenience wrapper over WarmSimplex for tests and external callers.
+[[nodiscard]] SimplexResult solve_lp_dual(const Model& model, const Basis& start,
+                                          const SimplexOptions& options = {});
+
+/// Reusable solve workspace bound to one base model. Not thread-safe; the
+/// MIP search keeps one per worker thread. Both entry points solve
+/// `base + overrides` where overrides replace column bounds.
+class WarmSimplex {
+ public:
+  explicit WarmSimplex(const Model& base, const SimplexOptions& options = {});
+  ~WarmSimplex();
+  WarmSimplex(WarmSimplex&&) noexcept;
+  WarmSimplex& operator=(WarmSimplex&&) noexcept;
+
+  /// Dual-simplex re-solve from `start` (parent basis). `hint`, when given,
+  /// must be the factorization captured together with `start`; it skips the
+  /// initial refactorization. Returns kNumericalFailure when the basis
+  /// cannot be loaded — callers should fall back to solve_cold.
+  [[nodiscard]] SimplexResult solve_dual(const std::vector<BoundOverride>& overrides,
+                                         const Basis& start,
+                                         const Factorization* hint = nullptr);
+
+  /// Two-phase primal cold solve on the same workspace (the fallback path).
+  [[nodiscard]] SimplexResult solve_cold(const std::vector<BoundOverride>& overrides = {});
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace insched::lp

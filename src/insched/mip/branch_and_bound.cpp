@@ -1,48 +1,60 @@
 #include "insched/mip/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
 
 #include "insched/lp/presolve.hpp"
 #include "insched/mip/cuts.hpp"
 #include "insched/mip/heuristics.hpp"
+#include "insched/mip/node_pool.hpp"
 #include "insched/support/assert.hpp"
 #include "insched/support/log.hpp"
+#include "insched/support/parallel.hpp"
 
 namespace insched::mip {
 
+const char* to_string(MipTermination termination) noexcept {
+  switch (termination) {
+    case MipTermination::kProvedOptimal: return "proved_optimal";
+    case MipTermination::kProvedInfeasible: return "proved_infeasible";
+    case MipTermination::kNodeLimit: return "node_limit";
+    case MipTermination::kTimeLimit: return "time_limit";
+    case MipTermination::kUnbounded: return "unbounded";
+    case MipTermination::kNumericalFailure: return "numerical_failure";
+  }
+  return "unknown";
+}
+
 double MipResult::gap() const noexcept {
   if (!has_solution) return std::numeric_limits<double>::infinity();
+  if (termination == MipTermination::kProvedOptimal) return 0.0;
   return std::fabs(best_bound - objective);
+}
+
+double MipResult::gap_rel() const noexcept {
+  const double g = gap();
+  if (!std::isfinite(g)) return g;
+  return g / std::max(1.0, std::fabs(objective));
 }
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct Node {
-  // Bound overrides relative to the base model, one pair per integer column
-  // touched on the path from the root.
-  std::vector<std::tuple<int, double, double>> bounds;
-  double parent_bound = 0.0;  // LP bound inherited from the parent (internal minimize)
-  int depth = 0;
-  long id = 0;
-};
+enum class Cause : int { kNone = 0, kNodeLimit = 1, kTimeLimit = 2 };
 
-struct NodeOrder {
-  // Best-bound first; on ties prefer deeper nodes (cheap dive behaviour).
-  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
-    if (a->parent_bound != b->parent_bound) return a->parent_bound > b->parent_bound;
-    return a->depth < b->depth;
-  }
-};
-
-class BranchAndBound {
+class Search {
  public:
-  BranchAndBound(const lp::Model& model, const MipOptions& opt) : base_(model), opt_(opt) {
+  Search(const lp::Model& model, const MipOptions& opt) : base_(model), opt_(opt) {
     maximize_ = model.sense() == lp::Sense::kMaximize;
   }
 
@@ -51,60 +63,88 @@ class BranchAndBound {
  private:
   // Internally everything is a minimization: `internal(v)` flips sign for max.
   [[nodiscard]] double internal(double v) const noexcept { return maximize_ ? -v : v; }
-
-  void consider_incumbent(const std::vector<double>& x);
-  [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const;
-  void record_pseudo_cost(int var, bool up, double degradation, double frac);
   [[nodiscard]] double elapsed_s() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  void set_cause(Cause c) {
+    int expected = 0;
+    cause_.compare_exchange_strong(expected, static_cast<int>(c), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int pick_branch_var(const std::vector<double>& x,
+                                    const PseudoCostTable& pc) const;
+  void offer_point(const std::vector<double>& x, long node_id);
+  void try_integral_incumbent(const std::vector<double>& xrel, long node_id);
+  [[nodiscard]] std::optional<std::vector<double>> warm_round_and_fix(
+      lp::WarmSimplex& ws, const SearchNode& node, const std::vector<double>& xrel,
+      const lp::Basis& basis, const lp::Factorization* hint);
+  [[nodiscard]] std::optional<std::vector<double>> warm_dive(
+      lp::WarmSimplex& ws, const SearchNode& node, const std::vector<double>& xrel,
+      const lp::Basis& basis, const lp::Factorization* hint, int max_depth);
+  void node_heuristic(lp::WarmSimplex* heur_ws, const SearchNode& node,
+                      const std::vector<double>& xrel,
+                      const std::shared_ptr<const lp::Basis>& basis,
+                      const lp::Factorization* hint, long node_id);
+  lp::SimplexResult solve_node(lp::WarmSimplex& ws, const SearchNode& node,
+                               const lp::Factorization* hint);
+  void process_solved(const NodePtr& node, lp::SimplexResult&& rel,
+                      const PseudoCostTable& pc_read, PseudoCostTable& pc_write,
+                      const std::function<long()>& alloc_id,
+                      const std::function<void(NodePtr)>& push, lp::WarmSimplex* heur_ws);
+
+  void run_async(int threads, NodePtr root_node);
+  void async_worker(int tid);
+  void run_deterministic(int threads, NodePtr root_node);
+  void finalize(bool proved);
+
   lp::Model base_;
   MipOptions opt_;
   bool maximize_ = false;
+  int n_ = 0;
+  Clock::time_point start_;
 
-  bool have_incumbent_ = false;
-  double incumbent_obj_ = 0.0;  // internal minimize convention
-  std::vector<double> incumbent_;
+  // Root relaxation solved once up front; the root node consumes it instead
+  // of re-solving.
+  lp::SimplexResult root_result_;
+  bool root_pending_ = false;
 
-  // Pseudo-cost statistics per column: average objective degradation per unit
-  // of fractional distance, separately for up and down branches.
-  std::vector<double> pc_up_sum_, pc_down_sum_;
-  std::vector<long> pc_up_n_, pc_down_n_;
+  Incumbent incumbent_;
+  std::unique_ptr<lp::WarmSimplex> heur_ws_;      // root + deterministic heuristics
+  std::unique_ptr<NodePool> pool_;                // async mode only
+  std::unique_ptr<FactorCache> cache_;            // async mode only
+  std::unique_ptr<SharedPseudoCosts> shared_pc_;  // async mode only
+
+  std::atomic<long> nodes_{0};
+  std::atomic<long> lp_iterations_{0};
+  std::atomic<long> next_id_{1};
+  std::atomic<int> cause_{static_cast<int>(Cause::kNone)};
+  std::atomic<long> warm_solves_{0}, cold_solves_{0}, warm_failures_{0};
+  std::atomic<long> factor_hits_{0}, factor_misses_{0};
+  std::atomic<long> heur_warm_{0}, heur_warm_failed_{0};
+  std::atomic<long> steals_{0};
+
+  bool pin_factors_ = false;
+  double trunc_open_bound_ = std::numeric_limits<double>::infinity();
 
   MipResult result_;
-  Clock::time_point start_;
 };
 
-void BranchAndBound::consider_incumbent(const std::vector<double>& x) {
-  const double obj = internal(base_.objective_value(x));
-  if (!have_incumbent_ || obj < incumbent_obj_ - 1e-12) {
-    have_incumbent_ = true;
-    incumbent_obj_ = obj;
-    incumbent_ = x;
-  }
-}
-
-int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+int Search::pick_branch_var(const std::vector<double>& x, const PseudoCostTable& pc) const {
   int pick = -1;
   double best = -1.0;
-  for (int j = 0; j < base_.num_columns(); ++j) {
+  for (int j = 0; j < n_; ++j) {
     const lp::Column& c = base_.column(j);
     if (c.type == lp::VarType::kContinuous) continue;
     const double v = x[static_cast<std::size_t>(j)];
     const double frac = std::fabs(v - std::round(v));
     if (frac <= opt_.int_tol) continue;
     double score = 0.0;
-    if (opt_.branching == Branching::kPseudoCost &&
-        pc_up_n_[static_cast<std::size_t>(j)] + pc_down_n_[static_cast<std::size_t>(j)] > 0) {
-      const double up = pc_up_n_[static_cast<std::size_t>(j)] > 0
-                            ? pc_up_sum_[static_cast<std::size_t>(j)] /
-                                  static_cast<double>(pc_up_n_[static_cast<std::size_t>(j)])
-                            : 1.0;
-      const double down = pc_down_n_[static_cast<std::size_t>(j)] > 0
-                              ? pc_down_sum_[static_cast<std::size_t>(j)] /
-                                    static_cast<double>(pc_down_n_[static_cast<std::size_t>(j)])
-                              : 1.0;
+    const auto js = static_cast<std::size_t>(j);
+    if (opt_.branching == Branching::kPseudoCost && pc.up_n[js] + pc.down_n[js] > 0) {
+      const double up = pc.up_n[js] > 0 ? pc.up_sum[js] / static_cast<double>(pc.up_n[js]) : 1.0;
+      const double down =
+          pc.down_n[js] > 0 ? pc.down_sum[js] / static_cast<double>(pc.down_n[js]) : 1.0;
       const double f = v - std::floor(v);
       // Product rule: balanced degradation on both children scores high.
       score = std::max(up * (1.0 - f), 1e-6) * std::max(down * f, 1e-6);
@@ -120,46 +160,480 @@ int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
   return pick;
 }
 
-void BranchAndBound::record_pseudo_cost(int var, bool up, double degradation, double frac) {
-  if (frac <= 1e-12) return;
-  const double per_unit = degradation / frac;
-  if (up) {
-    pc_up_sum_[static_cast<std::size_t>(var)] += per_unit;
-    ++pc_up_n_[static_cast<std::size_t>(var)];
-  } else {
-    pc_down_sum_[static_cast<std::size_t>(var)] += per_unit;
-    ++pc_down_n_[static_cast<std::size_t>(var)];
-  }
+void Search::offer_point(const std::vector<double>& x, long node_id) {
+  incumbent_.offer(internal(base_.objective_value(x)), x, node_id);
 }
 
-MipResult BranchAndBound::run() {
+void Search::try_integral_incumbent(const std::vector<double>& xrel, long node_id) {
+  std::vector<double> x = xrel;
+  for (int j = 0; j < n_; ++j) {
+    if (base_.column(j).type != lp::VarType::kContinuous)
+      x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+  }
+  if (base_.is_feasible(x, 1e-5)) offer_point(x, node_id);
+}
+
+// Fix-and-solve rounding heuristic on the warm workspace: fixing every
+// integer column to its rounded value is a pure bound change, so the node's
+// optimal basis re-solves in a handful of dual pivots instead of copying the
+// model and running a cold two-phase primal. A failed heuristic is harmless,
+// so infeasible/unstable outcomes just return nullopt.
+std::optional<std::vector<double>> Search::warm_round_and_fix(
+    lp::WarmSimplex& ws, const SearchNode& node, const std::vector<double>& xrel,
+    const lp::Basis& basis, const lp::Factorization* hint) {
+  std::vector<lp::BoundOverride> overrides = node.bounds;
+  bool any_integer = false;
+  for (int j = 0; j < n_; ++j) {
+    const lp::Column& c = base_.column(j);
+    if (c.type == lp::VarType::kContinuous) continue;
+    any_integer = true;
+    // Effective bounds of j at this node (later overrides win).
+    double lo = c.lower, hi = c.upper;
+    for (const lp::BoundOverride& o : node.bounds) {
+      if (o.column == j) {
+        lo = o.lower;
+        hi = o.upper;
+      }
+    }
+    double r = std::round(xrel[static_cast<std::size_t>(j)]);
+    r = std::max(r, std::ceil(lo - 1e-9));
+    r = std::min(r, std::floor(hi + 1e-9));
+    if (r < lo - 1e-9 || r > hi + 1e-9) return std::nullopt;
+    overrides.push_back({j, r, r});
+  }
+  if (!any_integer) return xrel;
+
+  heur_warm_.fetch_add(1, std::memory_order_relaxed);
+  const lp::SimplexResult res = ws.solve_dual(overrides, basis, hint);
+  if (!res.optimal()) {
+    heur_warm_failed_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::vector<double> x = res.x;
+  // Snap the integers exactly to avoid tolerance drift downstream.
+  for (int j = 0; j < n_; ++j) {
+    if (base_.column(j).type != lp::VarType::kContinuous)
+      x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+  }
+  if (!base_.is_feasible(x, std::max(opt_.int_tol, 1e-6))) return std::nullopt;
+  return x;
+}
+
+// Warm iterative diving: repeatedly fix the least-fractional unfixed integer
+// variable to its nearest in-bounds integer and dual-re-solve, chaining each
+// step from the previous step's exported basis and factorization — every
+// re-solve is a one-bound perturbation, so a dive that cost max_depth cold
+// two-phase solves now costs a few dual pivots per step. Mirrors
+// heuristics.cpp dive(); like all heuristics, failure is harmless.
+std::optional<std::vector<double>> Search::warm_dive(lp::WarmSimplex& ws,
+                                                     const SearchNode& node,
+                                                     const std::vector<double>& xrel,
+                                                     const lp::Basis& basis,
+                                                     const lp::Factorization* hint,
+                                                     int max_depth) {
+  // Effective bounds at this node.
+  std::vector<double> lo(static_cast<std::size_t>(n_)), hi(static_cast<std::size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    lo[static_cast<std::size_t>(j)] = base_.column(j).lower;
+    hi[static_cast<std::size_t>(j)] = base_.column(j).upper;
+  }
+  for (const lp::BoundOverride& o : node.bounds) {
+    lo[static_cast<std::size_t>(o.column)] = o.lower;
+    hi[static_cast<std::size_t>(o.column)] = o.upper;
+  }
+
+  std::vector<lp::BoundOverride> overrides = node.bounds;
+  std::vector<double> current = xrel;
+  lp::Basis cur_basis = basis;
+  std::shared_ptr<const lp::Factorization> cur_factor;  // keeps the hint alive
+  const lp::Factorization* cur_hint = hint;
+  std::vector<bool> fixed(static_cast<std::size_t>(n_), false);
+
+  for (int depth = 0; depth < max_depth; ++depth) {
+    // Pick the least-fractional unfixed integer variable.
+    int pick = -1;
+    double best_dist = 0.5 + 1e-9;
+    for (int j = 0; j < n_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (base_.column(j).type == lp::VarType::kContinuous) continue;
+      if (fixed[js] || lo[js] == hi[js]) continue;
+      const double v = current[js];
+      const double dist = std::fabs(v - std::round(v));
+      if (dist <= opt_.int_tol) continue;
+      if (dist < best_dist) {
+        best_dist = dist;
+        pick = j;
+      }
+    }
+    if (pick < 0) {
+      // All integral: finish with a fix-and-solve from the dive's basis
+      // (also fixes near-integral drift and re-checks feasibility).
+      SearchNode dived;
+      dived.bounds = std::move(overrides);
+      return warm_round_and_fix(ws, dived, current, cur_basis, cur_hint);
+    }
+    const auto ps = static_cast<std::size_t>(pick);
+    const double v = current[ps];
+    double nearest = std::round(v);
+    nearest = std::max(nearest, std::ceil(lo[ps] - 1e-9));
+    nearest = std::min(nearest, std::floor(hi[ps] + 1e-9));
+    // Nearest first; if that direction is LP-infeasible, try the other side.
+    const double other = nearest >= v
+                             ? std::max(nearest - 1.0, std::ceil(lo[ps] - 1e-9))
+                             : std::min(nearest + 1.0, std::floor(hi[ps] + 1e-9));
+    overrides.push_back({pick, nearest, nearest});
+    lp::SimplexResult res = ws.solve_dual(overrides, cur_basis, cur_hint);
+    if (!res.optimal() && other != nearest) {
+      overrides.back() = {pick, other, other};
+      res = ws.solve_dual(overrides, cur_basis, cur_hint);
+    }
+    if (!res.optimal()) return std::nullopt;
+    fixed[ps] = true;
+    current = std::move(res.x);
+    if (!res.basis.empty()) {
+      cur_basis = std::move(res.basis);
+      cur_factor = res.factor;  // matches cur_basis by construction
+      cur_hint = cur_factor.get();
+    }
+  }
+  return std::nullopt;
+}
+
+void Search::node_heuristic(lp::WarmSimplex* heur_ws, const SearchNode& node,
+                            const std::vector<double>& xrel,
+                            const std::shared_ptr<const lp::Basis>& basis,
+                            const lp::Factorization* hint, long node_id) {
+  if (heur_ws && basis && !basis->empty()) {
+    if (auto x = warm_round_and_fix(*heur_ws, node, xrel, *basis, hint))
+      offer_point(*x, node_id);
+    return;
+  }
+  // No usable basis: fall back to the model-copying cold path.
+  lp::Model local = base_;
+  for (const lp::BoundOverride& o : node.bounds) local.set_bounds(o.column, o.lower, o.upper);
+  if (auto x = round_and_fix(local, xrel, opt_.lp, opt_.int_tol)) offer_point(*x, node_id);
+}
+
+lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node,
+                                     const lp::Factorization* hint) {
+  if (opt_.warm_start && node.warm_basis && !node.warm_basis->empty()) {
+    if (hint) factor_hits_.fetch_add(1, std::memory_order_relaxed);
+    else factor_misses_.fetch_add(1, std::memory_order_relaxed);
+    lp::SimplexResult res = ws.solve_dual(node.bounds, *node.warm_basis, hint);
+    // Optimal outcomes are residual-checked and infeasibility proofs are
+    // self-validating inside the dual loop (br * B = e_r plus the
+    // sub-tolerance-column slack bound), so both can be trusted even when
+    // the product-form hint has drifted. Anything else falls back cold.
+    if (res.status == lp::SolveStatus::kOptimal ||
+        res.status == lp::SolveStatus::kInfeasible) {
+      warm_solves_.fetch_add(1, std::memory_order_relaxed);
+      return res;
+    }
+    warm_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cold_solves_.fetch_add(1, std::memory_order_relaxed);
+  return ws.solve_cold(node.bounds);
+}
+
+void Search::process_solved(const NodePtr& node, lp::SimplexResult&& rel,
+                            const PseudoCostTable& pc_read, PseudoCostTable& pc_write,
+                            const std::function<long()>& alloc_id,
+                            const std::function<void(NodePtr)>& push,
+                            lp::WarmSimplex* heur_ws) {
+  if (!rel.optimal()) return;  // infeasible or numerical trouble: drop the node
+  const double bound = internal(rel.objective);
+
+  // Charge the LP bound movement of this node relative to its parent to the
+  // variable branched at the parent, scaled by its fractionality there.
+  if (!node->bounds.empty()) {
+    const lp::BoundOverride& o = node->bounds.back();
+    const bool was_up = o.upper >= base_.column(o.column).upper - 1e-9;
+    pc_write.record(o.column, was_up, std::max(0.0, bound - node->parent_bound),
+                    std::max(node->branch_frac, 1e-3));
+  }
+
+  if (incumbent_.has() && bound >= incumbent_.bound() - opt_.gap_abs) return;
+
+  const int branch_var = pick_branch_var(rel.x, pc_read);
+  if (branch_var < 0) {
+    try_integral_incumbent(rel.x, node->id);
+    return;
+  }
+
+  // Copy-on-branch: both children share one immutable snapshot of the
+  // parent's optimal basis (and, in deterministic mode, its factorization).
+  std::shared_ptr<const lp::Basis> basis;
+  if (!rel.basis.empty()) basis = std::make_shared<lp::Basis>(std::move(rel.basis));
+  std::shared_ptr<const lp::Factorization> pinned = pin_factors_ ? rel.factor : nullptr;
+
+  // Occasional node heuristic on shallow nodes, warm-started from this
+  // node's own basis and factorization.
+  if (opt_.use_rounding_heuristic && node->depth <= 2)
+    node_heuristic(heur_ws, *node, rel.x, basis, rel.factor.get(), node->id);
+
+  const double v = rel.x[static_cast<std::size_t>(branch_var)];
+  const double floor_v = std::floor(v);
+  const double frac = v - floor_v;
+
+  // Effective bounds of the branch variable at this node (later overrides on
+  // the same column win, matching sequential set_bounds application).
+  double lo = base_.column(branch_var).lower;
+  double hi = base_.column(branch_var).upper;
+  for (const lp::BoundOverride& o : node->bounds) {
+    if (o.column == branch_var) {
+      lo = o.lower;
+      hi = o.upper;
+    }
+  }
+
+  auto make_child = [&](double clo, double chi) {
+    auto child = std::make_shared<SearchNode>();
+    child->bounds = node->bounds;
+    child->bounds.push_back({branch_var, clo, chi});
+    child->parent_bound = bound;
+    child->depth = node->depth + 1;
+    child->id = alloc_id();
+    child->parent_id = node->id;
+    child->branch_frac = frac;
+    child->warm_basis = basis;
+    child->pinned_factor = pinned;
+    push(std::move(child));
+  };
+  // Down child: x <= floor(v); up child: x >= ceil(v).
+  if (floor_v >= lo - 1e-9) make_child(lo, floor_v);
+  if (floor_v + 1.0 <= hi + 1e-9) make_child(floor_v + 1.0, hi);
+}
+
+void Search::async_worker(int tid) {
+  // Workspaces are built lazily at the first popped node: on small trees
+  // (or oversubscribed machines) most workers never get one, and the dense
+  // workspace allocations would dominate their cost.
+  std::optional<lp::WarmSimplex> ws;
+  std::optional<lp::WarmSimplex> heur_ws;
+  auto ensure_workspaces = [&] {
+    if (ws) return;
+    lp::SimplexOptions lpopt = opt_.lp;
+    lpopt.collect_basis = true;
+    lpopt.want_duals = false;
+    ws.emplace(base_, lpopt);
+    lp::SimplexOptions heur_lpopt = opt_.lp;
+    heur_lpopt.collect_basis = false;
+    heur_lpopt.want_duals = false;
+    heur_ws.emplace(base_, heur_lpopt);
+  };
+  FactorCache& cache = *cache_;
+  PseudoCostTable pc_read = shared_pc_->snapshot();
+  PseudoCostTable pc_delta;
+  pc_delta.resize(n_);
+  long since_merge = 0;
+  const long merge_interval = std::max(1, opt_.pc_merge_interval);
+  auto alloc_id = [this] { return next_id_.fetch_add(1, std::memory_order_relaxed); };
+  auto push = [this, tid](NodePtr child) { pool_->push(std::move(child), tid); };
+
+  while (NodePtr node = pool_->pop(tid)) {
+    const long processed = nodes_.load(std::memory_order_relaxed);
+    if (processed >= opt_.max_nodes || elapsed_s() > opt_.time_limit_s) {
+      set_cause(processed >= opt_.max_nodes ? Cause::kNodeLimit : Cause::kTimeLimit);
+      // Keep the node's bound visible to the final best_bound accounting.
+      pool_->push(std::move(node), tid);
+      pool_->task_done(tid);
+      pool_->stop();
+      break;
+    }
+    if (incumbent_.has() && node->parent_bound >= incumbent_.bound() - opt_.gap_abs) {
+      pool_->task_done(tid);
+      continue;
+    }
+    nodes_.fetch_add(1, std::memory_order_relaxed);
+
+    ensure_workspaces();
+    lp::SimplexResult rel;
+    if (node->id == 0 && root_pending_) {
+      // Only one worker ever pops the root node.
+      root_pending_ = false;
+      rel = std::move(root_result_);
+    } else {
+      std::shared_ptr<const lp::Factorization> hint;
+      if (node->parent_id >= 0) hint = cache.get(node->parent_id);
+      rel = solve_node(*ws, *node, hint.get());
+      lp_iterations_.fetch_add(rel.iterations, std::memory_order_relaxed);
+    }
+    if (rel.optimal() && rel.factor && !pin_factors_) cache.put(node->id, rel.factor);
+
+    process_solved(node, std::move(rel), pc_read, pc_delta, alloc_id, push, &*heur_ws);
+
+    if (++since_merge >= merge_interval) {
+      shared_pc_->merge(&pc_delta, &pc_read);
+      since_merge = 0;
+    }
+    pool_->task_done(tid);
+  }
+  if (since_merge > 0) shared_pc_->merge(&pc_delta, nullptr);
+}
+
+void Search::run_async(int threads, NodePtr root_node) {
+  pool_ = std::make_unique<NodePool>(threads);
+  cache_ = std::make_unique<FactorCache>(
+      static_cast<std::size_t>(std::max(1, opt_.factor_cache_size)));
+  shared_pc_ = std::make_unique<SharedPseudoCosts>(n_);
+  pool_->push(std::move(root_node), 0);
+
+  insched::parallel_run(threads, [this](int tid) { async_worker(tid); });
+
+  steals_.store(pool_->steals(), std::memory_order_relaxed);
+  result_.counters.pc_merges = shared_pc_->merges();
+  trunc_open_bound_ = pool_->best_open_bound();
+  finalize(/*proved=*/cause_.load(std::memory_order_relaxed) ==
+           static_cast<int>(Cause::kNone));
+}
+
+void Search::run_deterministic(int threads, NodePtr root_node) {
+  std::multiset<NodePtr, NodeOrder> open;
+  open.insert(std::move(root_node));
+  long next_id_local = 1;
+  PseudoCostTable pc;
+  pc.resize(n_);
+  auto alloc_id = [&next_id_local] { return next_id_local++; };
+  auto push = [&open](NodePtr child) { open.insert(std::move(child)); };
+
+  const long wave_cap = std::max(1, opt_.wave_size);
+  lp::SimplexOptions lpopt = opt_.lp;
+  lpopt.collect_basis = true;
+  lpopt.want_duals = false;
+  std::vector<std::unique_ptr<lp::WarmSimplex>> ws(static_cast<std::size_t>(threads));
+
+  while (!open.empty()) {
+    if (elapsed_s() > opt_.time_limit_s) {
+      set_cause(Cause::kTimeLimit);
+      break;
+    }
+    // Fill the wave in best-bound order, pruning at selection time. The wave
+    // size is fixed (independent of `threads`), so the search tree is too.
+    std::vector<NodePtr> wave;
+    while (static_cast<long>(wave.size()) < wave_cap && !open.empty()) {
+      if (nodes_.load(std::memory_order_relaxed) + static_cast<long>(wave.size()) >=
+          opt_.max_nodes)
+        break;
+      NodePtr node = *open.begin();
+      open.erase(open.begin());
+      if (incumbent_.has() && node->parent_bound >= incumbent_.bound() - opt_.gap_abs)
+        continue;
+      wave.push_back(std::move(node));
+    }
+    if (wave.empty()) {
+      if (!open.empty()) set_cause(Cause::kNodeLimit);
+      break;
+    }
+
+    // Parallel phase: pure LP solves only. Each solve is a deterministic
+    // function of (node bounds, basis, pinned factor), so which thread runs
+    // it cannot change the result.
+    std::vector<lp::SimplexResult> results(wave.size());
+    std::atomic<std::size_t> cursor{0};
+    const int wave_threads =
+        std::min<int>(threads, static_cast<int>(wave.size()));
+    insched::parallel_run(wave_threads, [&](int tid) {
+      auto& workspace = ws[static_cast<std::size_t>(tid)];
+      for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < wave.size();
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        const SearchNode& nd = *wave[i];
+        if (nd.id == 0 && root_pending_) {
+          root_pending_ = false;
+          results[i] = std::move(root_result_);
+          continue;
+        }
+        if (!workspace) workspace = std::make_unique<lp::WarmSimplex>(base_, lpopt);
+        results[i] = solve_node(*workspace, nd, nd.pinned_factor.get());
+        lp_iterations_.fetch_add(results[i].iterations, std::memory_order_relaxed);
+      }
+    });
+
+    // Sequential phase: incumbent updates, pruning, pseudo-costs, and
+    // branching applied in selection order.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      nodes_.fetch_add(1, std::memory_order_relaxed);
+      process_solved(wave[i], std::move(results[i]), pc, pc, alloc_id, push, heur_ws_.get());
+    }
+  }
+
+  if (!open.empty()) trunc_open_bound_ = (*open.begin())->parent_bound;
+  finalize(/*proved=*/cause_.load(std::memory_order_relaxed) ==
+           static_cast<int>(Cause::kNone));
+}
+
+void Search::finalize(bool proved) {
+  const auto [inc_obj, inc_x] = incumbent_.snapshot();
+  const bool have_inc = std::isfinite(inc_obj);
+
+  result_.nodes = nodes_.load(std::memory_order_relaxed);
+  result_.lp_iterations = lp_iterations_.load(std::memory_order_relaxed);
+  result_.counters.warm_solves = warm_solves_.load(std::memory_order_relaxed);
+  result_.counters.cold_solves = cold_solves_.load(std::memory_order_relaxed);
+  result_.counters.warm_failures = warm_failures_.load(std::memory_order_relaxed);
+  result_.counters.factor_hits = factor_hits_.load(std::memory_order_relaxed);
+  result_.counters.factor_misses = factor_misses_.load(std::memory_order_relaxed);
+  result_.counters.heur_warm = heur_warm_.load(std::memory_order_relaxed);
+  result_.counters.heur_warm_failed = heur_warm_failed_.load(std::memory_order_relaxed);
+  result_.counters.steals = steals_.load(std::memory_order_relaxed);
+
+  result_.has_solution = have_inc;
+  if (have_inc) {
+    result_.x = inc_x;
+    result_.objective = maximize_ ? -inc_obj : inc_obj;
+  }
+
+  if (proved) {
+    result_.status = have_inc ? lp::SolveStatus::kOptimal : lp::SolveStatus::kInfeasible;
+    result_.termination =
+        have_inc ? MipTermination::kProvedOptimal : MipTermination::kProvedInfeasible;
+    const double ob = have_inc ? inc_obj : 0.0;
+    result_.best_bound = maximize_ ? -ob : ob;
+  } else {
+    result_.status = lp::SolveStatus::kIterationLimit;
+    result_.termination = cause_.load(std::memory_order_relaxed) ==
+                                  static_cast<int>(Cause::kNodeLimit)
+                              ? MipTermination::kNodeLimit
+                              : MipTermination::kTimeLimit;
+    double ob = trunc_open_bound_;
+    if (have_inc) ob = std::min(ob, inc_obj);
+    if (!std::isfinite(ob)) ob = 0.0;
+    result_.best_bound = maximize_ ? -ob : ob;
+  }
+  result_.solve_seconds = elapsed_s();
+}
+
+MipResult Search::run() {
   start_ = Clock::now();
-  const int n = base_.num_columns();
-  pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
-  pc_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
-  pc_up_n_.assign(static_cast<std::size_t>(n), 0);
-  pc_down_n_.assign(static_cast<std::size_t>(n), 0);
+  n_ = base_.num_columns();
+  int threads = opt_.threads;
+  if (threads <= 0) threads = insched::thread_count();
+  threads = std::max(1, threads);
+  if (!opt_.oversubscribe) {
+    const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    threads = std::min(threads, hw);
+  }
+  result_.threads_used = threads;
 
   // --- Root LP with optional cut rounds ---------------------------------
-  lp::SimplexResult root = lp::solve_lp(base_, opt_.lp);
-  result_.lp_iterations += root.iterations;
-  if (root.status == lp::SolveStatus::kInfeasible) {
-    result_.status = lp::SolveStatus::kInfeasible;
+  lp::SimplexOptions root_lp = opt_.lp;
+  root_lp.collect_basis = true;
+  lp::SimplexResult root = lp::solve_lp(base_, root_lp);
+  lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+  auto bail = [&](lp::SolveStatus status, MipTermination termination) {
+    result_.status = status;
+    result_.termination = termination;
+    result_.lp_iterations = lp_iterations_.load(std::memory_order_relaxed);
     result_.solve_seconds = elapsed_s();
     return result_;
-  }
+  };
+  if (root.status == lp::SolveStatus::kInfeasible)
+    return bail(lp::SolveStatus::kInfeasible, MipTermination::kProvedInfeasible);
   if (root.status == lp::SolveStatus::kUnbounded) {
     // The relaxation is unbounded; for the models this library builds that
     // means the MIP itself is unbounded or mis-built. Report as-is.
-    result_.status = lp::SolveStatus::kUnbounded;
-    result_.solve_seconds = elapsed_s();
-    return result_;
+    return bail(lp::SolveStatus::kUnbounded, MipTermination::kUnbounded);
   }
-  if (!root.optimal()) {
-    result_.status = root.status;
-    result_.solve_seconds = elapsed_s();
-    return result_;
-  }
+  if (!root.optimal()) return bail(root.status, MipTermination::kNumericalFailure);
 
   if (opt_.use_cover_cuts) {
     for (int round = 0; round < opt_.max_cut_rounds; ++round) {
@@ -169,133 +643,57 @@ MipResult BranchAndBound::run() {
         base_.add_row("cover_cut", cut.type, cut.rhs, cut.entries);
         ++result_.cuts_added;
       }
-      root = lp::solve_lp(base_, opt_.lp);
-      result_.lp_iterations += root.iterations;
+      root = lp::solve_lp(base_, root_lp);
+      lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
       if (!root.optimal()) break;
     }
     if (!root.optimal()) {
       // Cuts are valid inequalities; a failure here is numerical. Rebuild
       // without trusting the cut LP and continue from the plain root.
-      root = lp::solve_lp(base_, opt_.lp);
-      result_.lp_iterations += root.iterations;
-      if (!root.optimal()) {
-        result_.status = root.status;
-        result_.solve_seconds = elapsed_s();
-        return result_;
-      }
+      root = lp::solve_lp(base_, root_lp);
+      lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+      if (!root.optimal()) return bail(root.status, MipTermination::kNumericalFailure);
     }
   }
+
+  // Deterministic mode keeps one sequential heuristic workspace; async
+  // workers build their own. collect_basis stays on so warm_dive can chain
+  // each step from the previous one's exported basis.
+  lp::SimplexOptions heur_lpopt = opt_.lp;
+  heur_lpopt.collect_basis = true;
+  heur_lpopt.want_duals = false;
+  heur_ws_ = std::make_unique<lp::WarmSimplex>(base_, heur_lpopt);
 
   // Root heuristic: an early incumbent makes pruning effective immediately.
+  // Heuristic offers use pseudo node id -1 so they win objective ties against
+  // any tree node, independent of discovery order.
   if (opt_.use_rounding_heuristic) {
-    if (auto x = round_and_fix(base_, root.x, opt_.lp, opt_.int_tol)) consider_incumbent(*x);
-    else if (auto xd = dive(base_, root.x, opt_.lp, opt_.int_tol)) consider_incumbent(*xd);
-  }
-
-  // --- Branch and bound ---------------------------------------------------
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder>
-      open;
-  auto root_node = std::make_shared<Node>();
-  root_node->parent_bound = internal(root.objective);
-  open.push(root_node);
-  long next_id = 1;
-  double best_open_bound = root_node->parent_bound;
-
-  while (!open.empty()) {
-    if (result_.nodes >= opt_.max_nodes || elapsed_s() > opt_.time_limit_s) {
-      result_.status = lp::SolveStatus::kIterationLimit;
-      break;
-    }
-    const std::shared_ptr<Node> node = open.top();
-    open.pop();
-    best_open_bound = node->parent_bound;
-
-    // Bound pruning against the incumbent.
-    if (have_incumbent_ && node->parent_bound >= incumbent_obj_ - opt_.gap_abs) continue;
-
-    ++result_.nodes;
-
-    // Materialize the node model.
-    lp::Model local = base_;
-    for (const auto& [col, lo, hi] : node->bounds) local.set_bounds(col, lo, hi);
-
-    const lp::SimplexResult rel = lp::solve_lp(local, opt_.lp);
-    result_.lp_iterations += rel.iterations;
-    if (rel.status == lp::SolveStatus::kInfeasible) continue;
-    if (!rel.optimal()) continue;  // numerical trouble: drop the node (bound stays valid via siblings)
-
-    const double bound = internal(rel.objective);
-    if (have_incumbent_ && bound >= incumbent_obj_ - opt_.gap_abs) continue;
-
-    const int branch_var = pick_branch_var(rel.x);
-    if (branch_var < 0) {
-      // Integer feasible.
-      std::vector<double> x = rel.x;
-      for (int j = 0; j < n; ++j) {
-        if (base_.column(j).type != lp::VarType::kContinuous)
-          x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+    SearchNode root_ctx;  // empty bound set = root subproblem
+    if (!root.basis.empty()) {
+      if (auto x = warm_round_and_fix(*heur_ws_, root_ctx, root.x, root.basis,
+                                      root.factor.get())) {
+        offer_point(*x, -1);
+      } else if (auto xd =
+                     warm_dive(*heur_ws_, root_ctx, root.x, root.basis, root.factor.get(), 64)) {
+        offer_point(*xd, -1);
       }
-      if (base_.is_feasible(x, 1e-5)) consider_incumbent(x);
-      continue;
-    }
-
-    // Occasional node heuristic on shallow nodes.
-    if (opt_.use_rounding_heuristic && node->depth <= 2) {
-      if (auto x = round_and_fix(local, rel.x, opt_.lp, opt_.int_tol)) consider_incumbent(*x);
-    }
-
-    const double v = rel.x[static_cast<std::size_t>(branch_var)];
-    const double floor_v = std::floor(v);
-    const double frac = v - floor_v;
-
-    // Down child: x <= floor(v).
-    {
-      auto child = std::make_shared<Node>();
-      child->bounds = node->bounds;
-      const lp::Column& c = local.column(branch_var);
-      child->bounds.emplace_back(branch_var, c.lower, floor_v);
-      child->parent_bound = bound;
-      child->depth = node->depth + 1;
-      child->id = next_id++;
-      if (floor_v >= c.lower - 1e-9) open.push(std::move(child));
-    }
-    // Up child: x >= ceil(v).
-    {
-      auto child = std::make_shared<Node>();
-      child->bounds = node->bounds;
-      const lp::Column& c = local.column(branch_var);
-      child->bounds.emplace_back(branch_var, floor_v + 1.0, c.upper);
-      child->parent_bound = bound;
-      child->depth = node->depth + 1;
-      child->id = next_id++;
-      if (floor_v + 1.0 <= c.upper + 1e-9) open.push(std::move(child));
-    }
-
-    // Update pseudo-costs lazily: charge the LP bound movement of this node
-    // relative to its parent to the variable branched at the parent. (A
-    // simple, standard approximation sufficient for our instance sizes.)
-    if (!node->bounds.empty()) {
-      const auto& [col, lo, hi] = node->bounds.back();
-      (void)lo;
-      const bool was_up = hi >= base_.column(col).upper - 1e-9;
-      record_pseudo_cost(col, was_up, std::max(0.0, bound - node->parent_bound),
-                         std::max(frac, 1e-3));
+    } else {
+      // Cold path only when the root solve could not export a basis.
+      if (auto x = round_and_fix(base_, root.x, opt_.lp, opt_.int_tol)) offer_point(*x, -1);
+      else if (auto xd = dive(base_, root.x, opt_.lp, opt_.int_tol)) offer_point(*xd, -1);
     }
   }
 
-  if (result_.status != lp::SolveStatus::kIterationLimit) {
-    result_.status = have_incumbent_ ? lp::SolveStatus::kOptimal : lp::SolveStatus::kInfeasible;
-  }
+  pin_factors_ = opt_.deterministic && base_.num_rows() <= opt_.pin_factor_rows;
 
-  result_.has_solution = have_incumbent_;
-  if (have_incumbent_) {
-    result_.x = incumbent_;
-    result_.objective = maximize_ ? -incumbent_obj_ : incumbent_obj_;
-  }
-  const double open_bound = open.empty() ? (have_incumbent_ ? incumbent_obj_ : 0.0)
-                                         : std::min(best_open_bound, open.top()->parent_bound);
-  result_.best_bound = maximize_ ? -open_bound : open_bound;
-  result_.solve_seconds = elapsed_s();
+  auto root_node = std::make_shared<SearchNode>();
+  root_node->parent_bound = internal(root.objective);
+  root_node->id = 0;
+  root_result_ = std::move(root);
+  root_pending_ = true;
+
+  if (opt_.deterministic) run_deterministic(threads, std::move(root_node));
+  else run_async(threads, std::move(root_node));
   return result_;
 }
 
@@ -312,6 +710,14 @@ MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
     out.best_bound = res.objective;
     out.x = res.x;
     out.lp_iterations = res.iterations;
+    switch (res.status) {
+      case lp::SolveStatus::kOptimal: out.termination = MipTermination::kProvedOptimal; break;
+      case lp::SolveStatus::kInfeasible:
+        out.termination = MipTermination::kProvedInfeasible;
+        break;
+      case lp::SolveStatus::kUnbounded: out.termination = MipTermination::kUnbounded; break;
+      default: out.termination = MipTermination::kNumericalFailure; break;
+    }
     return out;
   }
 
@@ -320,19 +726,20 @@ MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
     if (pre.infeasible) {
       MipResult out;
       out.status = lp::SolveStatus::kInfeasible;
+      out.termination = MipTermination::kProvedInfeasible;
       return out;
     }
     if (pre.removed_columns > 0 || pre.removed_rows > 0) {
       MipOptions inner = options;
       inner.use_presolve = false;  // already applied
-      BranchAndBound solver(pre.reduced, inner);
+      Search solver(pre.reduced, inner);
       MipResult out = solver.run();
       if (out.has_solution) out.x = pre.restore(out.x);
       return out;
     }
   }
 
-  BranchAndBound solver(model, options);
+  Search solver(model, options);
   return solver.run();
 }
 

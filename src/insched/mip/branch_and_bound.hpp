@@ -3,9 +3,13 @@
 // Branch-and-bound MIP solver on top of the simplex LP engine. Replaces the
 // GAMS + CPLEX 12.6.1 stack the paper used for the in-situ scheduling MILPs.
 //
-// Features: best-bound node selection with an initial depth-first dive,
-// most-fractional or pseudo-cost branching, fix-and-solve rounding heuristic,
-// root-node knapsack cover cuts, optional presolve. Proves optimality (the
+// Features: best-bound parallel tree search over a shared node pool,
+// warm-started dual-simplex node re-solves (parent basis copy-on-branch with
+// an LRU of factorizations, cold primal fallback on numerical failure),
+// most-fractional or pseudo-cost branching with cross-thread pseudo-cost
+// sharing, fix-and-solve rounding heuristic, root-node knapsack cover cuts,
+// optional presolve, and a deterministic mode whose search tree — and hence
+// incumbent — is bit-identical across thread counts. Proves optimality (the
 // schedule experiments rely on exact optima, not approximations).
 
 #include <vector>
@@ -16,6 +20,19 @@
 namespace insched::mip {
 
 enum class Branching { kMostFractional, kPseudoCost };
+
+/// Why the search stopped (orthogonal to `MipResult::status`, which keeps
+/// the coarse LP-style status for backward compatibility).
+enum class MipTermination {
+  kProvedOptimal,    ///< tree exhausted with an incumbent
+  kProvedInfeasible, ///< tree exhausted without an incumbent
+  kNodeLimit,        ///< max_nodes hit; best_bound/gap() reflect the open tree
+  kTimeLimit,        ///< time_limit_s hit; best_bound/gap() reflect the open tree
+  kUnbounded,        ///< LP relaxation unbounded
+  kNumericalFailure, ///< root relaxation could not be solved
+};
+
+[[nodiscard]] const char* to_string(MipTermination termination) noexcept;
 
 struct MipOptions {
   double int_tol = 1e-6;        ///< integrality tolerance
@@ -28,11 +45,57 @@ struct MipOptions {
   bool use_rounding_heuristic = true;
   bool use_cover_cuts = true;
   int max_cut_rounds = 4;
+
+  /// Worker threads for the tree search; 0 = insched::thread_count().
+  /// Requests beyond the machine's hardware concurrency are clamped (extra
+  /// workers on an oversubscribed core are pure scheduling overhead for the
+  /// sub-millisecond node LPs solved here) unless `oversubscribe` is set.
+  int threads = 1;
+  /// Allow more workers than hardware threads. Off by default; the
+  /// concurrency tests enable it so the multi-worker code paths are
+  /// exercised even on single-core CI machines.
+  bool oversubscribe = false;
+  /// Synchronous wave-parallel search: node selection, incumbent updates,
+  /// branching, and pseudo-costs are applied in node-id order on the
+  /// coordinating thread while only the node LP solves run in parallel, so
+  /// the search tree (and the incumbent, bit for bit) is identical for any
+  /// thread count. Costs some parallel efficiency; node/time limits may
+  /// still truncate at a thread-dependent point when they fire.
+  bool deterministic = false;
+  /// Nodes solved per synchronization wave in deterministic mode (fixed, so
+  /// the tree does not depend on `threads`).
+  int wave_size = 16;
+  /// Re-solve node LPs with the dual simplex warm-started from the parent
+  /// basis; falls back to the cold primal path on numerical failure.
+  bool warm_start = true;
+  /// Capacity of the LRU cache of basis factorizations (async search).
+  int factor_cache_size = 32;
+  /// Deterministic mode pins the parent factorization in the node itself
+  /// (no shared cache) when the model has at most this many rows.
+  int pin_factor_rows = 256;
+  /// Worker-local pseudo-cost deltas merge into the shared table every this
+  /// many processed nodes.
+  int pc_merge_interval = 32;
+
   lp::SimplexOptions lp;
+};
+
+/// Per-phase search counters surfaced for benchmarks and tuning.
+struct MipCounters {
+  long warm_solves = 0;      ///< node LPs finished by the warm dual path
+  long cold_solves = 0;      ///< node LPs solved from a cold primal start
+  long warm_failures = 0;    ///< warm attempts that fell back to cold
+  long steals = 0;           ///< nodes popped by a thread that did not create them
+  long factor_hits = 0;      ///< LRU factorization cache hits
+  long factor_misses = 0;    ///< warm solves that had to refactorize
+  long pc_merges = 0;        ///< pseudo-cost table synchronizations
+  long heur_warm = 0;        ///< rounding-heuristic LPs solved warm
+  long heur_warm_failed = 0; ///< warm heuristic re-solves that found nothing
 };
 
 struct MipResult {
   lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+  MipTermination termination = MipTermination::kNumericalFailure;
   bool has_solution = false;
   double objective = 0.0;       ///< incumbent objective (model sense)
   double best_bound = 0.0;      ///< proven bound on the optimum (model sense)
@@ -40,13 +103,24 @@ struct MipResult {
   long nodes = 0;
   long lp_iterations = 0;
   int cuts_added = 0;
+  int threads_used = 1;
+  MipCounters counters;
   double solve_seconds = 0.0;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == lp::SolveStatus::kOptimal && has_solution;
   }
-  /// Absolute gap between incumbent and bound.
+  /// True when the search stopped on a node/time limit (never reported as
+  /// optimal even when an incumbent exists).
+  [[nodiscard]] bool truncated() const noexcept {
+    return termination == MipTermination::kNodeLimit ||
+           termination == MipTermination::kTimeLimit;
+  }
+  /// Absolute gap between incumbent and proven bound: exactly 0 on a proved
+  /// optimum, +inf without an incumbent.
   [[nodiscard]] double gap() const noexcept;
+  /// Relative gap: gap() / max(1, |objective|).
+  [[nodiscard]] double gap_rel() const noexcept;
 };
 
 [[nodiscard]] MipResult solve_mip(const lp::Model& model, const MipOptions& options = {});

@@ -1,0 +1,190 @@
+#include "insched/mip/node_pool.hpp"
+
+#include <algorithm>
+
+#include "insched/support/assert.hpp"
+
+namespace insched::mip {
+
+// ---------------------------------------------------------------------------
+// NodePool
+
+NodePool::NodePool(int workers)
+    : inflight_(static_cast<std::size_t>(std::max(1, workers)),
+                std::numeric_limits<double>::infinity()) {}
+
+void NodePool::push(NodePtr node, int tid) {
+  node->producer = tid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_.insert(std::move(node));
+  }
+  cv_.notify_one();
+}
+
+NodePtr NodePool::pop(int tid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_.load(std::memory_order_relaxed)) return nullptr;
+    if (!open_.empty()) {
+      NodePtr node = *open_.begin();
+      open_.erase(open_.begin());
+      ++active_;
+      inflight_[static_cast<std::size_t>(tid)] = node->parent_bound;
+      if (node->producer != tid) steals_.fetch_add(1, std::memory_order_relaxed);
+      return node;
+    }
+    if (active_ == 0) {
+      // Globally idle and empty: wake everyone so all workers exit.
+      cv_.notify_all();
+      return nullptr;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void NodePool::task_done(int tid) {
+  bool was_last = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    INSCHED_ASSERT(active_ > 0);
+    --active_;
+    inflight_[static_cast<std::size_t>(tid)] = std::numeric_limits<double>::infinity();
+    was_last = active_ == 0 && open_.empty();
+  }
+  // A retiring worker may have been the last producer: wake sleepers either
+  // to pick up children it pushed or to observe global termination.
+  if (was_last) cv_.notify_all();
+}
+
+void NodePool::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+double NodePool::best_open_bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double best = std::numeric_limits<double>::infinity();
+  if (!open_.empty()) best = (*open_.begin())->parent_bound;
+  for (const double b : inflight_) best = std::min(best, b);
+  return best;
+}
+
+std::size_t NodePool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FactorCache
+
+FactorCache::FactorCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void FactorCache::put(long id, std::shared_ptr<const lp::Factorization> factor) {
+  if (!factor) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    order_.erase(it->second.second);
+    order_.push_front(id);
+    it->second = {std::move(factor), order_.begin()};
+    return;
+  }
+  order_.push_front(id);
+  map_.emplace(id, std::make_pair(std::move(factor), order_.begin()));
+  while (map_.size() > capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+}
+
+std::shared_ptr<const lp::Factorization> FactorCache::get(long id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  order_.erase(it->second.second);
+  order_.push_front(id);
+  it->second.second = order_.begin();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.first;
+}
+
+// ---------------------------------------------------------------------------
+// Incumbent
+
+bool Incumbent::offer(double obj, const std::vector<double>& x, long node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double current = obj_.load(std::memory_order_relaxed);
+  const bool better = obj < current - 1e-12;
+  const bool tie_wins = obj < current + 1e-12 && node_id < node_id_;
+  if (!better && !tie_wins) return false;
+  // Tie acceptances keep the *objective* monotone: never store a larger one.
+  obj_.store(std::min(obj, current), std::memory_order_relaxed);
+  x_ = x;
+  node_id_ = node_id;
+  return true;
+}
+
+std::pair<double, std::vector<double>> Incumbent::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {obj_.load(std::memory_order_relaxed), x_};
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo-costs
+
+void PseudoCostTable::resize(int columns) {
+  up_sum.assign(static_cast<std::size_t>(columns), 0.0);
+  down_sum.assign(static_cast<std::size_t>(columns), 0.0);
+  up_n.assign(static_cast<std::size_t>(columns), 0);
+  down_n.assign(static_cast<std::size_t>(columns), 0);
+}
+
+void PseudoCostTable::record(int column, bool up, double degradation, double frac) {
+  if (frac <= 1e-12) return;
+  const double per_unit = degradation / frac;
+  const auto j = static_cast<std::size_t>(column);
+  if (up) {
+    up_sum[j] += per_unit;
+    ++up_n[j];
+  } else {
+    down_sum[j] += per_unit;
+    ++down_n[j];
+  }
+}
+
+void PseudoCostTable::add(const PseudoCostTable& delta) {
+  for (std::size_t j = 0; j < up_sum.size() && j < delta.up_sum.size(); ++j) {
+    up_sum[j] += delta.up_sum[j];
+    down_sum[j] += delta.down_sum[j];
+    up_n[j] += delta.up_n[j];
+    down_n[j] += delta.down_n[j];
+  }
+}
+
+void PseudoCostTable::clear_counts() {
+  std::fill(up_sum.begin(), up_sum.end(), 0.0);
+  std::fill(down_sum.begin(), down_sum.end(), 0.0);
+  std::fill(up_n.begin(), up_n.end(), 0L);
+  std::fill(down_n.begin(), down_n.end(), 0L);
+}
+
+SharedPseudoCosts::SharedPseudoCosts(int columns) { global_.resize(columns); }
+
+void SharedPseudoCosts::merge(PseudoCostTable* delta, PseudoCostTable* snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_.add(*delta);
+  delta->clear_counts();
+  if (snapshot) *snapshot = global_;
+  merges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PseudoCostTable SharedPseudoCosts::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_;
+}
+
+}  // namespace insched::mip

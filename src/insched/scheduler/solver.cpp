@@ -15,6 +15,18 @@ namespace insched::scheduler {
 
 namespace {
 
+void add_counters(mip::MipCounters* into, const mip::MipCounters& c) {
+  into->warm_solves += c.warm_solves;
+  into->cold_solves += c.cold_solves;
+  into->warm_failures += c.warm_failures;
+  into->steals += c.steals;
+  into->factor_hits += c.factor_hits;
+  into->factor_misses += c.factor_misses;
+  into->pc_merges += c.pc_merges;
+  into->heur_warm += c.heur_warm;
+  into->heur_warm_failed += c.heur_warm_failed;
+}
+
 std::vector<double> weights_of(const ScheduleProblem& problem) {
   std::vector<double> w;
   w.reserve(problem.size());
@@ -28,8 +40,11 @@ ScheduleSolution solve_aggregate(const ScheduleProblem& problem, const SolveOpti
   const AggregateModel built = build_aggregate_milp(problem, fixed_counts);
   const mip::MipResult res = mip::solve_mip(built.model, options.mip);
   out.status = res.status;
+  out.termination = res.termination;
   out.solver_seconds = res.solve_seconds;
   out.nodes = res.nodes;
+  out.lp_iterations = res.lp_iterations;
+  out.mip_counters = res.counters;
   if (!res.has_solution) return out;
 
   const AggregateCounts counts = decode_aggregate(built, res.x);
@@ -48,8 +63,11 @@ ScheduleSolution solve_time_expanded(const ScheduleProblem& problem,
   const TimeExpandedModel built = build_time_expanded_milp(problem);
   const mip::MipResult res = mip::solve_mip(built.model, options.mip);
   out.status = res.status;
+  out.termination = res.termination;
   out.solver_seconds = res.solve_seconds;
   out.nodes = res.nodes;
+  out.lp_iterations = res.lp_iterations;
+  out.mip_counters = res.counters;
   if (!res.has_solution) return out;
 
   out.schedule = decode_time_expanded(problem, built, res.x);
@@ -80,6 +98,8 @@ ScheduleSolution solve_lexicographic(const ScheduleProblem& problem,
   ScheduleSolution last;
   double total_seconds = 0.0;
   long total_nodes = 0;
+  long total_iterations = 0;
+  mip::MipCounters total_counters;
   for (double tier : tiers) {
     // Sub-problem: current-tier analyses carry unit weight; lower tiers are
     // disabled (count pinned to 0 unless already fixed).
@@ -96,6 +116,8 @@ ScheduleSolution solve_lexicographic(const ScheduleProblem& problem,
     last = solve_aggregate(sub, options, sub_fixed);
     total_seconds += last.solver_seconds;
     total_nodes += last.nodes;
+    total_iterations += last.lp_iterations;
+    add_counters(&total_counters, last.mip_counters);
     if (!last.solved) {
       last.solver_seconds = total_seconds;
       return last;
@@ -107,6 +129,8 @@ ScheduleSolution solve_lexicographic(const ScheduleProblem& problem,
   }
   last.solver_seconds = total_seconds;
   last.nodes = total_nodes;
+  last.lp_iterations = total_iterations;
+  last.mip_counters = total_counters;
   // Report the objective in the paper's Eq-1 form for comparability.
   std::vector<double> w = weights_of(problem);
   last.objective = last.schedule.objective(w);

@@ -42,8 +42,13 @@ struct ScheduleSolution {
   double objective = 0.0;           ///< |A| + sum w_i |C_i|
   double solver_seconds = 0.0;
   long nodes = 0;
+  long lp_iterations = 0;
   ValidationReport validation;      ///< filled when run_validation
   lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+  /// Why the (final) MIP solve stopped; lexicographic solves report the last
+  /// tier's termination but accumulate nodes/iterations/counters over all.
+  mip::MipTermination termination = mip::MipTermination::kNumericalFailure;
+  mip::MipCounters mip_counters;    ///< warm/cold solves, steals, ... summed over tiers
 };
 
 [[nodiscard]] ScheduleSolution solve_schedule(const ScheduleProblem& problem,

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -58,6 +61,120 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   for (auto& th : pool) th.join();
 #endif
 }
+
+namespace {
+
+// Process-wide persistent worker pool behind parallel_run. Workers are
+// spawned lazily up to the largest concurrency ever requested and park on a
+// condition variable between jobs. submit() only hands a job to the pool
+// when an idle worker is guaranteed to pick it up, so a caller that is
+// itself a pool worker (nested parallelism) degrades to inline execution
+// instead of deadlocking.
+class TaskPool {
+ public:
+  static TaskPool& instance() {
+    static TaskPool pool;
+    return pool;
+  }
+
+  ~TaskPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void ensure_workers(int wanted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int cap = std::max(2 * hardware_threads(), 16);
+    wanted = std::min(wanted, cap);
+    while (static_cast<int>(workers_.size()) < wanted && !stop_)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  /// Queues `job` if an idle worker can take it immediately; returns false
+  /// (job not queued) otherwise.
+  bool try_submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || idle_ <= static_cast<int>(queue_.size())) return false;
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  [[nodiscard]] int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  TaskPool() = default;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++idle_;
+    while (true) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) break;
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      --idle_;
+      lock.unlock();
+      job();
+      lock.lock();
+      ++idle_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int idle_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void parallel_run(int threads, const std::function<void(int)>& worker) {
+  threads = std::max(1, threads);
+  if (threads == 1) {
+    worker(0);
+    return;
+  }
+  TaskPool& pool = TaskPool::instance();
+  pool.ensure_workers(threads - 1);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = threads - 1;
+  auto finish_one = [&] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--remaining == 0) done_cv.notify_one();
+  };
+
+  std::vector<int> inline_tids;
+  for (int tid = 1; tid < threads; ++tid) {
+    if (!pool.try_submit([&, tid] {
+          worker(tid);
+          finish_one();
+        }))
+      inline_tids.push_back(tid);
+  }
+  worker(0);
+  for (const int tid : inline_tids) {
+    worker(tid);
+    finish_one();
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+int task_pool_size() noexcept { return TaskPool::instance().size(); }
 
 double parallel_reduce_sum(std::size_t n, const std::function<double(std::size_t)>& term) {
   if (n == 0) return 0.0;

@@ -28,4 +28,16 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
 [[nodiscard]] double parallel_reduce_sum(std::size_t n,
                                          const std::function<double(std::size_t)>& term);
 
+/// Runs worker(tid) for tid in [0, threads) and blocks until all return.
+/// tid 0 executes on the calling thread; the rest are dispatched to a
+/// process-wide persistent worker pool (threads are created once and parked
+/// between calls, so repeated short-lived parallel sections — e.g. one MIP
+/// solve per scheduling query — pay wake-up cost, not thread-spawn cost).
+/// When the pool is saturated (e.g. nested parallel sections) the remaining
+/// workers run inline on the caller, so the call can never deadlock.
+void parallel_run(int threads, const std::function<void(int)>& worker);
+
+/// Number of persistent pool workers currently alive (for tests/telemetry).
+[[nodiscard]] int task_pool_size() noexcept;
+
 }  // namespace insched

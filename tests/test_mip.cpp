@@ -369,5 +369,112 @@ TEST_P(RandomIp, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomIp, ::testing::Range(0, 60));
 
+// ---------------------------------------------------------------------------
+// Termination accounting: truncated searches must never claim optimality and
+// gap()/best_bound must describe the open tree.
+
+namespace {
+
+// Knapsack with irrational-ish weights: no pruning shortcuts, so node and
+// time limits actually truncate the search.
+Model hard_knapsack(int n, unsigned seed) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  Rng rng(seed);
+  std::vector<RowEntry> cap;
+  for (int j = 0; j < n; ++j) {
+    m.add_column("b", 0, 1, rng.uniform(1.0, 2.0), VarType::kBinary);
+    cap.push_back(RowEntry{j, rng.uniform(1.0, 2.0)});
+  }
+  m.add_row("cap", RowType::kLe, 0.62 * n, cap);
+  return m;
+}
+
+}  // namespace
+
+TEST(MipTermination, ProvedOptimalHasZeroGap) {
+  const Model m = hard_knapsack(12, 3);
+  const MipResult res = solve_mip(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_EQ(res.termination, MipTermination::kProvedOptimal);
+  EXPECT_FALSE(res.truncated());
+  EXPECT_DOUBLE_EQ(res.gap(), 0.0);
+  EXPECT_DOUBLE_EQ(res.gap_rel(), 0.0);
+  EXPECT_DOUBLE_EQ(res.best_bound, res.objective);
+}
+
+TEST(MipTermination, NodeLimitNeverReportsOptimal) {
+  const Model m = hard_knapsack(30, 11);
+  MipOptions opt;
+  opt.max_nodes = 3;
+  const MipResult res = solve_mip(m, opt);
+  EXPECT_LE(res.nodes, 3);
+  EXPECT_FALSE(res.optimal());
+  EXPECT_EQ(res.status, lp::SolveStatus::kIterationLimit);
+  EXPECT_EQ(res.termination, MipTermination::kNodeLimit);
+  EXPECT_TRUE(res.truncated());
+  ASSERT_TRUE(res.has_solution);  // heuristic incumbent survives truncation
+  // Maximize: the proven bound must dominate the incumbent, and the gap must
+  // be the distance between them (not zero, not infinity).
+  EXPECT_GE(res.best_bound, res.objective - 1e-9);
+  EXPECT_GE(res.gap(), 0.0);
+  EXPECT_TRUE(std::isfinite(res.gap()));
+  EXPECT_NEAR(res.gap(), std::fabs(res.best_bound - res.objective), 1e-12);
+}
+
+TEST(MipTermination, TimeLimitNeverReportsOptimal) {
+  const Model m = hard_knapsack(30, 13);
+  MipOptions opt;
+  opt.time_limit_s = 0.0;  // expire immediately after the root
+  const MipResult res = solve_mip(m, opt);
+  EXPECT_FALSE(res.optimal());
+  EXPECT_EQ(res.status, lp::SolveStatus::kIterationLimit);
+  EXPECT_EQ(res.termination, MipTermination::kTimeLimit);
+  EXPECT_TRUE(res.truncated());
+  ASSERT_TRUE(res.has_solution);
+  EXPECT_GE(res.best_bound, res.objective - 1e-9);
+  EXPECT_TRUE(std::isfinite(res.gap()));
+}
+
+TEST(MipTermination, InfeasibleModelReportsProvedInfeasible) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_column("x", 0, 5, 1.0, VarType::kInteger);
+  m.add_row("lo", RowType::kGe, 10.0, {{x, 1.0}});  // x >= 10 vs x <= 5
+  const MipResult res = solve_mip(m);
+  EXPECT_EQ(res.status, lp::SolveStatus::kInfeasible);
+  EXPECT_EQ(res.termination, MipTermination::kProvedInfeasible);
+  EXPECT_FALSE(res.has_solution);
+  EXPECT_TRUE(std::isinf(res.gap()));
+}
+
+TEST(MipTermination, PureLpPassthroughTermination) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_column("x", 0, 4, 1.0, VarType::kContinuous);
+  m.add_row("cap", RowType::kLe, 2.5, {{x, 1.0}});
+  const MipResult res = solve_mip(m);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_EQ(res.termination, MipTermination::kProvedOptimal);
+  EXPECT_DOUBLE_EQ(res.gap(), 0.0);
+}
+
+TEST(MipTermination, WarmAndColdSearchesAgreeOnOptimum) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const Model m = hard_knapsack(16, 100 + seed);
+    MipOptions warm;
+    warm.warm_start = true;
+    MipOptions cold;
+    cold.warm_start = false;
+    const MipResult a = solve_mip(m, warm);
+    const MipResult b = solve_mip(m, cold);
+    ASSERT_TRUE(a.optimal());
+    ASSERT_TRUE(b.optimal());
+    EXPECT_NEAR(a.objective, b.objective, 1e-8) << "seed " << seed;
+    EXPECT_GT(a.counters.warm_solves, 0) << "warm path never engaged";
+  }
+}
+
+
 }  // namespace
 }  // namespace insched::mip

@@ -1,0 +1,213 @@
+// Tests for the parallel branch-and-bound search: deterministic mode must
+// produce bit-identical incumbents for any thread count (enforced on the
+// three paper case-study MILPs), async mode must agree on the optimum, and
+// the warm/cold counters must account for every node LP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/lp/model.hpp"
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/solver.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::mip {
+namespace {
+
+using lp::Model;
+using lp::RowEntry;
+using lp::RowType;
+using lp::Sense;
+using lp::VarType;
+
+struct CaseStudy {
+  const char* name;
+  Model model;
+};
+
+std::vector<CaseStudy> case_study_models() {
+  std::vector<CaseStudy> cases;
+  cases.push_back({"water", scheduler::build_aggregate_milp(
+                                casestudy::water_ions_problem(16384, 0.10))
+                                .model});
+  cases.push_back(
+      {"rhodo", scheduler::build_aggregate_milp(casestudy::rhodopsin_problem(100.0)).model});
+  cases.push_back({"flash", scheduler::build_aggregate_milp(
+                                casestudy::flash_problem({2.0, 1.0, 2.0}))
+                                .model});
+  return cases;
+}
+
+Model knapsack(int n, unsigned seed) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  Rng rng(seed);
+  std::vector<RowEntry> cap;
+  for (int j = 0; j < n; ++j) {
+    m.add_column("b", 0, 1, rng.uniform(1.0, 2.0), VarType::kBinary);
+    cap.push_back(RowEntry{j, rng.uniform(1.0, 2.0)});
+  }
+  m.add_row("cap", RowType::kLe, 0.6 * n, cap);
+  return m;
+}
+
+// The acceptance criterion for deterministic mode: incumbents are
+// bit-identical (==, not near) across thread counts on the case studies.
+TEST(MipParallel, DeterministicModeBitIdenticalAcrossThreadCounts) {
+  for (CaseStudy& cs : case_study_models()) {
+    MipResult reference;
+    for (const int threads : {1, 2, 4}) {
+      MipOptions opt;
+      opt.threads = threads;
+      opt.deterministic = true;
+      // Run the workers for real even on single-core CI machines.
+      opt.oversubscribe = true;
+      const MipResult res = solve_mip(cs.model, opt);
+      ASSERT_TRUE(res.optimal()) << cs.name << " threads=" << threads;
+      EXPECT_EQ(res.threads_used, threads);
+      if (threads == 1) {
+        reference = res;
+        continue;
+      }
+      // Bit-identical: the full incumbent vector, objective, bound, node and
+      // iteration counts must match the single-thread search exactly.
+      EXPECT_EQ(res.x, reference.x) << cs.name << " threads=" << threads;
+      EXPECT_EQ(res.objective, reference.objective) << cs.name;
+      EXPECT_EQ(res.best_bound, reference.best_bound) << cs.name;
+      EXPECT_EQ(res.nodes, reference.nodes) << cs.name;
+      EXPECT_EQ(res.lp_iterations, reference.lp_iterations) << cs.name;
+    }
+  }
+}
+
+TEST(MipParallel, DeterministicModeBitIdenticalOnRandomInstances) {
+  for (unsigned seed = 0; seed < 6; ++seed) {
+    const Model m = knapsack(24, 500 + seed);
+    MipOptions one;
+    one.threads = 1;
+    one.deterministic = true;
+    one.oversubscribe = true;
+    const MipResult a = solve_mip(m, one);
+    MipOptions four = one;
+    four.threads = 4;
+    const MipResult b = solve_mip(m, four);
+    ASSERT_TRUE(a.optimal());
+    ASSERT_TRUE(b.optimal());
+    EXPECT_EQ(a.x, b.x) << "seed " << seed;
+    EXPECT_EQ(a.objective, b.objective) << "seed " << seed;
+    EXPECT_EQ(a.nodes, b.nodes) << "seed " << seed;
+  }
+}
+
+TEST(MipParallel, AsyncSearchAgreesOnCaseStudyOptima) {
+  for (CaseStudy& cs : case_study_models()) {
+    MipOptions serial;
+    serial.threads = 1;
+    const MipResult ref = solve_mip(cs.model, serial);
+    ASSERT_TRUE(ref.optimal()) << cs.name;
+    for (const int threads : {2, 4}) {
+      MipOptions opt;
+      opt.threads = threads;
+      opt.oversubscribe = true;
+      const MipResult res = solve_mip(cs.model, opt);
+      ASSERT_TRUE(res.optimal()) << cs.name << " threads=" << threads;
+      // Alternative optima are allowed across schedules, but the optimal
+      // objective value is unique.
+      EXPECT_NEAR(res.objective, ref.objective, 1e-8) << cs.name;
+      EXPECT_TRUE(cs.model.is_feasible(res.x, 1e-5)) << cs.name;
+    }
+  }
+}
+
+TEST(MipParallel, AsyncSearchAgreesOnRandomInstances) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const Model m = knapsack(20, 900 + seed);
+    MipOptions serial;
+    serial.threads = 1;
+    MipOptions parallel;
+    parallel.threads = 4;
+    parallel.oversubscribe = true;
+    const MipResult a = solve_mip(m, serial);
+    const MipResult b = solve_mip(m, parallel);
+    ASSERT_TRUE(a.optimal());
+    ASSERT_TRUE(b.optimal());
+    EXPECT_NEAR(a.objective, b.objective, 1e-8) << "seed " << seed;
+  }
+}
+
+TEST(MipParallel, CountersAccountForEveryNodeSolve) {
+  for (CaseStudy& cs : case_study_models()) {
+    MipOptions opt;
+    opt.threads = 1;
+    const MipResult res = solve_mip(cs.model, opt);
+    ASSERT_TRUE(res.optimal()) << cs.name;
+    // Every processed node is either the consumed root relaxation, a warm
+    // dual solve, or a cold primal solve.
+    EXPECT_EQ(res.counters.warm_solves + res.counters.cold_solves + 1, res.nodes) << cs.name;
+    EXPECT_GT(res.counters.warm_solves, 0) << cs.name << ": warm path never engaged";
+    // Warm failures fall back to cold, so they can never exceed cold solves.
+    EXPECT_LE(res.counters.warm_failures, res.counters.cold_solves) << cs.name;
+  }
+}
+
+TEST(MipParallel, WarmStartOffRunsColdOnly) {
+  for (CaseStudy& cs : case_study_models()) {
+    MipOptions opt;
+    opt.warm_start = false;
+    const MipResult res = solve_mip(cs.model, opt);
+    ASSERT_TRUE(res.optimal()) << cs.name;
+    EXPECT_EQ(res.counters.warm_solves, 0) << cs.name;
+    EXPECT_EQ(res.counters.warm_failures, 0) << cs.name;
+  }
+}
+
+TEST(MipParallel, ThreadsZeroUsesAutoDetection) {
+  const Model m = knapsack(12, 77);
+  MipOptions opt;
+  opt.threads = 0;
+  const MipResult res = solve_mip(m, opt);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_GE(res.threads_used, 1);
+}
+
+TEST(MipParallel, DeterministicTruncationStillNeverOptimal) {
+  const Model m = knapsack(30, 4242);
+  MipOptions opt;
+  opt.threads = 4;
+  opt.deterministic = true;
+  opt.oversubscribe = true;
+  opt.max_nodes = 8;
+  const MipResult res = solve_mip(m, opt);
+  EXPECT_FALSE(res.optimal());
+  EXPECT_EQ(res.termination, MipTermination::kNodeLimit);
+  ASSERT_TRUE(res.has_solution);
+  EXPECT_GE(res.best_bound, res.objective - 1e-9);  // maximize
+}
+
+// The scheduler-level determinism check: full solve_schedule pipelines give
+// identical tables in deterministic mode regardless of thread count.
+TEST(MipParallel, SchedulerDeterministicAcrossThreads) {
+  const auto p = casestudy::rhodopsin_problem(100.0);
+  scheduler::SolveOptions one;
+  one.mip.threads = 1;
+  one.mip.deterministic = true;
+  one.mip.oversubscribe = true;
+  const auto a = scheduler::solve_schedule(p, one);
+  scheduler::SolveOptions four = one;
+  four.mip.threads = 4;
+  const auto b = scheduler::solve_schedule(p, four);
+  ASSERT_TRUE(a.solved);
+  ASSERT_TRUE(b.solved);
+  EXPECT_EQ(a.frequencies, b.frequencies);
+  EXPECT_EQ(a.output_counts, b.output_counts);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+}  // namespace
+}  // namespace insched::mip

@@ -1,0 +1,191 @@
+// Tests for the dual-simplex warm-start path: Basis/Factorization
+// snapshots, solve_lp_dual, and the reusable WarmSimplex workspace. The core
+// property is cross-validation against the cold two-phase primal on
+// randomized bound-perturbed LPs — exactly the branch-and-bound re-solve
+// pattern (children differ from the parent only in tightened column bounds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "insched/lp/basis.hpp"
+#include "insched/lp/model.hpp"
+#include "insched/lp/simplex.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::lp {
+namespace {
+
+// Fully bounded random LP with kLe rows anchored to a known feasible point,
+// so the base problem is always feasible.
+Model random_bounded_lp(Rng& rng, int n, int rows) {
+  Model m;
+  m.set_sense(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < n; ++j)
+    m.add_column("x", 0.0, rng.uniform(2.0, 8.0), rng.uniform(-4.0, 4.0));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<RowEntry> entries;
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.bernoulli(0.7)) continue;
+      const double a = rng.uniform(0.1, 2.0);
+      entries.push_back(RowEntry{j, a});
+      activity += a * 1.0;  // feasible point: x = 1 everywhere
+    }
+    if (entries.empty()) entries.push_back(RowEntry{0, 1.0});
+    m.add_row("r", RowType::kLe, activity + rng.uniform(0.5, 4.0), std::move(entries));
+  }
+  return m;
+}
+
+TEST(Basis, SerializationRoundTrip) {
+  Basis b;
+  b.basic = {3, 0, 7};
+  b.status = {BasisStatus::kBasic, BasisStatus::kAtLower, BasisStatus::kAtUpper,
+              BasisStatus::kBasic, BasisStatus::kFree,    BasisStatus::kAtLower,
+              BasisStatus::kAtLower, BasisStatus::kBasic};
+  ASSERT_TRUE(b.consistent());
+  const std::string text = b.to_string();
+  const auto parsed = Basis::from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->basic, b.basic);
+  EXPECT_EQ(parsed->status, b.status);
+  EXPECT_FALSE(Basis::from_string("garbage").has_value());
+}
+
+TEST(Basis, ConsistencyRejectsMismatches) {
+  Basis b;
+  b.basic = {0, 1};
+  b.status = {BasisStatus::kBasic, BasisStatus::kAtLower, BasisStatus::kAtUpper};
+  EXPECT_FALSE(b.consistent());  // status[1] must be kBasic
+  b.status[1] = BasisStatus::kBasic;
+  EXPECT_TRUE(b.consistent());
+  b.basic[1] = 5;  // out of range for 3 variables
+  EXPECT_FALSE(b.consistent());
+}
+
+TEST(WarmSimplex, CollectBasisExportsConsistentSnapshot) {
+  Rng rng(42);
+  const Model m = random_bounded_lp(rng, 6, 4);
+  SimplexOptions opt;
+  opt.collect_basis = true;
+  const SimplexResult res = solve_lp(m, opt);
+  ASSERT_TRUE(res.optimal());
+  ASSERT_FALSE(res.basis.empty());
+  EXPECT_TRUE(res.basis.consistent());
+  EXPECT_EQ(res.basis.rows(), m.num_rows());
+  ASSERT_NE(res.factor, nullptr);
+  EXPECT_EQ(res.factor->rows(), m.num_rows());
+}
+
+TEST(WarmSimplex, DualResolveFromOwnBasisIsANoop) {
+  // Re-solving the *unchanged* problem from its own optimal basis must
+  // terminate immediately at the same objective.
+  Rng rng(7);
+  const Model m = random_bounded_lp(rng, 8, 5);
+  SimplexOptions opt;
+  opt.collect_basis = true;
+  const SimplexResult cold = solve_lp(m, opt);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_FALSE(cold.basis.empty());
+  const SimplexResult warm = solve_lp_dual(m, cold.basis, opt);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-8);
+}
+
+// Property test: tighten random column bounds (the branch-and-bound child
+// pattern) and compare the warm dual re-solve against a cold primal solve of
+// the perturbed model. Statuses must agree; on optimal, objectives must
+// match to tolerance.
+class WarmVsCold : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmVsCold, BoundPerturbedResolveAgrees) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151u + 17u);
+  const int n = static_cast<int>(rng.uniform_int(3, 10));
+  const int rows = static_cast<int>(rng.uniform_int(2, 7));
+  const Model base = random_bounded_lp(rng, n, rows);
+
+  SimplexOptions opt;
+  opt.collect_basis = true;
+  const SimplexResult parent = solve_lp(base, opt);
+  ASSERT_TRUE(parent.optimal());
+  ASSERT_FALSE(parent.basis.empty());
+
+  WarmSimplex ws(base, opt);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random branch-like overrides: floor/ceil splits around the parent
+    // optimum plus occasional hard fixings. May be infeasible — that is part
+    // of what the statuses must agree on.
+    std::vector<BoundOverride> overrides;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.bernoulli(0.4)) continue;
+      const double v = parent.x[static_cast<std::size_t>(j)];
+      const Column& c = base.column(j);
+      if (rng.bernoulli(0.5)) {
+        overrides.push_back({j, c.lower, std::max(c.lower, std::floor(v))});
+      } else {
+        overrides.push_back({j, std::min(c.upper, std::floor(v) + 1.0), c.upper});
+      }
+    }
+    if (overrides.empty()) overrides.push_back({0, 0.0, 0.0});
+
+    Model child = base;
+    for (const BoundOverride& o : overrides) child.set_bounds(o.column, o.lower, o.upper);
+    const SimplexResult cold = solve_lp(child);
+
+    const SimplexResult warm = ws.solve_dual(overrides, parent.basis, parent.factor.get());
+    if (warm.status == SolveStatus::kNumericalFailure ||
+        warm.status == SolveStatus::kIterationLimit) {
+      // The contract: warm trouble is reported, and the cold fallback on the
+      // same workspace must recover the answer.
+      const SimplexResult fallback = ws.solve_cold(overrides);
+      EXPECT_EQ(fallback.status, cold.status);
+      if (cold.optimal()) EXPECT_NEAR(fallback.objective, cold.objective, 1e-6);
+      continue;
+    }
+    EXPECT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.optimal() && warm.optimal()) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(child.is_feasible(warm.x, 1e-5));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WarmVsCold, ::testing::Range(0, 40));
+
+TEST(WarmSimplex, ColdSolveOnWorkspaceMatchesSolveLp) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const Model m = random_bounded_lp(rng, 7, 4);
+    WarmSimplex ws(m);
+    const SimplexResult a = ws.solve_cold();
+    const SimplexResult b = solve_lp(m);
+    ASSERT_EQ(a.status, b.status);
+    if (b.optimal()) EXPECT_NEAR(a.objective, b.objective, 1e-8);
+  }
+}
+
+TEST(WarmSimplex, RepeatedResolvesReuseWorkspace) {
+  // The workspace must be reusable across many override sets without state
+  // leaking between solves: interleave perturbed and empty-override solves
+  // and check the base optimum is always recovered.
+  Rng rng(123);
+  const Model m = random_bounded_lp(rng, 6, 4);
+  SimplexOptions opt;
+  opt.collect_basis = true;
+  const SimplexResult cold = solve_lp(m, opt);
+  ASSERT_TRUE(cold.optimal());
+  WarmSimplex ws(m, opt);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<BoundOverride> tight;
+    tight.push_back({static_cast<int>(i % m.num_columns()), 0.0, 1.0});
+    (void)ws.solve_dual(tight, cold.basis, cold.factor.get());
+    const SimplexResult again = ws.solve_dual({}, cold.basis, cold.factor.get());
+    ASSERT_TRUE(again.optimal());
+    EXPECT_NEAR(again.objective, cold.objective, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace insched::lp

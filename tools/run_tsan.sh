@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrent solver paths. Configures a
+# separate build tree with -DINSCHED_SANITIZE=thread and runs the tests that
+# exercise the parallel branch-and-bound (work-stealing node pool, factor
+# cache, shared pseudo-costs, incumbent) plus the support thread pool.
+#
+#   tools/run_tsan.sh              # build + run the concurrency tests
+#   tools/run_tsan.sh test_mip     # build + run a specific ctest regex
+#
+# TSan needs OpenMP workloads built against the sanitized archer runtime to
+# avoid false positives; the solver tests below use std::thread only, so
+# they are reliable either way.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
+filter="${1:-test_mip_parallel|test_mip|test_warm_simplex|test_support}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DINSCHED_SANITIZE=thread
+cmake --build "$build_dir" -j
+
+cd "$build_dir"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  ctest --output-on-failure -R "$filter"

@@ -4,6 +4,7 @@
 // plots, plus the recommended frequencies.
 
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_util.hpp"
 #include "insched/casestudy/lammps_water.hpp"
@@ -30,7 +31,8 @@ int main() {
   Table table;
   table.set_header({"processes", "budget (s)", "freq A1 A2 A4", "t(A1) s", "t(A2) s",
                     "t(A4) s", "stacked total (s)"});
-  CsvWriter csv("fig5_strong_scaling.csv");
+  std::filesystem::create_directories("bench/out");
+  CsvWriter csv("bench/out/fig5_strong_scaling.csv");
   csv.write_row({"processes", "tA1", "tA2", "tA4"});
   for (const auto& row : rows) {
     const double total =
@@ -44,6 +46,6 @@ int main() {
                       row.per_analysis_seconds[1], row.per_analysis_seconds[2]});
   }
   table.print();
-  std::printf("series written to fig5_strong_scaling.csv (stacked-bar data)\n");
+  std::printf("series written to bench/out/fig5_strong_scaling.csv (stacked-bar data)\n");
   return 0;
 }

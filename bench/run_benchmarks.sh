@@ -1,21 +1,45 @@
 #!/usr/bin/env bash
 # Runs the solver benchmark suite and writes BENCH_solver.json at the repo
 # root (google-benchmark JSON format). Pass a previously saved JSON file as
-# $1 to embed it as a "baseline" section for before/after comparison:
+# an argument to embed it as a "baseline" section for before/after
+# comparison:
 #
 #   bench/run_benchmarks.sh                # fresh run, no baseline
 #   bench/run_benchmarks.sh old.json       # fresh run + baseline embedded
+#   bench/run_benchmarks.sh --quick        # smoke run -> bench/out/, fast
 #
-# The interesting comparison for the warm-start PR is
-# BM_schedule_*_config/threads:1/warm:0 (seed-equivalent cold serial search)
-# vs BM_schedule_*_config/threads:4/warm:1.
+# --quick is the CI/ctest smoke mode: one repetition with a tiny min-time
+# over the BM_schedule_*_config single-thread rows, written to
+# bench/out/BENCH_quick.json so the checked-in BENCH_solver.json is never
+# overwritten by a smoke run.
+#
+# The interesting comparison for the sparse-LU PR is the
+# BM_schedule_*_config speedups plus the factor_peak_bytes /
+# factor_dense_equiv_bytes counters (cache memory, sparse vs dense format).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 out="${OUT:-$repo_root/BENCH_solver.json}"
-baseline="${1:-}"
+
+quick=0
+baseline=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) baseline="$arg" ;;
+  esac
+done
+
+min_time="${BENCH_MIN_TIME:-0.2}"
+filter="${BENCH_FILTER:-.}"
+if [[ "$quick" == 1 ]]; then
+  mkdir -p "$repo_root/bench/out"
+  out="${OUT:-$repo_root/bench/out/BENCH_quick.json}"
+  min_time="${BENCH_MIN_TIME:-0.01}"
+  filter="${BENCH_FILTER:-BM_schedule_(water|rhodo|flash)_config/threads:1/warm:1}"
+fi
 
 if [[ ! -x "$build_dir/bench/solver_perf" ]]; then
   echo "building solver_perf in $build_dir ..." >&2
@@ -28,8 +52,8 @@ trap 'rm -f "$raw"' EXIT
 
 "$build_dir/bench/solver_perf" \
   --benchmark_format=json \
-  --benchmark_min_time=${BENCH_MIN_TIME:-0.2} \
-  --benchmark_filter="${BENCH_FILTER:-.}" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_filter="$filter" \
   >"$raw"
 
 if [[ -n "$baseline" && -f "$baseline" ]]; then

@@ -11,6 +11,7 @@
 #include "insched/lp/simplex.hpp"
 #include "insched/mip/branch_and_bound.hpp"
 #include "insched/scheduler/solver.hpp"
+#include "insched/scheduler/timeexp_milp.hpp"
 #include "insched/support/random.hpp"
 
 namespace {
@@ -101,12 +102,26 @@ void BM_schedule_config(benchmark::State& state, const scheduler::ScheduleProble
   options.mip.warm_start = state.range(1) != 0;
   options.mip.deterministic = state.range(2) != 0;
   double objective = 0.0;
+  mip::MipCounters counters;
   for (auto _ : state) {
     const auto sol = scheduler::solve_schedule(p, options);
     objective = sol.objective;
+    counters = sol.mip_counters;
     benchmark::DoNotOptimize(sol.objective);
   }
   state.counters["objective"] = objective;
+  // Basis-factorization observability of the last solve: FTRAN/BTRAN call
+  // counts, right-hand-side density, eta/refactorization volume, and the
+  // factor-cache footprint vs what dense inverse snapshots would have cost.
+  state.counters["lp_ftran"] = static_cast<double>(counters.lp_ftran);
+  state.counters["lp_btran"] = static_cast<double>(counters.lp_btran);
+  state.counters["lp_refactors"] = static_cast<double>(counters.lp_refactorizations);
+  state.counters["lp_eta_pivots"] = static_cast<double>(counters.lp_eta_pivots);
+  state.counters["lp_rhs_density"] = counters.lp_rhs_density();
+  state.counters["factor_peak_bytes"] =
+      static_cast<double>(counters.factor_cache_peak_bytes);
+  state.counters["factor_dense_equiv_bytes"] =
+      static_cast<double>(counters.factor_cache_peak_dense_bytes);
 }
 
 void BM_schedule_water_config(benchmark::State& state) {
@@ -168,5 +183,56 @@ void BM_schedule_time_expanded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_schedule_time_expanded)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Steps-heavy time-expanded LP relaxations: the staircase regime the sparse
+// LU + eta-file kernel targets. The basis here is large (m = 2*steps + O(1))
+// and extremely sparse, so a dense inverse pays O(m^2) per iteration and
+// O(m^3) per refactorization while the LU kernel walks a handful of
+// nonzeros. Memory is left unconstrained for the same conditioning reason as
+// BM_schedule_time_expanded above.
+void run_staircase_lp(benchmark::State& state, scheduler::ScheduleProblem p) {
+  p.steps = state.range(0);
+  p.mth = scheduler::kNoLimit;
+  for (auto& a : p.analyses) a.itv = std::max<long>(1, p.steps / 20);
+  const lp::Model model = scheduler::build_time_expanded_milp(p).model;
+  double objective = 0.0;
+  lp::FactorStats stats;
+  for (auto _ : state) {
+    const lp::SimplexResult res = lp::solve_lp(model);
+    objective = res.objective;
+    stats = res.factor_stats;
+    benchmark::DoNotOptimize(res.objective);
+  }
+  state.counters["objective"] = objective;
+  state.counters["lp_ftran"] = static_cast<double>(stats.ftran_calls);
+  state.counters["lp_btran"] = static_cast<double>(stats.btran_calls);
+  state.counters["lp_refactors"] = static_cast<double>(stats.refactorizations);
+  state.counters["lp_eta_pivots"] = static_cast<double>(stats.eta_pivots);
+  state.counters["lp_rhs_density"] = stats.rhs_density();
+}
+
+void BM_schedule_water_staircase_config(benchmark::State& state) {
+  run_staircase_lp(state, casestudy::water_ions_problem(16384, 0.10));
+}
+BENCHMARK(BM_schedule_water_staircase_config)
+    ->ArgNames({"steps"})
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_schedule_rhodo_staircase_config(benchmark::State& state) {
+  run_staircase_lp(state, casestudy::rhodopsin_problem(100.0));
+}
+BENCHMARK(BM_schedule_rhodo_staircase_config)
+    ->ArgNames({"steps"})
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_schedule_flash_staircase_config(benchmark::State& state) {
+  run_staircase_lp(state, casestudy::flash_problem({2.0, 1.0, 2.0}));
+}
+BENCHMARK(BM_schedule_flash_staircase_config)
+    ->ArgNames({"steps"})
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

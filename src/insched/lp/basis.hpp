@@ -8,16 +8,20 @@
 // simplex from the parent's optimal basis and re-solve in a handful of
 // pivots instead of a two-phase cold start.
 //
-// A `Factorization` is the dense basis-inverse snapshot that goes with a
-// Basis. It is optional: a warm start without one refactorizes from the
-// basis (O(m^3)); with one it starts pivoting immediately. The MIP search
-// keeps factorizations in a small LRU cache keyed by node id, so hot
-// subtrees skip refactorization entirely while memory stays bounded.
+// A `Factorization` (see factor.hpp) is the sparse LU + eta-chain snapshot
+// that goes with a Basis. It is optional: a warm start without one
+// refactorizes from the basis (O(nnz fill)); with one it starts pivoting
+// immediately. The MIP search keeps factorizations in a small LRU cache
+// keyed by node id, so hot subtrees skip refactorization entirely while
+// memory stays bounded — at O(nnz) per snapshot instead of the former dense
+// O(m^2) inverse.
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "insched/lp/factor.hpp"
 
 namespace insched::lp {
 
@@ -47,14 +51,6 @@ struct Basis {
   /// debugging dumps and cross-process warm-start handoff.
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] static std::optional<Basis> from_string(const std::string& text);
-};
-
-/// Dense snapshot of the basis inverse (row-major m x m) belonging to one
-/// Basis. Immutable once built; shared between sibling nodes.
-struct Factorization {
-  std::vector<std::vector<double>> binv;
-
-  [[nodiscard]] int rows() const noexcept { return static_cast<int>(binv.size()); }
 };
 
 /// One column-bound change relative to a base model (the branch decisions on

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
+#include "insched/lp/factor.hpp"
 #include "insched/support/assert.hpp"
 #include "insched/support/log.hpp"
 
@@ -28,6 +28,12 @@ enum class VarState { kBasic, kAtLower, kAtUpper, kFreeZero };
 // where z = [structural | slacks | artificials]. One Engine is reusable
 // across solves of the same base model with different column bounds: the
 // constraint matrix is built once, per-solve state is reset in prepare().
+//
+// All basis linear algebra goes through the sparse LU + eta-file kernel in
+// factor.hpp: pivots append product-form etas, FTRAN/BTRAN exploit
+// right-hand-side hyper-sparsity, and duals are maintained incrementally
+// (one hyper-sparse BTRAN of the changed row per pivot) instead of the
+// former dense O(m^2) recomputation every iteration.
 class Engine {
  public:
   Engine(const Model& model, const SimplexOptions& options)
@@ -51,16 +57,17 @@ class Engine {
   void add_artificials();
   [[nodiscard]] bool load_basis(const Basis& start, const Factorization* hint);
   void compute_basic_values();
+  [[nodiscard]] bool factorize_basis();
   [[nodiscard]] bool refactorize();
-  [[nodiscard]] std::vector<double> compute_duals(const std::vector<double>& cost) const;
+  void compute_duals(const std::vector<double>& cost, std::vector<double>* y);
   [[nodiscard]] double reduced_cost(int j, const std::vector<double>& cost,
                                     const std::vector<double>& y) const;
-  [[nodiscard]] std::vector<double> ftran(int j) const;  // Binv * A_j
+  void ftran_column(int j);  // w_ := Binv * A_j
   SolveStatus iterate(const std::vector<double>& cost, double* objective_out, int* iters);
   SolveStatus iterate_dual(const std::vector<double>& cost, int* iters);
   [[nodiscard]] double phase1_infeasibility() const;
   [[nodiscard]] bool residuals_ok() const;
-  void extract(SimplexResult* result) const;
+  void extract(SimplexResult* result);
   void export_basis(SimplexResult* result) const;
 
   const Model& model_;
@@ -80,7 +87,15 @@ class Engine {
   std::vector<int> basis_;                // basis_[i] = variable basic in row i
   std::vector<VarState> state_;
   std::vector<double> value_;             // current value of every variable
-  std::vector<std::vector<double>> binv_; // dense m x m basis inverse
+  LuFactors lu_;                          // sparse LU + eta file of the basis
+  SparseVec w_;                           // FTRAN image of the entering column
+  SparseVec rho_;                         // BTRAN image of the leaving row
+  SparseVec alpha_;                       // dual pricing row (alpha per column)
+  SparseVec vwork_;                       // generic solve workspace
+  std::vector<double> devex_;             // devex reference weights
+  std::vector<double> ywork_;             // dual vector, reused across solves
+  mutable std::vector<double> actwork_;   // residual-check scratch
+  int price_cursor_ = 0;                  // rotating partial-pricing start
   int pivots_since_refactor_ = 0;
   int total_iterations_ = 0;
   int phase1_iterations_ = 0;
@@ -142,6 +157,8 @@ void Engine::prepare(const std::vector<BoundOverride>& overrides) {
   }
   state_.assign(static_cast<std::size_t>(total_), VarState::kAtLower);
   value_.assign(static_cast<std::size_t>(total_), 0.0);
+  lu_.reset_stats();
+  price_cursor_ = 0;
   pivots_since_refactor_ = 0;
   total_iterations_ = 0;
   phase1_iterations_ = 0;
@@ -221,8 +238,10 @@ void Engine::add_artificials() {
   }
   cost1_.resize(static_cast<std::size_t>(total_), 0.0);
 
-  binv_.assign(static_cast<std::size_t>(m_), std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  // The starting basis is all unit columns (slacks and artificials), so the
+  // factorization is a trivial singleton cascade and cannot fail.
+  const bool ok = factorize_basis();
+  INSCHED_ASSERT(ok);
 }
 
 bool Engine::load_basis(const Basis& start, const Factorization* hint) {
@@ -258,95 +277,67 @@ bool Engine::load_basis(const Basis& start, const Factorization* hint) {
     }
   }
 
-  if (hint != nullptr && hint->rows() == m_) {
-    binv_ = hint->binv;
-    pivots_since_refactor_ = 0;
+  if (hint != nullptr && hint->rows() == m_ && hint->core != nullptr) {
+    lu_.load(*hint);
+    // The hint's eta chain counts against the refactorization budget; a
+    // long-chained hint is cheaper to refactorize than to keep applying.
+    pivots_since_refactor_ = hint->eta_count();
+    if (pivots_since_refactor_ >= opt_.refactor_interval) return refactorize();
     compute_basic_values();
     return true;
   }
-  binv_.assign(static_cast<std::size_t>(m_),
-               std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
   return refactorize();
 }
 
 void Engine::compute_basic_values() {
-  // xB = Binv (b - N xN)
-  std::vector<double> rhs = b_;
+  // xB = Binv (b - N xN), one FTRAN on the (usually mostly dense) rhs.
+  vwork_.resize(m_);
+  for (int i = 0; i < m_; ++i)
+    if (b_[static_cast<std::size_t>(i)] != 0.0) vwork_.add(i, b_[static_cast<std::size_t>(i)]);
   for (int j = 0; j < total_; ++j) {
     if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
     const double v = value_[static_cast<std::size_t>(j)];
     if (v == 0.0) continue;
-    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
-      rhs[static_cast<std::size_t>(e.row)] -= e.coeff * v;
+    for (const Entry& e : cols_[static_cast<std::size_t>(j)]) vwork_.add(e.row, -e.coeff * v);
   }
+  lu_.ftran(&vwork_);
+  for (int i = 0; i < m_; ++i)
+    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        vwork_.values[static_cast<std::size_t>(i)];
+  vwork_.clear();
+}
+
+bool Engine::factorize_basis() {
+  std::vector<std::vector<LuEntry>> bcols(static_cast<std::size_t>(m_));
   for (int i = 0; i < m_; ++i) {
-    double v = 0.0;
-    const auto& row = binv_[static_cast<std::size_t>(i)];
-    for (int k = 0; k < m_; ++k) v += row[static_cast<std::size_t>(k)] * rhs[static_cast<std::size_t>(k)];
-    value_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = v;
+    const auto& col = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    auto& out = bcols[static_cast<std::size_t>(i)];
+    out.reserve(col.size());
+    for (const Entry& e : col) out.push_back({e.row, e.coeff});
   }
+  if (!lu_.factorize(bcols, opt_.pivot_tol)) return false;  // singular basis
+  pivots_since_refactor_ = 0;
+  return true;
 }
 
 bool Engine::refactorize() {
-  // Rebuild Binv by Gauss-Jordan elimination of the basis matrix.
-  std::vector<std::vector<double>> B(static_cast<std::size_t>(m_),
-                                     std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i) {
-    const int j = basis_[static_cast<std::size_t>(i)];
-    for (const Entry& e : cols_[static_cast<std::size_t>(j)])
-      B[static_cast<std::size_t>(e.row)][static_cast<std::size_t>(i)] = e.coeff;
-  }
-  std::vector<std::vector<double>> inv(static_cast<std::size_t>(m_),
-                                       std::vector<double>(static_cast<std::size_t>(m_), 0.0));
-  for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
-  for (int col = 0; col < m_; ++col) {
-    int pivot = -1;
-    double best = opt_.pivot_tol;
-    for (int row = col; row < m_; ++row) {
-      const double v = std::fabs(B[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]);
-      if (v > best) {
-        best = v;
-        pivot = row;
-      }
-    }
-    if (pivot < 0) return false;  // singular basis: numerical trouble
-    std::swap(B[static_cast<std::size_t>(col)], B[static_cast<std::size_t>(pivot)]);
-    std::swap(inv[static_cast<std::size_t>(col)], inv[static_cast<std::size_t>(pivot)]);
-    const double diag = B[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
-    for (int k = 0; k < m_; ++k) {
-      B[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)] /= diag;
-      inv[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)] /= diag;
-    }
-    for (int row = 0; row < m_; ++row) {
-      if (row == col) continue;
-      const double factor = B[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
-      if (factor == 0.0) continue;
-      for (int k = 0; k < m_; ++k) {
-        B[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] -=
-            factor * B[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)];
-        inv[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] -=
-            factor * inv[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)];
-      }
-    }
-  }
-  // All row operations (including swaps) were applied to both matrices, so
-  // inv is exactly B^{-1}.
-  binv_ = std::move(inv);
-  pivots_since_refactor_ = 0;
+  if (!factorize_basis()) return false;
   compute_basic_values();
   return true;
 }
 
-std::vector<double> Engine::compute_duals(const std::vector<double>& cost) const {
-  std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+void Engine::compute_duals(const std::vector<double>& cost, std::vector<double>* y) {
+  // y = cB^T Binv, one BTRAN; the cost vector is sparse in phase 1 and on
+  // the scheduling models (most columns are free of objective weight).
+  vwork_.resize(m_);
   for (int i = 0; i < m_; ++i) {
     const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-    if (cb == 0.0) continue;
-    const auto& row = binv_[static_cast<std::size_t>(i)];
-    for (int k = 0; k < m_; ++k) y[static_cast<std::size_t>(k)] += cb * row[static_cast<std::size_t>(k)];
+    if (cb != 0.0) vwork_.add(i, cb);
   }
-  return y;
+  lu_.btran(&vwork_);
+  y->assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) (*y)[static_cast<std::size_t>(i)] = vwork_.values[static_cast<std::size_t>(i)];
+  vwork_.clear();
 }
 
 double Engine::reduced_cost(int j, const std::vector<double>& cost,
@@ -357,14 +348,10 @@ double Engine::reduced_cost(int j, const std::vector<double>& cost,
   return d;
 }
 
-std::vector<double> Engine::ftran(int j) const {
-  std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
-  for (const Entry& e : cols_[static_cast<std::size_t>(j)]) {
-    const double a = e.coeff;
-    for (int i = 0; i < m_; ++i)
-      w[static_cast<std::size_t>(i)] += binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(e.row)] * a;
-  }
-  return w;
+void Engine::ftran_column(int j) {
+  w_.resize(m_);
+  for (const Entry& e : cols_[static_cast<std::size_t>(j)]) w_.add(e.row, e.coeff);
+  lu_.ftran(&w_);
 }
 
 double Engine::phase1_infeasibility() const {
@@ -375,7 +362,8 @@ double Engine::phase1_infeasibility() const {
 }
 
 bool Engine::residuals_ok() const {
-  std::vector<double> activity(static_cast<std::size_t>(m_), 0.0);
+  actwork_.assign(static_cast<std::size_t>(m_), 0.0);
+  std::vector<double>& activity = actwork_;
   for (int j = 0; j < total_; ++j) {
     const double v = value_[static_cast<std::size_t>(j)];
     if (v == 0.0) continue;
@@ -394,43 +382,95 @@ bool Engine::residuals_ok() const {
 SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_out, int* iters) {
   int stall = 0;
   bool bland = false;
-  double last_objective = kInf;
+
+  compute_duals(cost, &ywork_);
+  std::vector<double>& y = ywork_;
+  bool y_fresh = true;  // exact duals; incremental updates mark them stale
+  devex_.assign(static_cast<std::size_t>(total_), 1.0);
+
+  // Candidate test shared by every pricing pass: would column j improve the
+  // objective if moved in some direction? Returns the direction (0 = no).
+  auto price = [&](int j, double* d_out) -> int {
+    const VarState st = state_[static_cast<std::size_t>(j)];
+    if (st == VarState::kBasic) return 0;
+    if (lower_[static_cast<std::size_t>(j)] == upper_[static_cast<std::size_t>(j)])
+      return 0;  // fixed variable can never improve
+    const double d = reduced_cost(j, cost, y);
+    if ((st == VarState::kAtLower || st == VarState::kFreeZero) && d < -opt_.optimality_tol) {
+      *d_out = d;
+      return +1;
+    }
+    if ((st == VarState::kAtUpper || st == VarState::kFreeZero) && d > opt_.optimality_tol) {
+      *d_out = d;
+      return -1;
+    }
+    return 0;
+  };
 
   while (true) {
     if (total_iterations_ >= opt_.max_iterations) return SolveStatus::kIterationLimit;
 
-    const std::vector<double> y = compute_duals(cost);
-
-    // Pricing: pick the entering variable.
+    // Pricing: partial pricing over rotating column blocks with a
+    // devex-weighted score d^2 / gamma_j. Scanning stops at the end of the
+    // first block holding a candidate; the cursor then advances past the
+    // chosen column so later blocks get their turn.
     int entering = -1;
-    double best_score = opt_.optimality_tol;
     int entering_dir = 0;  // +1 increase, -1 decrease
-    for (int j = 0; j < total_; ++j) {
-      const VarState st = state_[static_cast<std::size_t>(j)];
-      if (st == VarState::kBasic) continue;
-      const double lo = lower_[static_cast<std::size_t>(j)];
-      const double hi = upper_[static_cast<std::size_t>(j)];
-      if (lo == hi) continue;  // fixed variable can never improve
-      const double d = reduced_cost(j, cost, y);
-      int dir = 0;
-      double score = 0.0;
-      if ((st == VarState::kAtLower || st == VarState::kFreeZero) && d < -opt_.optimality_tol) {
-        dir = +1;
-        score = -d;
-      } else if ((st == VarState::kAtUpper || st == VarState::kFreeZero) && d > opt_.optimality_tol) {
-        dir = -1;
-        score = d;
+    double entering_d = 0.0;
+    if (bland) {
+      // Bland's rule: smallest improving index over all columns, priced
+      // against exact duals — the anti-cycling guarantee needs both.
+      if (!y_fresh) {
+        compute_duals(cost, &y);
+        y_fresh = true;
       }
-      if (dir == 0) continue;
-      if (bland) {
-        entering = j;
-        entering_dir = dir;
-        break;
+      for (int j = 0; j < total_; ++j) {
+        double d = 0.0;
+        const int dir = price(j, &d);
+        if (dir != 0) {
+          entering = j;
+          entering_dir = dir;
+          entering_d = d;
+          break;
+        }
       }
-      if (score > best_score) {
-        best_score = score;
-        entering = j;
-        entering_dir = dir;
+    } else {
+      const int block = opt_.price_block_size > 0 ? opt_.price_block_size : total_;
+      double best_score = 0.0;
+      for (int k = 0; k < total_; ++k) {
+        int j = price_cursor_ + k;
+        if (j >= total_) j -= total_;
+        double d = 0.0;
+        const int dir = price(j, &d);
+        if (dir != 0) {
+          const double score = d * d / devex_[static_cast<std::size_t>(j)];
+          if (score > best_score) {
+            best_score = score;
+            entering = j;
+            entering_dir = dir;
+            entering_d = d;
+          }
+        }
+        if (entering >= 0 && (k + 1) % block == 0) break;
+      }
+      if (entering < 0 && !y_fresh) {
+        // The incrementally updated duals found nothing; confirm against
+        // exact duals with a full scan before declaring optimality.
+        compute_duals(cost, &y);
+        y_fresh = true;
+        double best_score = 0.0;
+        for (int j = 0; j < total_; ++j) {
+          double d = 0.0;
+          const int dir = price(j, &d);
+          if (dir == 0) continue;
+          const double score = d * d / devex_[static_cast<std::size_t>(j)];
+          if (score > best_score) {
+            best_score = score;
+            entering = j;
+            entering_dir = dir;
+            entering_d = d;
+          }
+        }
       }
     }
     if (entering < 0) {
@@ -442,14 +482,16 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
       }
       return SolveStatus::kOptimal;
     }
+    price_cursor_ = entering + 1 >= total_ ? 0 : entering + 1;
 
     ++total_iterations_;
     if (iters) ++(*iters);
 
     const double sigma = static_cast<double>(entering_dir);
-    const std::vector<double> w = ftran(entering);
+    ftran_column(entering);  // w_.nz arrives sorted and duplicate-free
 
-    // Ratio test: how far can the entering variable move?
+    // Ratio test: how far can the entering variable move? Only rows where
+    // the entering column's FTRAN image is nonzero can limit the step.
     const double elo = lower_[static_cast<std::size_t>(entering)];
     const double ehi = upper_[static_cast<std::size_t>(entering)];
     double t_max = kInf;
@@ -458,8 +500,8 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
     int leaving_row = -1;
     bool leaving_at_upper = false;
 
-    for (int i = 0; i < m_; ++i) {
-      const double wi = w[static_cast<std::size_t>(i)];
+    for (const int i : w_.nz) {
+      const double wi = w_.values[static_cast<std::size_t>(i)];
       if (std::fabs(wi) <= opt_.pivot_tol) continue;
       const int bj = basis_[static_cast<std::size_t>(i)];
       const double bv = value_[static_cast<std::size_t>(bj)];
@@ -479,7 +521,7 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
       if (limit < -opt_.feasibility_tol) limit = 0.0;  // slight infeasibility: block
       if (limit < t_best - 1e-12 ||
           (leaving_row >= 0 && limit < t_best + 1e-12 &&
-           std::fabs(wi) > std::fabs(w[static_cast<std::size_t>(leaving_row)]))) {
+           std::fabs(wi) > std::fabs(w_.values[static_cast<std::size_t>(leaving_row)]))) {
         if (bland && leaving_row >= 0 && limit >= t_best - 1e-12 &&
             basis_[static_cast<std::size_t>(i)] > basis_[static_cast<std::size_t>(leaving_row)])
           continue;  // Bland: prefer smallest variable index on ties
@@ -492,10 +534,12 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
     if (!std::isfinite(t_best)) return SolveStatus::kUnbounded;
 
     if (leaving_row < 0) {
-      // Bound flip: entering variable jumps to its opposite bound.
-      for (int i = 0; i < m_; ++i) {
+      // Bound flip: entering variable jumps to its opposite bound. Basis
+      // and duals are unchanged.
+      for (const int i : w_.nz) {
         const int bj = basis_[static_cast<std::size_t>(i)];
-        value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t_best;
+        value_[static_cast<std::size_t>(bj)] -=
+            sigma * w_.values[static_cast<std::size_t>(i)] * t_best;
       }
       if (entering_dir > 0) {
         state_[static_cast<std::size_t>(entering)] = VarState::kAtUpper;
@@ -505,13 +549,27 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
         value_[static_cast<std::size_t>(entering)] = elo;
       }
     } else {
-      // Pivot: update values, basis and the inverse.
-      const double wr = w[static_cast<std::size_t>(leaving_row)];
+      // Pivot: update values and basis, then absorb the basis change as a
+      // product-form eta instead of an O(m^2) elimination of a dense
+      // inverse.
+      const double wr = w_.values[static_cast<std::size_t>(leaving_row)];
       const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
-      for (int i = 0; i < m_; ++i) {
+
+      // Incremental dual update: y' = y + (d_q / w_r) rho_r with rho_r the
+      // leaving row of the (old) basis inverse — one hyper-sparse BTRAN.
+      rho_.resize(m_);
+      rho_.add(leaving_row, 1.0);
+      lu_.btran(&rho_);
+      const double theta = entering_d / wr;
+      for (const int r : rho_.nz)
+        y[static_cast<std::size_t>(r)] += theta * rho_.values[static_cast<std::size_t>(r)];
+      y_fresh = false;
+
+      for (const int i : w_.nz) {
         if (i == leaving_row) continue;
         const int bj = basis_[static_cast<std::size_t>(i)];
-        value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t_best;
+        value_[static_cast<std::size_t>(bj)] -=
+            sigma * w_.values[static_cast<std::size_t>(i)] * t_best;
       }
       value_[static_cast<std::size_t>(entering)] += sigma * t_best;
       state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
@@ -524,49 +582,66 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
       }
       basis_[static_cast<std::size_t>(leaving_row)] = entering;
 
-      // Product-form update of Binv.
-      auto& pivot_row = binv_[static_cast<std::size_t>(leaving_row)];
-      for (int k = 0; k < m_; ++k) pivot_row[static_cast<std::size_t>(k)] /= wr;
-      for (int i = 0; i < m_; ++i) {
-        if (i == leaving_row) continue;
-        const double factor = w[static_cast<std::size_t>(i)];
-        if (factor == 0.0) continue;
-        auto& row = binv_[static_cast<std::size_t>(i)];
-        for (int k = 0; k < m_; ++k)
-          row[static_cast<std::size_t>(k)] -= factor * pivot_row[static_cast<std::size_t>(k)];
-      }
+      // Cheap devex maintenance: the leaving variable inherits the entering
+      // weight projected through the pivot.
+      devex_[static_cast<std::size_t>(leaving)] =
+          std::max(devex_[static_cast<std::size_t>(entering)] / (wr * wr), 1.0);
+
+      lu_.append_eta(leaving_row, w_);
       if (++pivots_since_refactor_ >= opt_.refactor_interval) {
         if (!refactorize()) return SolveStatus::kNumericalFailure;
+        compute_duals(cost, &y);
+        y_fresh = true;
       }
     }
 
-    // Anti-cycling: if the objective stops improving, fall back to Bland.
-    double obj = 0.0;
-    for (int j = 0; j < total_; ++j)
-      obj += cost[static_cast<std::size_t>(j)] * value_[static_cast<std::size_t>(j)];
-    if (obj < last_objective - 1e-12) {
+    // Anti-cycling: degenerate steps (no movement) switch to Bland-style
+    // smallest-index selection until real progress resumes.
+    if (t_best > 1e-12) {
       stall = 0;
       bland = false;
     } else if (++stall > opt_.stall_limit) {
       bland = true;
     }
-    last_objective = obj;
   }
 }
 
 // Bounded-variable dual simplex: the basis is dual feasible (all reduced
 // costs have the right sign for their nonbasic state); pivots restore primal
 // feasibility row by row. Each iteration selects the most-violated basic
-// variable as leaving, then the entering variable by the dual ratio test
-// (smallest |d_j / alpha_j| keeps every reduced cost on the right side of
-// zero). Ties break to the larger |alpha| for stability, then the smaller
-// column index for cross-run determinism.
+// variable as leaving, obtains the leaving row of the basis inverse with one
+// hyper-sparse BTRAN, builds the pricing row alpha = br A row-wise (only
+// rows where br is nonzero contribute), then picks the entering variable by
+// the dual ratio test (smallest |d_j / alpha_j| keeps every reduced cost on
+// the right side of zero). Ties break to the larger |alpha| for stability,
+// then the smaller column index for cross-run determinism.
 SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
   int stall = 0;
   bool bland = false;
 
+  compute_duals(cost, &ywork_);
+  std::vector<double>& y = ywork_;
+  bool y_fresh = true;
+
+  // Degenerate cycling is possible despite Bland's rule (tolerance bands
+  // defeat the exact-arithmetic termination proof), and a warm solve that
+  // cycles is worthless: a healthy dual re-solve of a one-bound perturbation
+  // takes a few pivots, so cap the pivot count at a generous multiple of the
+  // basis size and report an iteration limit instead of spinning to
+  // max_iterations. Callers fall back to the cold primal path, whose
+  // phase-1 restart breaks the cycle.
+  const int budget = std::max(2000, 50 * m_ + total_ / 4);
+  int pivots = 0;
+
   while (true) {
-    if (total_iterations_ >= opt_.max_iterations) return SolveStatus::kIterationLimit;
+    if (total_iterations_ >= opt_.max_iterations || pivots >= budget)
+      return SolveStatus::kIterationLimit;
+    if (bland && !y_fresh) {
+      // Bland's anti-cycling selection needs exact reduced costs; the
+      // incrementally updated duals drift over degenerate pivots.
+      compute_duals(cost, &y);
+      y_fresh = true;
+    }
 
     // Leaving row: largest bound violation among basic variables (Bland
     // fallback: smallest basic variable index with any violation).
@@ -602,17 +677,36 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
     if (leaving_row < 0) return SolveStatus::kOptimal;  // primal feasible
 
     ++total_iterations_;
+    ++pivots;
     if (iters) ++(*iters);
 
     const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
     const double target = below ? lower_[static_cast<std::size_t>(leaving)]
                                 : upper_[static_cast<std::size_t>(leaving)];
-    const auto& br = binv_[static_cast<std::size_t>(leaving_row)];  // e_r^T Binv
-    const std::vector<double> y = compute_duals(cost);
+    // br = e_r^T Binv via BTRAN; typically hyper-sparse on staircase models.
+    rho_.resize(m_);
+    rho_.add(leaving_row, 1.0);
+    lu_.btran(&rho_);
+    const std::vector<double>& br = rho_.values;  // indexed by original row
 
-    // Dual ratio test over the nonbasic columns.
+    // Pricing row alpha_j = br . A_j, built row-wise from the nonzero rows
+    // of br: structural entries come from the model's row lists, the slack
+    // of row r contributes br[r] in column n + r. (The dual path never sees
+    // artificial columns.)
+    alpha_.resize(total_);
+    for (const int r : rho_.nz) {
+      const double brr = br[static_cast<std::size_t>(r)];
+      if (brr == 0.0) continue;
+      for (const RowEntry& e : model_.row(r).entries)
+        alpha_.add(e.column, brr * e.coeff);
+      alpha_.add(n_ + r, brr);
+    }
+    alpha_.compact();  // ascending-index tie-breaks, each column once
+
+    // Dual ratio test over the columns the pricing row touches.
     int entering = -1;
     int entering_dir = 0;
+    double entering_d = 0.0;
     double best_ratio = kInf;
     double best_alpha = 0.0;
     // Maximum repair of the violated row achievable by columns whose alpha
@@ -621,13 +715,11 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
     // row, so an eventual "no entering column" verdict proves infeasibility
     // only if the violation exceeds this slack.
     double tiny_gain = 0.0;
-    for (int j = 0; j < total_; ++j) {
+    for (const int j : alpha_.nz) {
       if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
       if (lower_[static_cast<std::size_t>(j)] == upper_[static_cast<std::size_t>(j)])
         continue;  // fixed variable cannot move
-      double alpha = 0.0;
-      for (const Entry& e : cols_[static_cast<std::size_t>(j)])
-        alpha += br[static_cast<std::size_t>(e.row)] * e.coeff;
+      const double alpha = alpha_.values[static_cast<std::size_t>(j)];
       if (std::fabs(alpha) <= opt_.pivot_tol) {
         if (alpha != 0.0) {
           // Repair of x_B(r) per unit increase of x_j is -alpha (below
@@ -658,6 +750,7 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
       if (better) {
         entering = j;
         entering_dir = dir;
+        entering_d = d;
         best_ratio = ratio;
         best_alpha = alpha;
       }
@@ -676,9 +769,11 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
                               : value_[static_cast<std::size_t>(leaving)] -
                                     upper_[static_cast<std::size_t>(leaving)];
       if (viol <= tiny_gain + opt_.feasibility_tol) return SolveStatus::kNumericalFailure;
-      // The alphas came from `br`, which may have drifted through
-      // product-form updates. The proof is only as good as br being a true
-      // row of the basis inverse: check br * B = e_r before certifying.
+      // The alphas came from `br`, which is only as good as the LU + eta
+      // solve that produced it (a stale hint or an ill-conditioned eta
+      // chain can corrupt it). The proof is only as good as br being a
+      // true row of the basis inverse: check br * B = e_r before
+      // certifying.
       for (int i = 0; i < m_; ++i) {
         const int bj = basis_[static_cast<std::size_t>(i)];
         double dot = 0.0;
@@ -687,23 +782,33 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
         if (std::fabs(dot - (i == leaving_row ? 1.0 : 0.0)) > 1e-6)
           return SolveStatus::kNumericalFailure;
       }
+      alpha_.clear();
+      rho_.clear();
       return SolveStatus::kInfeasible;
     }
 
     const double sigma = static_cast<double>(entering_dir);
-    const std::vector<double> w = ftran(entering);
-    const double wr = w[static_cast<std::size_t>(leaving_row)];
+    ftran_column(entering);
+    const double wr = w_.values[static_cast<std::size_t>(leaving_row)];
     if (std::fabs(wr) <= opt_.pivot_tol) return SolveStatus::kNumericalFailure;
+
+    // Incremental dual update, using the already-computed leaving row:
+    // y' = y + (d_q / alpha_q) br. Exact for the new basis.
+    const double theta = entering_d / wr;
+    for (const int r : rho_.nz)
+      y[static_cast<std::size_t>(r)] += theta * br[static_cast<std::size_t>(r)];
+    y_fresh = false;
 
     // Primal step: drive the leaving variable exactly onto its violated
     // bound. t >= 0 by the entering-direction choice.
     double t = (value_[static_cast<std::size_t>(leaving)] - target) / (sigma * wr);
     if (t < 0.0) t = 0.0;  // degenerate guard against round-off
 
-    for (int i = 0; i < m_; ++i) {
+    for (const int i : w_.nz) {
       if (i == leaving_row) continue;
       const int bj = basis_[static_cast<std::size_t>(i)];
-      value_[static_cast<std::size_t>(bj)] -= sigma * w[static_cast<std::size_t>(i)] * t;
+      value_[static_cast<std::size_t>(bj)] -=
+          sigma * w_.values[static_cast<std::size_t>(i)] * t;
     }
     value_[static_cast<std::size_t>(entering)] += sigma * t;
     state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
@@ -711,19 +816,11 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
     value_[static_cast<std::size_t>(leaving)] = target;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
 
-    // Product-form update of Binv (same as the primal pivot).
-    auto& pivot_row = binv_[static_cast<std::size_t>(leaving_row)];
-    for (int k = 0; k < m_; ++k) pivot_row[static_cast<std::size_t>(k)] /= wr;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leaving_row) continue;
-      const double factor = w[static_cast<std::size_t>(i)];
-      if (factor == 0.0) continue;
-      auto& row = binv_[static_cast<std::size_t>(i)];
-      for (int k = 0; k < m_; ++k)
-        row[static_cast<std::size_t>(k)] -= factor * pivot_row[static_cast<std::size_t>(k)];
-    }
+    lu_.append_eta(leaving_row, w_);
     if (++pivots_since_refactor_ >= opt_.refactor_interval) {
       if (!refactorize()) return SolveStatus::kNumericalFailure;
+      compute_duals(cost, &y);
+      y_fresh = true;
     }
 
     // Anti-cycling: degenerate pivots (zero step) switch to Bland-style
@@ -737,14 +834,15 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
   }
 }
 
-void Engine::extract(SimplexResult* result) const {
+void Engine::extract(SimplexResult* result) {
   result->x.assign(static_cast<std::size_t>(n_), 0.0);
   for (int j = 0; j < n_; ++j)
     result->x[static_cast<std::size_t>(j)] = value_[static_cast<std::size_t>(j)];
   result->objective = model_.objective_value(result->x);
 
   if (opt_.want_duals) {
-    const std::vector<double> y = compute_duals(cost2_);
+    compute_duals(cost2_, &ywork_);
+    const std::vector<double>& y = ywork_;
     result->duals.assign(static_cast<std::size_t>(m_), 0.0);
     for (int i = 0; i < m_; ++i)
       result->duals[static_cast<std::size_t>(i)] =
@@ -775,10 +873,8 @@ void Engine::export_basis(SimplexResult* result) const {
     }
     basis.status[static_cast<std::size_t>(j)] = s;
   }
-  auto factor = std::make_shared<Factorization>();
-  factor->binv = binv_;
   result->basis = std::move(basis);
-  result->factor = std::move(factor);
+  result->factor = std::make_shared<Factorization>(lu_.snapshot());
 }
 
 SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
@@ -803,12 +899,14 @@ SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
     if (st == SolveStatus::kIterationLimit || st == SolveStatus::kNumericalFailure) {
       result.status = st;
       result.iterations = total_iterations_;
+      result.factor_stats = lu_.stats();
       return result;
     }
     INSCHED_ASSERT(st != SolveStatus::kUnbounded);  // phase-1 objective >= 0
     if (phase1_infeasibility() > 1e-6) {
       result.status = SolveStatus::kInfeasible;
       result.iterations = total_iterations_;
+      result.factor_stats = lu_.stats();
       return result;
     }
     // Pin artificials at zero for phase 2.
@@ -828,10 +926,14 @@ SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
   result.iterations = total_iterations_;
   result.phase1_iterations = phase1_iterations_;
   result.status = st;
-  if (st != SolveStatus::kOptimal) return result;
+  if (st != SolveStatus::kOptimal) {
+    result.factor_stats = lu_.stats();
+    return result;
+  }
 
   extract(&result);
   if (opt_.collect_basis) export_basis(&result);
+  result.factor_stats = lu_.stats();
   return result;
 }
 
@@ -847,6 +949,7 @@ SimplexResult Engine::solve_dual(const std::vector<BoundOverride>& overrides,
   }
   if (!load_basis(start, hint)) {
     result.status = SolveStatus::kNumericalFailure;
+    result.factor_stats = lu_.stats();
     return result;
   }
 
@@ -862,16 +965,21 @@ SimplexResult Engine::solve_dual(const std::vector<BoundOverride>& overrides,
   }
   result.iterations = total_iterations_;
   result.status = st;
-  if (st != SolveStatus::kOptimal) return result;
+  if (st != SolveStatus::kOptimal) {
+    result.factor_stats = lu_.stats();
+    return result;
+  }
   if (!residuals_ok()) {
     // A stale factorization hint can silently corrupt the solution; verify
     // A x = b before trusting the warm result.
     result.status = SolveStatus::kNumericalFailure;
+    result.factor_stats = lu_.stats();
     return result;
   }
 
   extract(&result);
   if (opt_.collect_basis) export_basis(&result);
+  result.factor_stats = lu_.stats();
   return result;
 }
 

@@ -1,16 +1,17 @@
 #pragma once
 
-// Dense revised simplex with bounded variables: a two-phase *primal* cold
+// Sparse revised simplex with bounded variables: a two-phase *primal* cold
 // start (artificial variables, phase-1 infeasibility minimization) and a
 // *dual* warm-start path that re-solves a bound-perturbed problem from a
 // given basis. The LP engine under the branch-and-bound MIP solver: the
 // scheduling MILPs the paper solves with CPLEX are solved here instead.
 //
-// Scope: exact dense linear algebra with an explicitly maintained basis
-// inverse, periodic refactorization, Dantzig pricing with a Bland's-rule
-// fallback for anti-cycling. Intended for the small/medium instances this
-// library produces (tens to a few thousand variables), not for general
-// large-scale LP.
+// Scope: sparse LU basis factorization with product-form eta updates
+// (factor.hpp), hyper-sparse FTRAN/BTRAN, periodic refactorization,
+// incremental dual updates, and partial pricing over rotating column blocks
+// with devex-weighted scores plus a Bland's-rule fallback for anti-cycling.
+// Sized for the staircase time-expanded models this library produces
+// (thousands of rows with a handful of nonzeros each).
 //
 // Warm starts: branch-and-bound children differ from their parent only in
 // one tightened column bound, which keeps the parent's optimal basis dual
@@ -44,8 +45,9 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;  ///< bound/row violation tolerance
   double optimality_tol = 1e-9;   ///< reduced-cost tolerance
   int max_iterations = 200000;    ///< across both phases
-  int refactor_interval = 128;    ///< pivots between basis re-inversions
+  int refactor_interval = 128;    ///< pivots between basis refactorizations
   int stall_limit = 64;           ///< degenerate pivots before Bland's rule
+  int price_block_size = 512;     ///< partial-pricing block (<= 0: full Dantzig scan)
   bool collect_basis = false;     ///< export the optimal basis + factorization
   bool want_duals = true;         ///< compute duals/reduced costs on optimal exit
 };
@@ -58,6 +60,9 @@ struct SimplexResult {
   std::vector<double> reduced_costs;   ///< one per structural column (model sense)
   int iterations = 0;
   int phase1_iterations = 0;
+  /// Factorization observability for this solve: ftran/btran call counts,
+  /// average right-hand-side density, eta-chain length, refactorizations.
+  FactorStats factor_stats;
 
   /// Optimal basis snapshot; filled when `collect_basis` is set, the solve
   /// proved optimality, and no artificial variable remained basic.

@@ -123,6 +123,18 @@ class Search {
   std::atomic<long> factor_hits_{0}, factor_misses_{0};
   std::atomic<long> heur_warm_{0}, heur_warm_failed_{0};
   std::atomic<long> steals_{0};
+  // FTRAN/BTRAN/eta observability summed over every LP solve in the search.
+  std::atomic<long> lp_ftran_{0}, lp_btran_{0}, lp_refactor_{0}, lp_eta_{0};
+  std::atomic<long> lp_rhs_nnz_{0}, lp_rhs_dim_{0};
+
+  void add_factor_stats(const lp::FactorStats& fs) {
+    lp_ftran_.fetch_add(fs.ftran_calls, std::memory_order_relaxed);
+    lp_btran_.fetch_add(fs.btran_calls, std::memory_order_relaxed);
+    lp_refactor_.fetch_add(fs.refactorizations, std::memory_order_relaxed);
+    lp_eta_.fetch_add(fs.eta_pivots, std::memory_order_relaxed);
+    lp_rhs_nnz_.fetch_add(fs.rhs_nonzeros, std::memory_order_relaxed);
+    lp_rhs_dim_.fetch_add(fs.rhs_dimension, std::memory_order_relaxed);
+  }
 
   bool pin_factors_ = false;
   double trunc_open_bound_ = std::numeric_limits<double>::infinity();
@@ -205,6 +217,7 @@ std::optional<std::vector<double>> Search::warm_round_and_fix(
 
   heur_warm_.fetch_add(1, std::memory_order_relaxed);
   const lp::SimplexResult res = ws.solve_dual(overrides, basis, hint);
+  add_factor_stats(res.factor_stats);
   if (!res.optimal()) {
     heur_warm_failed_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -283,9 +296,11 @@ std::optional<std::vector<double>> Search::warm_dive(lp::WarmSimplex& ws,
                              : std::min(nearest + 1.0, std::floor(hi[ps] + 1e-9));
     overrides.push_back({pick, nearest, nearest});
     lp::SimplexResult res = ws.solve_dual(overrides, cur_basis, cur_hint);
+    add_factor_stats(res.factor_stats);
     if (!res.optimal() && other != nearest) {
       overrides.back() = {pick, other, other};
       res = ws.solve_dual(overrides, cur_basis, cur_hint);
+      add_factor_stats(res.factor_stats);
     }
     if (!res.optimal()) return std::nullopt;
     fixed[ps] = true;
@@ -320,6 +335,7 @@ lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node
     if (hint) factor_hits_.fetch_add(1, std::memory_order_relaxed);
     else factor_misses_.fetch_add(1, std::memory_order_relaxed);
     lp::SimplexResult res = ws.solve_dual(node.bounds, *node.warm_basis, hint);
+    add_factor_stats(res.factor_stats);
     // Optimal outcomes are residual-checked and infeasibility proofs are
     // self-validating inside the dual loop (br * B = e_r plus the
     // sub-tolerance-column slack bound), so both can be trusted even when
@@ -332,7 +348,9 @@ lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node
     warm_failures_.fetch_add(1, std::memory_order_relaxed);
   }
   cold_solves_.fetch_add(1, std::memory_order_relaxed);
-  return ws.solve_cold(node.bounds);
+  lp::SimplexResult cold = ws.solve_cold(node.bounds);
+  add_factor_stats(cold.factor_stats);
+  return cold;
 }
 
 void Search::process_solved(const NodePtr& node, lp::SimplexResult&& rel,
@@ -575,6 +593,16 @@ void Search::finalize(bool proved) {
   result_.counters.heur_warm = heur_warm_.load(std::memory_order_relaxed);
   result_.counters.heur_warm_failed = heur_warm_failed_.load(std::memory_order_relaxed);
   result_.counters.steals = steals_.load(std::memory_order_relaxed);
+  result_.counters.lp_ftran = lp_ftran_.load(std::memory_order_relaxed);
+  result_.counters.lp_btran = lp_btran_.load(std::memory_order_relaxed);
+  result_.counters.lp_refactorizations = lp_refactor_.load(std::memory_order_relaxed);
+  result_.counters.lp_eta_pivots = lp_eta_.load(std::memory_order_relaxed);
+  result_.counters.lp_rhs_nonzeros = lp_rhs_nnz_.load(std::memory_order_relaxed);
+  result_.counters.lp_rhs_dimension = lp_rhs_dim_.load(std::memory_order_relaxed);
+  if (cache_) {
+    result_.counters.factor_cache_peak_bytes = cache_->peak_bytes();
+    result_.counters.factor_cache_peak_dense_bytes = cache_->peak_dense_bytes();
+  }
 
   result_.has_solution = have_inc;
   if (have_inc) {
@@ -619,6 +647,7 @@ MipResult Search::run() {
   root_lp.collect_basis = true;
   lp::SimplexResult root = lp::solve_lp(base_, root_lp);
   lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+  add_factor_stats(root.factor_stats);
   auto bail = [&](lp::SolveStatus status, MipTermination termination) {
     result_.status = status;
     result_.termination = termination;
@@ -645,6 +674,7 @@ MipResult Search::run() {
       }
       root = lp::solve_lp(base_, root_lp);
       lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+      add_factor_stats(root.factor_stats);
       if (!root.optimal()) break;
     }
     if (!root.optimal()) {
@@ -652,6 +682,7 @@ MipResult Search::run() {
       // without trusting the cut LP and continue from the plain root.
       root = lp::solve_lp(base_, root_lp);
       lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+      add_factor_stats(root.factor_stats);
       if (!root.optimal()) return bail(root.status, MipTermination::kNumericalFailure);
     }
   }

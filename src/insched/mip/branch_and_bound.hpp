@@ -12,6 +12,7 @@
 // incumbent — is bit-identical across thread counts. Proves optimality (the
 // schedule experiments rely on exact optima, not approximations).
 
+#include <cstddef>
 #include <vector>
 
 #include "insched/lp/model.hpp"
@@ -71,8 +72,11 @@ struct MipOptions {
   /// Capacity of the LRU cache of basis factorizations (async search).
   int factor_cache_size = 32;
   /// Deterministic mode pins the parent factorization in the node itself
-  /// (no shared cache) when the model has at most this many rows.
-  int pin_factor_rows = 256;
+  /// (no shared cache) when the model has at most this many rows. With the
+  /// sparse LU + eta snapshot a pinned factor costs O(nnz) instead of the
+  /// former dense O(rows^2), so the cutoff is far higher than the dense-era
+  /// 256.
+  int pin_factor_rows = 4096;
   /// Worker-local pseudo-cost deltas merge into the shared table every this
   /// many processed nodes.
   int pc_merge_interval = 32;
@@ -91,6 +95,26 @@ struct MipCounters {
   long pc_merges = 0;        ///< pseudo-cost table synchronizations
   long heur_warm = 0;        ///< rounding-heuristic LPs solved warm
   long heur_warm_failed = 0; ///< warm heuristic re-solves that found nothing
+
+  // Basis-factorization observability, summed over every node LP solve
+  // (warm, cold, and heuristic) from lp::SimplexResult::factor_stats.
+  long lp_ftran = 0;             ///< FTRAN solves against the LU + eta file
+  long lp_btran = 0;             ///< BTRAN solves
+  long lp_refactorizations = 0;  ///< sparse LU refactorizations
+  long lp_eta_pivots = 0;        ///< product-form eta updates appended
+  long lp_rhs_nonzeros = 0;      ///< summed FTRAN/BTRAN input nonzeros
+  long lp_rhs_dimension = 0;     ///< summed FTRAN/BTRAN input lengths
+  /// Peak resident bytes of the factorization LRU cache (LU + eta format).
+  std::size_t factor_cache_peak_bytes = 0;
+  /// Same peak population priced as dense m x m inverses (pre-LU format).
+  std::size_t factor_cache_peak_dense_bytes = 0;
+
+  /// Average FTRAN/BTRAN right-hand-side density over the whole search.
+  [[nodiscard]] double lp_rhs_density() const noexcept {
+    return lp_rhs_dimension > 0 ? static_cast<double>(lp_rhs_nonzeros) /
+                                      static_cast<double>(lp_rhs_dimension)
+                                : 0.0;
+  }
 };
 
 struct MipResult {

@@ -82,20 +82,33 @@ FactorCache::FactorCache(std::size_t capacity) : capacity_(std::max<std::size_t>
 
 void FactorCache::put(long id, std::shared_ptr<const lp::Factorization> factor) {
   if (!factor) return;
+  const std::size_t bytes = factor->bytes();
+  const std::size_t dense_bytes = factor->dense_equivalent_bytes();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it != map_.end()) {
-    order_.erase(it->second.second);
+    bytes_ += bytes - it->second.bytes;
+    dense_bytes_ += dense_bytes - it->second.dense_bytes;
+    order_.erase(it->second.pos);
     order_.push_front(id);
-    it->second = {std::move(factor), order_.begin()};
-    return;
+    it->second = {std::move(factor), order_.begin(), bytes, dense_bytes};
+  } else {
+    order_.push_front(id);
+    map_.emplace(id, Slot{std::move(factor), order_.begin(), bytes, dense_bytes});
+    bytes_ += bytes;
+    dense_bytes_ += dense_bytes;
+    while (map_.size() > capacity_) {
+      auto victim = map_.find(order_.back());
+      bytes_ -= victim->second.bytes;
+      dense_bytes_ -= victim->second.dense_bytes;
+      map_.erase(victim);
+      order_.pop_back();
+    }
   }
-  order_.push_front(id);
-  map_.emplace(id, std::make_pair(std::move(factor), order_.begin()));
-  while (map_.size() > capacity_) {
-    map_.erase(order_.back());
-    order_.pop_back();
-  }
+  if (bytes_ > peak_bytes_.load(std::memory_order_relaxed))
+    peak_bytes_.store(bytes_, std::memory_order_relaxed);
+  if (dense_bytes_ > peak_dense_bytes_.load(std::memory_order_relaxed))
+    peak_dense_bytes_.store(dense_bytes_, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const lp::Factorization> FactorCache::get(long id) {
@@ -105,11 +118,11 @@ std::shared_ptr<const lp::Factorization> FactorCache::get(long id) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  order_.erase(it->second.second);
+  order_.erase(it->second.pos);
   order_.push_front(id);
-  it->second.second = order_.begin();
+  it->second.pos = order_.begin();
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.first;
+  return it->second.factor;
 }
 
 // ---------------------------------------------------------------------------

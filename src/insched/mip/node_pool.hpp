@@ -101,16 +101,35 @@ class FactorCache {
   [[nodiscard]] std::shared_ptr<const lp::Factorization> get(long id);
   [[nodiscard]] long hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
   [[nodiscard]] long misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+  /// Peak resident size of the cached LU+eta snapshots (shared cores counted
+  /// once per entry, an overcount when siblings share a core).
+  [[nodiscard]] std::size_t peak_bytes() const noexcept {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  /// What the same peak population would have cost as dense m x m inverses —
+  /// the pre-LU snapshot format. The sparse/dense ratio is the memory win.
+  [[nodiscard]] std::size_t peak_dense_bytes() const noexcept {
+    return peak_dense_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Slot {
+    std::shared_ptr<const lp::Factorization> factor;
+    std::list<long>::iterator pos;
+    std::size_t bytes = 0;        // factor->bytes() at insertion
+    std::size_t dense_bytes = 0;  // factor->dense_equivalent_bytes()
+  };
+
   std::mutex mu_;
   std::size_t capacity_;
   std::list<long> order_;  // most recent first
-  std::unordered_map<long, std::pair<std::shared_ptr<const lp::Factorization>,
-                                     std::list<long>::iterator>>
-      map_;
+  std::unordered_map<long, Slot> map_;
+  std::size_t bytes_ = 0;        // current resident total (guarded by mu_)
+  std::size_t dense_bytes_ = 0;  // dense-equivalent counterpart
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::size_t> peak_dense_bytes_{0};
 };
 
 class Incumbent {

@@ -25,6 +25,16 @@ void add_counters(mip::MipCounters* into, const mip::MipCounters& c) {
   into->pc_merges += c.pc_merges;
   into->heur_warm += c.heur_warm;
   into->heur_warm_failed += c.heur_warm_failed;
+  into->lp_ftran += c.lp_ftran;
+  into->lp_btran += c.lp_btran;
+  into->lp_refactorizations += c.lp_refactorizations;
+  into->lp_eta_pivots += c.lp_eta_pivots;
+  into->lp_rhs_nonzeros += c.lp_rhs_nonzeros;
+  into->lp_rhs_dimension += c.lp_rhs_dimension;
+  into->factor_cache_peak_bytes =
+      std::max(into->factor_cache_peak_bytes, c.factor_cache_peak_bytes);
+  into->factor_cache_peak_dense_bytes =
+      std::max(into->factor_cache_peak_dense_bytes, c.factor_cache_peak_dense_bytes);
 }
 
 std::vector<double> weights_of(const ScheduleProblem& problem) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UBSan pass over the solver. Configures a separate build
+# tree with -DINSCHED_SANITIZE=address,undefined and runs the tests that
+# stress the sparse LU factorization and its FTRAN/BTRAN paths (pointer-heavy
+# eta-file updates, snapshot serialization round-trips) plus the simplex and
+# branch-and-bound layers built on top of them.
+#
+#   tools/run_asan.sh              # build + run the default test set
+#   tools/run_asan.sh test_factor  # build + run a specific ctest regex
+#
+# Keep the heavy concurrency pass in tools/run_tsan.sh; the two sanitizers
+# cannot share one build tree.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-asan}"
+filter="${1:-test_factor|test_lp|test_warm_simplex|test_mip|test_serialize|test_support}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DINSCHED_SANITIZE=address,undefined
+cmake --build "$build_dir" -j
+
+cd "$build_dir"
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+  ctest --output-on-failure -R "$filter"

@@ -9,13 +9,15 @@
 #   bench/run_benchmarks.sh --quick        # smoke run -> bench/out/, fast
 #
 # --quick is the CI/ctest smoke mode: one repetition with a tiny min-time
-# over the BM_schedule_*_config single-thread rows, written to
+# over the BM_schedule_*_config single-thread rows plus both cuts arms of
+# the BM_schedule_*_staircase_config MIPs, written to
 # bench/out/BENCH_quick.json so the checked-in BENCH_solver.json is never
 # overwritten by a smoke run.
 #
-# The interesting comparison for the sparse-LU PR is the
-# BM_schedule_*_config speedups plus the factor_peak_bytes /
-# factor_dense_equiv_bytes counters (cache memory, sparse vs dense format).
+# The interesting comparisons: BM_schedule_*_config speedups plus the
+# factor_peak_bytes / factor_dense_equiv_bytes counters (sparse-LU PR), and
+# the `nodes` / `objective` counters of the staircase rows at cuts:0 vs
+# cuts:1 (cutting-plane PR — the >=2x node-reduction gate).
 
 set -euo pipefail
 
@@ -38,7 +40,7 @@ if [[ "$quick" == 1 ]]; then
   mkdir -p "$repo_root/bench/out"
   out="${OUT:-$repo_root/bench/out/BENCH_quick.json}"
   min_time="${BENCH_MIN_TIME:-0.01}"
-  filter="${BENCH_FILTER:-BM_schedule_(water|rhodo|flash)_config/threads:1/warm:1}"
+  filter="${BENCH_FILTER:-BM_schedule_(water|rhodo|flash)_config/threads:1/warm:1|BM_schedule_(water|rhodo|flash)_staircase_config}"
 fi
 
 if [[ ! -x "$build_dir/bench/solver_perf" ]]; then

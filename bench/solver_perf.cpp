@@ -184,55 +184,94 @@ void BM_schedule_time_expanded(benchmark::State& state) {
 }
 BENCHMARK(BM_schedule_time_expanded)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 
-// Steps-heavy time-expanded LP relaxations: the staircase regime the sparse
-// LU + eta-file kernel targets. The basis here is large (m = 2*steps + O(1))
-// and extremely sparse, so a dense inverse pays O(m^2) per iteration and
-// O(m^3) per refactorization while the LU kernel walks a handful of
-// nonzeros. Memory is left unconstrained for the same conditioning reason as
-// BM_schedule_time_expanded above.
-void run_staircase_lp(benchmark::State& state, scheduler::ScheduleProblem p) {
+// Steps-heavy time-expanded MILPs: the staircase regime the cutting-plane
+// engine targets. The budget row spans hundreds of interchangeable step
+// positions, so the LP bound is invariant under individual branchings and a
+// plain tree only closes through an exactly-optimal incumbent — cuts are
+// what move the dual bound. Args are (steps, cuts): cuts=0 is the pre-PR
+// engine (pseudo-cost branch and bound, no presolve, no separation), cuts=1
+// is the full default stack (probing, covers, cliques, Gomory/MIR, in-tree
+// separation, reliability branching). Both arms share a node cap so the
+// headline counter is `nodes` at identical `objective` values; the >=2x
+// node-reduction acceptance gate for the cut engine reads exactly these two
+// rows. Weights are scaled per case to open an integrality gap > 1 that
+// branching alone cannot close (see docs/FORMULATION.md, "Why cuts close
+// these trees"); memory is left unconstrained for the same conditioning
+// reason as BM_schedule_time_expanded above.
+void run_staircase_mip(benchmark::State& state, scheduler::ScheduleProblem p,
+                       double weight_scale) {
   p.steps = state.range(0);
   p.mth = scheduler::kNoLimit;
-  for (auto& a : p.analyses) a.itv = std::max<long>(1, p.steps / 20);
+  for (auto& a : p.analyses) {
+    a.itv = std::max<long>(1, p.steps / 20);
+    a.weight *= weight_scale;
+  }
   const lp::Model model = scheduler::build_time_expanded_milp(p).model;
-  double objective = 0.0;
-  lp::FactorStats stats;
+  mip::MipOptions opt;
+  opt.threads = 1;
+  opt.max_nodes = 512;
+  opt.time_limit_s = 120.0;
+  if (state.range(1) == 0) {
+    opt.use_probing = false;
+    opt.use_cover_cuts = false;
+    opt.use_clique_cuts = false;
+    opt.use_gomory_cuts = false;
+    opt.use_mir_cuts = false;
+    opt.in_tree_cuts = false;
+    opt.branching = mip::Branching::kPseudoCost;
+  }
+  mip::MipResult res;
   for (auto _ : state) {
-    const lp::SimplexResult res = lp::solve_lp(model);
-    objective = res.objective;
-    stats = res.factor_stats;
+    res = mip::solve_mip(model, opt);
     benchmark::DoNotOptimize(res.objective);
   }
-  state.counters["objective"] = objective;
-  state.counters["lp_ftran"] = static_cast<double>(stats.ftran_calls);
-  state.counters["lp_btran"] = static_cast<double>(stats.btran_calls);
-  state.counters["lp_refactors"] = static_cast<double>(stats.refactorizations);
-  state.counters["lp_eta_pivots"] = static_cast<double>(stats.eta_pivots);
-  state.counters["lp_rhs_density"] = stats.rhs_density();
+  state.counters["objective"] = res.objective;
+  state.counters["best_bound"] = res.best_bound;
+  state.counters["nodes"] = static_cast<double>(res.nodes);
+  state.counters["proved_optimal"] = res.optimal() ? 1.0 : 0.0;
+  state.counters["cuts_separated"] = static_cast<double>(res.counters.cuts_separated);
+  state.counters["cuts_applied"] = static_cast<double>(res.counters.cuts_applied);
+  state.counters["tree_restarts"] = static_cast<double>(res.counters.tree_restarts);
+  state.counters["probing_fixed"] = static_cast<double>(res.counters.probing_fixed);
+  state.counters["probing_implications"] =
+      static_cast<double>(res.counters.probing_implications);
+  state.counters["strong_branch_lps"] =
+      static_cast<double>(res.counters.strong_branch_lps);
+  // Basis-factorization observability of the staircase LU kernel, summed
+  // over every node/heuristic LP of the last solve.
+  state.counters["lp_ftran"] = static_cast<double>(res.counters.lp_ftran);
+  state.counters["lp_btran"] = static_cast<double>(res.counters.lp_btran);
+  state.counters["lp_refactors"] =
+      static_cast<double>(res.counters.lp_refactorizations);
+  state.counters["lp_eta_pivots"] = static_cast<double>(res.counters.lp_eta_pivots);
+  state.counters["lp_rhs_density"] = res.counters.lp_rhs_density();
 }
 
 void BM_schedule_water_staircase_config(benchmark::State& state) {
-  run_staircase_lp(state, casestudy::water_ions_problem(16384, 0.10));
+  run_staircase_mip(state, casestudy::water_ions_problem(16384, 0.08), 1.0);
 }
 BENCHMARK(BM_schedule_water_staircase_config)
-    ->ArgNames({"steps"})
-    ->Arg(500)
+    ->ArgNames({"steps", "cuts"})
+    ->Args({500, 0})
+    ->Args({500, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_schedule_rhodo_staircase_config(benchmark::State& state) {
-  run_staircase_lp(state, casestudy::rhodopsin_problem(100.0));
+  run_staircase_mip(state, casestudy::rhodopsin_problem(100.0), 3.0);
 }
 BENCHMARK(BM_schedule_rhodo_staircase_config)
-    ->ArgNames({"steps"})
-    ->Arg(500)
+    ->ArgNames({"steps", "cuts"})
+    ->Args({500, 0})
+    ->Args({500, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_schedule_flash_staircase_config(benchmark::State& state) {
-  run_staircase_lp(state, casestudy::flash_problem({2.0, 1.0, 2.0}));
+  run_staircase_mip(state, casestudy::flash_problem({2.0, 1.0, 2.0}, 0.08), 3.0);
 }
 BENCHMARK(BM_schedule_flash_staircase_config)
-    ->ArgNames({"steps"})
-    ->Arg(500)
+    ->ArgNames({"steps", "cuts"})
+    ->Args({500, 0})
+    ->Args({500, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

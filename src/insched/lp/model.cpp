@@ -59,6 +59,23 @@ void Model::set_type(int column, VarType type) {
   columns_[static_cast<std::size_t>(column)].type = type;
 }
 
+void Model::set_row_kind(int row, RowKind kind) {
+  INSCHED_EXPECTS(row >= 0 && row < num_rows());
+  rows_[static_cast<std::size_t>(row)].kind = kind;
+}
+
+void Model::set_row_coeff(int row, int entry_index, double coeff) {
+  INSCHED_EXPECTS(row >= 0 && row < num_rows());
+  auto& entries = rows_[static_cast<std::size_t>(row)].entries;
+  INSCHED_EXPECTS(entry_index >= 0 && entry_index < static_cast<int>(entries.size()));
+  entries[static_cast<std::size_t>(entry_index)].coeff = coeff;
+}
+
+void Model::set_row_rhs(int row, double rhs) {
+  INSCHED_EXPECTS(row >= 0 && row < num_rows());
+  rows_[static_cast<std::size_t>(row)].rhs = rhs;
+}
+
 void Model::set_bounds(int column, double lower, double upper) {
   INSCHED_EXPECTS(column >= 0 && column < num_columns());
   INSCHED_EXPECTS(lower <= upper);

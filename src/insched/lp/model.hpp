@@ -4,6 +4,7 @@
 // (+-infinity allowed), rows are linear constraints. The same Model feeds the
 // pure-LP simplex (integrality ignored) and the branch-and-bound MIP solver.
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -15,6 +16,17 @@ inline constexpr double kInf = std::numeric_limits<double>::infinity();
 enum class Sense { kMinimize, kMaximize };
 enum class RowType { kLe, kGe, kEq };
 enum class VarType { kContinuous, kInteger, kBinary };
+
+/// Optional structure hint attached to a row by the model builder. Cut
+/// separators use it to go straight to the rows a cut family targets
+/// (knapsack covers on budget rows, GUB/clique cuts on interval windows)
+/// instead of pattern-scanning the whole matrix; kGeneric rows are still
+/// scanned, so hints are an accelerator, never a correctness requirement.
+enum class RowKind : std::uint8_t {
+  kGeneric,   ///< no structural promise
+  kBudget,    ///< additive resource budget (paper Eqs 2-8 collapsed rows)
+  kInterval,  ///< GUB/cardinality window: sum of binaries <= small rhs (Eq 9)
+};
 
 struct Column {
   std::string name;
@@ -32,6 +44,7 @@ struct RowEntry {
 struct Row {
   std::string name;
   RowType type = RowType::kLe;
+  RowKind kind = RowKind::kGeneric;
   double rhs = 0.0;
   std::vector<RowEntry> entries;
 };
@@ -58,6 +71,11 @@ class Model {
   void set_objective(int column, double coeff);
   void set_bounds(int column, double lower, double upper);
   void set_type(int column, VarType type);
+  void set_row_kind(int row, RowKind kind);
+  /// Overwrites the coefficient of the `entry_index`-th entry of `row`
+  /// (presolve coefficient tightening; does not add/remove entries).
+  void set_row_coeff(int row, int entry_index, double coeff);
+  void set_row_rhs(int row, double rhs);
 
   [[nodiscard]] int num_columns() const noexcept { return static_cast<int>(columns_.size()); }
   [[nodiscard]] int num_rows() const noexcept { return static_cast<int>(rows_.size()); }

@@ -23,6 +23,22 @@ std::vector<double> PresolveResult::restore(const std::vector<double>& reduced_x
     const int mapped = column_map[j];
     x[j] = mapped >= 0 ? reduced_x.at(static_cast<std::size_t>(mapped)) : fixed_values[j];
   }
+  // Aggregated columns read their (already restored) source column. A source
+  // may itself be aggregated; resolve in passes so chains settle regardless
+  // of record order (chains are short — binary equivalence classes).
+  for (std::size_t pass = 0; pass < aggregated.size() + 1; ++pass) {
+    bool changed = false;
+    for (const AggregatedColumn& a : aggregated) {
+      const double v =
+          a.scale * x.at(static_cast<std::size_t>(a.source)) + a.offset;
+      auto& slot = x.at(static_cast<std::size_t>(a.column));
+      if (slot != v) {
+        slot = v;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
   return x;
 }
 
@@ -166,7 +182,9 @@ PresolveResult presolve(const Model& model) {
       ++out.removed_rows;
       continue;
     }
-    out.reduced.add_row(row.name, row.type, row.rhs - fixed_activity, std::move(entries));
+    const int r =
+        out.reduced.add_row(row.name, row.type, row.rhs - fixed_activity, std::move(entries));
+    out.reduced.set_row_kind(r, row.kind);
   }
   return out;
 }

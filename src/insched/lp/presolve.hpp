@@ -11,15 +11,31 @@
 
 namespace insched::lp {
 
+/// One eliminated-by-substitution column: the original column `column` was
+/// rewritten everywhere as `scale * source + offset` where `source` is
+/// another *original* column index (kept or itself reduced). Produced by the
+/// probing presolve for binary equivalences (y == x: scale 1, offset 0) and
+/// complements (y == 1 - x: scale -1, offset 1).
+struct AggregatedColumn {
+  int column = -1;
+  int source = -1;
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
 struct PresolveResult {
   Model reduced;                       ///< the smaller model (valid if !infeasible)
   bool infeasible = false;
   std::vector<int> column_map;         ///< original column -> reduced column, -1 if eliminated
   std::vector<double> fixed_values;    ///< value for every eliminated column
+  std::vector<AggregatedColumn> aggregated;  ///< substituted (not fixed) columns
   int removed_columns = 0;
   int removed_rows = 0;
 
-  /// Expands a solution of the reduced model back to the original space.
+  /// Expands a solution of the reduced model back to the original space:
+  /// mapped columns copy through, fixed columns take their stored value, and
+  /// aggregated columns are re-derived from their source column (sources are
+  /// resolved transitively, so chained aggregations round-trip too).
   [[nodiscard]] std::vector<double> restore(const std::vector<double>& reduced_x) const;
 };
 

@@ -13,9 +13,11 @@
 #include <utility>
 
 #include "insched/lp/presolve.hpp"
+#include "insched/mip/cut_pool.hpp"
 #include "insched/mip/cuts.hpp"
 #include "insched/mip/heuristics.hpp"
 #include "insched/mip/node_pool.hpp"
+#include "insched/mip/probing.hpp"
 #include "insched/support/assert.hpp"
 #include "insched/support/log.hpp"
 #include "insched/support/parallel.hpp"
@@ -54,8 +56,25 @@ enum class Cause : int { kNone = 0, kNodeLimit = 1, kTimeLimit = 2 };
 
 class Search {
  public:
-  Search(const lp::Model& model, const MipOptions& opt) : base_(model), opt_(opt) {
+  Search(const lp::Model& model, const MipOptions& opt,
+         std::vector<Implication> implications = {})
+      : base_(model), opt_(opt), implications_(std::move(implications)) {
     maximize_ = model.sense() == lp::Sense::kMaximize;
+    // Objective-integrality detection: when every integer column has an
+    // integral objective coefficient and every continuous column has none,
+    // all attainable objective values live on the lattice constant + Z, so
+    // node bounds can be rounded to the next lattice point before pruning.
+    obj_integral_ = true;
+    for (int j = 0; j < model.num_columns() && obj_integral_; ++j) {
+      const lp::Column& c = model.column(j);
+      if (c.type == lp::VarType::kContinuous) {
+        obj_integral_ = c.objective == 0.0;
+      } else {
+        obj_integral_ = std::fabs(c.objective - std::round(c.objective)) <= 1e-9;
+      }
+    }
+    const double ic = internal(model.objective_constant());
+    obj_lattice_offset_ = ic - std::floor(ic);
   }
 
   MipResult run();
@@ -63,6 +82,14 @@ class Search {
  private:
   // Internally everything is a minimization: `internal(v)` flips sign for max.
   [[nodiscard]] double internal(double v) const noexcept { return maximize_ ? -v : v; }
+  /// Rounds an internal (minimization) lower bound up to the next attainable
+  /// objective lattice point when the objective is integral. Closes the
+  /// fractional plateau left by near-equal analysis costs: a node with bound
+  /// incumbent + 0.3 can never improve on the incumbent.
+  [[nodiscard]] double tighten(double bound) const noexcept {
+    if (!obj_integral_ || !std::isfinite(bound)) return bound;
+    return obj_lattice_offset_ + std::ceil(bound - obj_lattice_offset_ - 1e-6);
+  }
   [[nodiscard]] double elapsed_s() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
@@ -72,8 +99,20 @@ class Search {
     cause_.compare_exchange_strong(expected, static_cast<int>(c), std::memory_order_relaxed);
   }
 
-  [[nodiscard]] int pick_branch_var(const std::vector<double>& x,
-                                    const PseudoCostTable& pc) const;
+  [[nodiscard]] bool cuts_enabled() const {
+    return opt_.use_cover_cuts || opt_.use_clique_cuts || opt_.use_gomory_cuts ||
+           opt_.use_mir_cuts;
+  }
+  bool apply_cuts(const std::vector<Cut>& cuts, lp::SimplexResult* root);
+  bool separate_root(lp::SimplexResult* root);
+  void separate_in_tree(const SearchNode& node, const std::vector<double>& x);
+  [[nodiscard]] NodePtr try_restart();
+  void rebind_workspaces();
+
+  [[nodiscard]] int pick_branch_var(const SearchNode& node, const std::vector<double>& x,
+                                    double node_bound, const PseudoCostTable& pc_read,
+                                    PseudoCostTable& pc_write, const lp::Basis* basis,
+                                    const lp::Factorization* hint, lp::WarmSimplex* sb_ws);
   void offer_point(const std::vector<double>& x, long node_id);
   void try_integral_incumbent(const std::vector<double>& xrel, long node_id);
   [[nodiscard]] std::optional<std::vector<double>> warm_round_and_fix(
@@ -91,7 +130,8 @@ class Search {
   void process_solved(const NodePtr& node, lp::SimplexResult&& rel,
                       const PseudoCostTable& pc_read, PseudoCostTable& pc_write,
                       const std::function<long()>& alloc_id,
-                      const std::function<void(NodePtr)>& push, lp::WarmSimplex* heur_ws);
+                      const std::function<void(NodePtr)>& push, lp::WarmSimplex* heur_ws,
+                      lp::WarmSimplex* sb_ws);
 
   void run_async(int threads, NodePtr root_node);
   void async_worker(int tid);
@@ -101,6 +141,8 @@ class Search {
   lp::Model base_;
   MipOptions opt_;
   bool maximize_ = false;
+  bool obj_integral_ = false;
+  double obj_lattice_offset_ = 0.0;
   int n_ = 0;
   Clock::time_point start_;
 
@@ -111,9 +153,21 @@ class Search {
 
   Incumbent incumbent_;
   std::unique_ptr<lp::WarmSimplex> heur_ws_;      // root + deterministic heuristics
+  std::unique_ptr<lp::WarmSimplex> sb_ws_;        // deterministic strong branching
   std::unique_ptr<NodePool> pool_;                // async mode only
   std::unique_ptr<FactorCache> cache_;            // async mode only
   std::unique_ptr<SharedPseudoCosts> shared_pc_;  // async mode only
+
+  // Cutting-plane engine: concurrent pool fed by the root rounds and the
+  // in-tree separators, conflict graph for the clique cuts, last root point
+  // for restart-time selection. `restarts_done_` only changes between tree
+  // runs (single-threaded), so a plain int is race-free.
+  std::unique_ptr<CutPool> cut_pool_;
+  ConflictGraph conflicts_;
+  std::vector<Implication> implications_;
+  std::vector<double> root_x_;
+  std::atomic<bool> restart_requested_{false};
+  int restarts_done_ = 0;
 
   std::atomic<long> nodes_{0};
   std::atomic<long> lp_iterations_{0};
@@ -123,6 +177,7 @@ class Search {
   std::atomic<long> factor_hits_{0}, factor_misses_{0};
   std::atomic<long> heur_warm_{0}, heur_warm_failed_{0};
   std::atomic<long> steals_{0};
+  std::atomic<long> sb_lps_{0};
   // FTRAN/BTRAN/eta observability summed over every LP solve in the search.
   std::atomic<long> lp_ftran_{0}, lp_btran_{0}, lp_refactor_{0}, lp_eta_{0};
   std::atomic<long> lp_rhs_nnz_{0}, lp_rhs_dim_{0};
@@ -142,37 +197,143 @@ class Search {
   MipResult result_;
 };
 
-int Search::pick_branch_var(const std::vector<double>& x, const PseudoCostTable& pc) const {
-  int pick = -1;
-  double best = -1.0;
+int Search::pick_branch_var(const SearchNode& node, const std::vector<double>& x,
+                            double node_bound, const PseudoCostTable& pc_read,
+                            PseudoCostTable& pc_write, const lp::Basis* basis,
+                            const lp::Factorization* hint, lp::WarmSimplex* sb_ws) {
+  struct Cand {
+    int j;
+    double v;
+    double score;
+  };
+  const bool pc_scores = opt_.branching != Branching::kMostFractional;
+  std::vector<Cand> cands;
   for (int j = 0; j < n_; ++j) {
     const lp::Column& c = base_.column(j);
     if (c.type == lp::VarType::kContinuous) continue;
     const double v = x[static_cast<std::size_t>(j)];
-    const double frac = std::fabs(v - std::round(v));
-    if (frac <= opt_.int_tol) continue;
-    double score = 0.0;
+    const double dist = std::fabs(v - std::round(v));
+    if (dist <= opt_.int_tol) continue;
+    double score;
     const auto js = static_cast<std::size_t>(j);
-    if (opt_.branching == Branching::kPseudoCost && pc.up_n[js] + pc.down_n[js] > 0) {
-      const double up = pc.up_n[js] > 0 ? pc.up_sum[js] / static_cast<double>(pc.up_n[js]) : 1.0;
-      const double down =
-          pc.down_n[js] > 0 ? pc.down_sum[js] / static_cast<double>(pc.down_n[js]) : 1.0;
+    if (pc_scores && pc_read.up_n[js] + pc_read.down_n[js] > 0) {
+      const double up = pc_read.up_n[js] > 0
+                            ? pc_read.up_sum[js] / static_cast<double>(pc_read.up_n[js])
+                            : 1.0;
+      const double down = pc_read.down_n[js] > 0
+                              ? pc_read.down_sum[js] / static_cast<double>(pc_read.down_n[js])
+                              : 1.0;
       const double f = v - std::floor(v);
       // Product rule: balanced degradation on both children scores high.
       score = std::max(up * (1.0 - f), 1e-6) * std::max(down * f, 1e-6);
     } else {
       // Most-fractional: distance from the nearest integer.
-      score = std::min(v - std::floor(v), std::ceil(v) - v);
+      score = dist;
     }
-    if (score > best) {
-      best = score;
-      pick = j;
+    cands.push_back(Cand{j, v, score});
+  }
+  if (cands.empty()) return -1;
+
+  // Reliability branching: while a candidate's pseudo-cost rests on fewer
+  // than `reliability` observations per side, replace its estimated score by
+  // two bounded strong-branching dual probes from this node's own optimal
+  // basis. Optimal probes feed the pseudo-cost table, so probing pays for
+  // itself and dies out as the table matures.
+  if (opt_.branching == Branching::kReliability && sb_ws && basis && !basis->empty() &&
+      node.depth <= opt_.strong_branch_depth && opt_.strong_branch_candidates > 0) {
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      return a.score != b.score ? a.score > b.score : a.j < b.j;
+    });
+    // In deterministic mode both tables are the same object; adding the
+    // write-side counts again would double-count observations.
+    const bool same_table = &pc_read == &pc_write;
+    const long need = std::max(1, opt_.reliability);
+    int probed = 0;
+    for (Cand& c : cands) {
+      if (probed >= opt_.strong_branch_candidates) break;
+      const auto js = static_cast<std::size_t>(c.j);
+      long up_n = pc_read.up_n[js];
+      long down_n = pc_read.down_n[js];
+      if (!same_table) {
+        up_n += pc_write.up_n[js];
+        down_n += pc_write.down_n[js];
+      }
+      if (std::min(up_n, down_n) >= need) continue;
+      ++probed;
+
+      // Effective bounds of c.j at this node (later overrides win).
+      double lo = base_.column(c.j).lower;
+      double hi = base_.column(c.j).upper;
+      for (const lp::BoundOverride& o : node.bounds) {
+        if (o.column == c.j) {
+          lo = o.lower;
+          hi = o.upper;
+        }
+      }
+      const double floor_v = std::floor(c.v);
+      const double f = c.v - floor_v;
+      const double up_avg =
+          pc_read.up_n[js] > 0 ? pc_read.up_sum[js] / static_cast<double>(pc_read.up_n[js])
+                               : 1.0;
+      const double down_avg = pc_read.down_n[js] > 0
+                                  ? pc_read.down_sum[js] /
+                                        static_cast<double>(pc_read.down_n[js])
+                                  : 1.0;
+      // A child proven infeasible closes a whole side — score it as a very
+      // large degradation without polluting the pseudo-cost averages.
+      const double cutoff = std::max(1.0, std::fabs(node_bound)) * 1e3;
+      const auto probe = [&](double clo, double chi, bool up_dir, double dist,
+                             double estimate) -> double {
+        std::vector<lp::BoundOverride> ov = node.bounds;
+        ov.push_back({c.j, clo, chi});
+        sb_lps_.fetch_add(1, std::memory_order_relaxed);
+        const lp::SimplexResult res = sb_ws->solve_dual(ov, *basis, hint);
+        add_factor_stats(res.factor_stats);
+        lp_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
+        if (res.status == lp::SolveStatus::kOptimal) {
+          const double deg = std::max(0.0, internal(res.objective) - node_bound);
+          pc_write.record(c.j, up_dir, deg, std::max(dist, 1e-3));
+          return deg;
+        }
+        if (res.status == lp::SolveStatus::kInfeasible) return cutoff;
+        // Iteration limit or numerical trouble: no objective to trust, keep
+        // the pseudo-cost estimate and leave the table untouched.
+        return estimate;
+      };
+      const double down_deg = floor_v >= lo - 1e-9
+                                  ? probe(lo, floor_v, /*up_dir=*/false, f, down_avg * f)
+                                  : cutoff;
+      const double up_deg = floor_v + 1.0 <= hi + 1e-9
+                                ? probe(floor_v + 1.0, hi, /*up_dir=*/true, 1.0 - f,
+                                        up_avg * (1.0 - f))
+                                : cutoff;
+      c.score = std::max(up_deg, 1e-6) * std::max(down_deg, 1e-6);
+    }
+  }
+
+  int pick = -1;
+  double best = -1.0;
+  for (const Cand& c : cands) {
+    if (c.score > best) {
+      best = c.score;
+      pick = c.j;
     }
   }
   return pick;
 }
 
 void Search::offer_point(const std::vector<double>& x, long node_id) {
+  // Polish before offering: dives routinely strand one affordable binary at 0
+  // behind an already-rounded window, leaving the incumbent exactly one unit
+  // below the optimum — on near-symmetric budget plateaus that gap is never
+  // closed by branching. The greedy fill flips such binaries back on with
+  // pure row-activity arithmetic, and its result dominates `x` whenever it
+  // flips anything, so only the better of the two points is offered.
+  std::vector<double> polished = x;
+  if (greedy_fill(base_, &polished) > 0 && base_.is_feasible(polished, 1e-6)) {
+    incumbent_.offer(internal(base_.objective_value(polished)), polished, node_id);
+    return;
+  }
   incumbent_.offer(internal(base_.objective_value(x)), x, node_id);
 }
 
@@ -353,11 +514,40 @@ lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node
   return cold;
 }
 
+// In-tree separation: shallow non-root nodes run the bound-independent
+// separators (covers and cliques come from rows + global bounds, so cuts
+// found anywhere in the tree are valid everywhere; GMI stays root-only) into
+// the shared pool. Once enough fresh cuts accumulate early in the search, a
+// cut-and-branch restart is requested: node workspaces are bound to a fixed
+// row set, so restarting the tree on the extended model is the only way
+// these cuts can reach the node LPs.
+void Search::separate_in_tree(const SearchNode& node, const std::vector<double>& x) {
+  if (!opt_.in_tree_cuts || !cut_pool_) return;
+  if (!(opt_.use_cover_cuts || opt_.use_clique_cuts || opt_.use_mir_cuts)) return;
+  if (node.depth == 0 || node.depth > opt_.cut_node_depth) return;
+  if (restarts_done_ >= opt_.max_tree_restarts) return;
+  if (nodes_.load(std::memory_order_relaxed) > opt_.restart_node_budget) return;
+  int fresh = 0;
+  if (opt_.use_cover_cuts)
+    fresh += cut_pool_->add_all(
+        generate_cover_cuts(base_, x, opt_.cut_min_violation, opt_.lift_cover_cuts));
+  if (opt_.use_clique_cuts)
+    fresh += cut_pool_->add_all(
+        generate_clique_cuts(base_, x, conflicts_, opt_.cut_min_violation));
+  if (opt_.use_mir_cuts)
+    fresh += cut_pool_->add_all(generate_mir_cuts(base_, x, opt_.cut_min_violation));
+  if (fresh > 0 && cut_pool_->size() >= opt_.min_restart_cuts &&
+      !restart_requested_.load(std::memory_order_relaxed)) {
+    restart_requested_.store(true, std::memory_order_relaxed);
+    if (pool_) pool_->stop();  // async: drain the workers; run_async restarts
+  }
+}
+
 void Search::process_solved(const NodePtr& node, lp::SimplexResult&& rel,
                             const PseudoCostTable& pc_read, PseudoCostTable& pc_write,
                             const std::function<long()>& alloc_id,
                             const std::function<void(NodePtr)>& push,
-                            lp::WarmSimplex* heur_ws) {
+                            lp::WarmSimplex* heur_ws, lp::WarmSimplex* sb_ws) {
   if (!rel.optimal()) return;  // infeasible or numerical trouble: drop the node
   const double bound = internal(rel.objective);
 
@@ -370,19 +560,23 @@ void Search::process_solved(const NodePtr& node, lp::SimplexResult&& rel,
                     std::max(node->branch_frac, 1e-3));
   }
 
-  if (incumbent_.has() && bound >= incumbent_.bound() - opt_.gap_abs) return;
+  if (incumbent_.has() && tighten(bound) >= incumbent_.bound() - opt_.gap_abs) return;
 
-  const int branch_var = pick_branch_var(rel.x, pc_read);
+  separate_in_tree(*node, rel.x);
+
+  // Copy-on-branch: both children share one immutable snapshot of the
+  // parent's optimal basis (and, in deterministic mode, its factorization).
+  // Built before branching so the strong-branch probes can start from it.
+  std::shared_ptr<const lp::Basis> basis;
+  if (!rel.basis.empty()) basis = std::make_shared<lp::Basis>(std::move(rel.basis));
+  std::shared_ptr<const lp::Factorization> pinned = pin_factors_ ? rel.factor : nullptr;
+
+  const int branch_var = pick_branch_var(*node, rel.x, bound, pc_read, pc_write,
+                                         basis.get(), rel.factor.get(), sb_ws);
   if (branch_var < 0) {
     try_integral_incumbent(rel.x, node->id);
     return;
   }
-
-  // Copy-on-branch: both children share one immutable snapshot of the
-  // parent's optimal basis (and, in deterministic mode, its factorization).
-  std::shared_ptr<const lp::Basis> basis;
-  if (!rel.basis.empty()) basis = std::make_shared<lp::Basis>(std::move(rel.basis));
-  std::shared_ptr<const lp::Factorization> pinned = pin_factors_ ? rel.factor : nullptr;
 
   // Occasional node heuristic on shallow nodes, warm-started from this
   // node's own basis and factorization.
@@ -428,6 +622,7 @@ void Search::async_worker(int tid) {
   // workspace allocations would dominate their cost.
   std::optional<lp::WarmSimplex> ws;
   std::optional<lp::WarmSimplex> heur_ws;
+  std::optional<lp::WarmSimplex> sb_ws;
   auto ensure_workspaces = [&] {
     if (ws) return;
     lp::SimplexOptions lpopt = opt_.lp;
@@ -438,6 +633,13 @@ void Search::async_worker(int tid) {
     heur_lpopt.collect_basis = false;
     heur_lpopt.want_duals = false;
     heur_ws.emplace(base_, heur_lpopt);
+    if (opt_.branching == Branching::kReliability) {
+      lp::SimplexOptions sb_lpopt = opt_.lp;
+      sb_lpopt.collect_basis = false;
+      sb_lpopt.want_duals = false;
+      sb_lpopt.max_iterations = std::max(1, opt_.strong_branch_iterations);
+      sb_ws.emplace(base_, sb_lpopt);
+    }
   };
   FactorCache& cache = *cache_;
   PseudoCostTable pc_read = shared_pc_->snapshot();
@@ -458,7 +660,8 @@ void Search::async_worker(int tid) {
       pool_->stop();
       break;
     }
-    if (incumbent_.has() && node->parent_bound >= incumbent_.bound() - opt_.gap_abs) {
+    if (incumbent_.has() &&
+        tighten(node->parent_bound) >= incumbent_.bound() - opt_.gap_abs) {
       pool_->task_done(tid);
       continue;
     }
@@ -478,7 +681,8 @@ void Search::async_worker(int tid) {
     }
     if (rel.optimal() && rel.factor && !pin_factors_) cache.put(node->id, rel.factor);
 
-    process_solved(node, std::move(rel), pc_read, pc_delta, alloc_id, push, &*heur_ws);
+    process_solved(node, std::move(rel), pc_read, pc_delta, alloc_id, push, &*heur_ws,
+                   sb_ws ? &*sb_ws : nullptr);
 
     if (++since_merge >= merge_interval) {
       shared_pc_->merge(&pc_delta, &pc_read);
@@ -490,15 +694,36 @@ void Search::async_worker(int tid) {
 }
 
 void Search::run_async(int threads, NodePtr root_node) {
-  pool_ = std::make_unique<NodePool>(threads);
-  cache_ = std::make_unique<FactorCache>(
-      static_cast<std::size_t>(std::max(1, opt_.factor_cache_size)));
   shared_pc_ = std::make_unique<SharedPseudoCosts>(n_);
-  pool_->push(std::move(root_node), 0);
+  long total_steals = 0;
+  for (;;) {
+    // A cut-and-branch restart discards the previous tree wholesale, so the
+    // pool and the factorization cache (whose factors are bound to the
+    // pre-restart row set) are rebuilt each round; pseudo-costs and the
+    // incumbent carry over.
+    pool_ = std::make_unique<NodePool>(threads);
+    cache_ = std::make_unique<FactorCache>(
+        static_cast<std::size_t>(std::max(1, opt_.factor_cache_size)));
+    pool_->push(std::move(root_node), 0);
 
-  insched::parallel_run(threads, [this](int tid) { async_worker(tid); });
+    insched::parallel_run(threads, [this](int tid) { async_worker(tid); });
 
-  steals_.store(pool_->steals(), std::memory_order_relaxed);
+    total_steals += pool_->steals();
+    const bool limit =
+        cause_.load(std::memory_order_relaxed) != static_cast<int>(Cause::kNone);
+    if (!limit && restart_requested_.load(std::memory_order_relaxed)) {
+      restart_requested_.store(false, std::memory_order_relaxed);
+      if (NodePtr fresh = try_restart()) {
+        root_node = std::move(fresh);
+        continue;
+      }
+      // The extended root could not be re-solved; the discarded open nodes
+      // mean nothing was proved, so report an honest truncation.
+      set_cause(Cause::kNodeLimit);
+    }
+    break;
+  }
+  steals_.store(total_steals, std::memory_order_relaxed);
   result_.counters.pc_merges = shared_pc_->merges();
   trunc_open_bound_ = pool_->best_open_bound();
   finalize(/*proved=*/cause_.load(std::memory_order_relaxed) ==
@@ -534,7 +759,8 @@ void Search::run_deterministic(int threads, NodePtr root_node) {
         break;
       NodePtr node = *open.begin();
       open.erase(open.begin());
-      if (incumbent_.has() && node->parent_bound >= incumbent_.bound() - opt_.gap_abs)
+      if (incumbent_.has() &&
+          tighten(node->parent_bound) >= incumbent_.bound() - opt_.gap_abs)
         continue;
       wave.push_back(std::move(node));
     }
@@ -566,11 +792,28 @@ void Search::run_deterministic(int threads, NodePtr root_node) {
       }
     });
 
-    // Sequential phase: incumbent updates, pruning, pseudo-costs, and
-    // branching applied in selection order.
+    // Sequential phase: incumbent updates, pruning, pseudo-costs, cut
+    // separation, and branching applied in selection order — every stateful
+    // decision, cuts included, happens here, so the pool contents and the
+    // restart point are bit-identical for any thread count.
     for (std::size_t i = 0; i < wave.size(); ++i) {
       nodes_.fetch_add(1, std::memory_order_relaxed);
-      process_solved(wave[i], std::move(results[i]), pc, pc, alloc_id, push, heur_ws_.get());
+      process_solved(wave[i], std::move(results[i]), pc, pc, alloc_id, push, heur_ws_.get(),
+                     sb_ws_.get());
+    }
+
+    if (restart_requested_.load(std::memory_order_relaxed) &&
+        cause_.load(std::memory_order_relaxed) == static_cast<int>(Cause::kNone)) {
+      restart_requested_.store(false, std::memory_order_relaxed);
+      if (NodePtr fresh = try_restart()) {
+        open.clear();
+        // Node workspaces are bound to the pre-restart row set.
+        for (auto& w : ws) w.reset();
+        open.insert(std::move(fresh));
+        continue;
+      }
+      set_cause(Cause::kNodeLimit);
+      break;
     }
   }
 
@@ -603,6 +846,15 @@ void Search::finalize(bool proved) {
     result_.counters.factor_cache_peak_bytes = cache_->peak_bytes();
     result_.counters.factor_cache_peak_dense_bytes = cache_->peak_dense_bytes();
   }
+  if (cut_pool_) {
+    const CutPoolCounters cc = cut_pool_->counters();
+    result_.counters.cuts_separated = cc.separated;
+    result_.counters.cuts_applied = cc.applied;
+    result_.counters.cuts_aged = cc.aged_out;
+    result_.counters.cuts_duplicate = cc.duplicates;
+  }
+  result_.counters.tree_restarts = restarts_done_;
+  result_.counters.strong_branch_lps = sb_lps_.load(std::memory_order_relaxed);
 
   result_.has_solution = have_inc;
   if (have_inc) {
@@ -628,6 +880,102 @@ void Search::finalize(bool proved) {
     result_.best_bound = maximize_ ? -ob : ob;
   }
   result_.solve_seconds = elapsed_s();
+}
+
+// Appends `cuts` to a trial copy of the base model and re-solves the root
+// LP. Commits the rows and the new root result only when the trial solves to
+// optimality — the cuts are valid inequalities, so a failure is numerical
+// and the base model is left untouched.
+bool Search::apply_cuts(const std::vector<Cut>& cuts, lp::SimplexResult* root) {
+  if (cuts.empty()) return false;
+  lp::Model trial = base_;
+  for (const Cut& cut : cuts)
+    trial.add_row(cut_family_name(cut.family), cut.type, cut.rhs, cut.entries);
+  lp::SimplexOptions root_lp = opt_.lp;
+  root_lp.collect_basis = true;
+  lp::SimplexResult res = lp::solve_lp(trial, root_lp);
+  lp_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
+  add_factor_stats(res.factor_stats);
+  if (!res.optimal()) return false;
+  base_ = std::move(trial);
+  result_.cuts_added += static_cast<int>(cuts.size());
+  *root = std::move(res);
+  root_x_ = root->x;
+  return true;
+}
+
+// One root cut round: every enabled separator runs at the current root
+// point, offers into the pool, and a violation-ranked parallelism-filtered
+// batch is committed. Returns false when the round went dry.
+bool Search::separate_root(lp::SimplexResult* root) {
+  if (opt_.use_cover_cuts)
+    cut_pool_->add_all(
+        generate_cover_cuts(base_, root->x, opt_.cut_min_violation, opt_.lift_cover_cuts));
+  if (opt_.use_clique_cuts)
+    cut_pool_->add_all(
+        generate_clique_cuts(base_, root->x, conflicts_, opt_.cut_min_violation));
+  if (opt_.use_mir_cuts)
+    cut_pool_->add_all(generate_mir_cuts(base_, root->x, opt_.cut_min_violation));
+  if (opt_.use_gomory_cuts && !root->basis.empty()) {
+    long btrans = 0;
+    cut_pool_->add_all(generate_gomory_cuts(
+        base_, root->x, root->basis, root->factor.get(),
+        std::max(0, opt_.max_gomory_cuts_per_round), opt_.cut_min_violation, &btrans));
+    // The separator's tableau BTRANs happen outside any simplex solve.
+    lp_btran_.fetch_add(btrans, std::memory_order_relaxed);
+  }
+  const std::vector<Cut> selected =
+      cut_pool_->select(root->x, std::max(1, opt_.max_root_cuts_per_round),
+                        opt_.cut_min_violation, opt_.cut_max_parallel);
+  if (selected.empty()) return false;
+  return apply_cuts(selected, root);
+}
+
+// Workspaces owned by the Search object are bound to the base model's row
+// set; rebuilt at startup and after every cut-and-branch restart.
+void Search::rebind_workspaces() {
+  lp::SimplexOptions heur_lpopt = opt_.lp;
+  heur_lpopt.collect_basis = true;
+  heur_lpopt.want_duals = false;
+  heur_ws_ = std::make_unique<lp::WarmSimplex>(base_, heur_lpopt);
+  if (opt_.deterministic && opt_.branching == Branching::kReliability) {
+    lp::SimplexOptions sb_lpopt = opt_.lp;
+    sb_lpopt.collect_basis = false;
+    sb_lpopt.want_duals = false;
+    sb_lpopt.max_iterations = std::max(1, opt_.strong_branch_iterations);
+    sb_ws_ = std::make_unique<lp::WarmSimplex>(base_, sb_lpopt);
+  }
+}
+
+// Cut-and-branch restart: drain the pool of everything it accumulated while
+// the previous tree ran (in-tree cuts are valid at the root even when the
+// root point no longer violates them — they were separated because they cut
+// off some node LP optimum), commit what survives the trial re-solve, and
+// hand back a fresh root node. Pseudo-costs and the incumbent carry over;
+// returns null only when even the unchanged base model fails to re-solve.
+NodePtr Search::try_restart() {
+  lp::SimplexResult root;
+  const int take = std::max(1, opt_.max_root_cuts_per_round) * 2;
+  const std::vector<Cut> pooled = cut_pool_->select(
+      root_x_, take, -std::numeric_limits<double>::infinity(), opt_.cut_max_parallel);
+  if (!apply_cuts(pooled, &root)) {
+    lp::SimplexOptions root_lp = opt_.lp;
+    root_lp.collect_basis = true;
+    root = lp::solve_lp(base_, root_lp);
+    lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+    add_factor_stats(root.factor_stats);
+    if (!root.optimal()) return nullptr;
+  }
+  ++restarts_done_;
+  rebind_workspaces();
+  pin_factors_ = opt_.deterministic && base_.num_rows() <= opt_.pin_factor_rows;
+
+  auto node = std::make_shared<SearchNode>();
+  node->parent_bound = internal(root.objective);
+  node->id = 0;
+  root_result_ = std::move(root);
+  root_pending_ = true;
+  return node;
 }
 
 MipResult Search::run() {
@@ -664,36 +1012,24 @@ MipResult Search::run() {
   }
   if (!root.optimal()) return bail(root.status, MipTermination::kNumericalFailure);
 
-  if (opt_.use_cover_cuts) {
+  // Cut pool + conflict graph live for the whole search (in-tree separation
+  // and restarts use them); the root rounds run all families — the trial
+  // re-solve inside apply_cuts() guarantees a failed cut LP never replaces
+  // the working root, so no recovery pass is needed here.
+  cut_pool_ = std::make_unique<CutPool>(std::max(1, opt_.cut_max_age));
+  if (opt_.use_clique_cuts) conflicts_.build(base_, implications_);
+  root_x_ = root.x;
+  if (cuts_enabled()) {
     for (int round = 0; round < opt_.max_cut_rounds; ++round) {
-      const std::vector<Cut> cuts = generate_cover_cuts(base_, root.x);
-      if (cuts.empty()) break;
-      for (const Cut& cut : cuts) {
-        base_.add_row("cover_cut", cut.type, cut.rhs, cut.entries);
-        ++result_.cuts_added;
-      }
-      root = lp::solve_lp(base_, root_lp);
-      lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
-      add_factor_stats(root.factor_stats);
-      if (!root.optimal()) break;
-    }
-    if (!root.optimal()) {
-      // Cuts are valid inequalities; a failure here is numerical. Rebuild
-      // without trusting the cut LP and continue from the plain root.
-      root = lp::solve_lp(base_, root_lp);
-      lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
-      add_factor_stats(root.factor_stats);
-      if (!root.optimal()) return bail(root.status, MipTermination::kNumericalFailure);
+      if (!separate_root(&root)) break;
     }
   }
 
-  // Deterministic mode keeps one sequential heuristic workspace; async
-  // workers build their own. collect_basis stays on so warm_dive can chain
-  // each step from the previous one's exported basis.
-  lp::SimplexOptions heur_lpopt = opt_.lp;
-  heur_lpopt.collect_basis = true;
-  heur_lpopt.want_duals = false;
-  heur_ws_ = std::make_unique<lp::WarmSimplex>(base_, heur_lpopt);
+  // Deterministic mode keeps one sequential heuristic workspace (and, under
+  // reliability branching, one strong-branching workspace); async workers
+  // build their own. collect_basis stays on so warm_dive can chain each step
+  // from the previous one's exported basis.
+  rebind_workspaces();
 
   // Root heuristic: an early incumbent makes pruning effective immediately.
   // Heuristic offers use pseudo node id -1 so they win objective ties against
@@ -704,9 +1040,17 @@ MipResult Search::run() {
       if (auto x = warm_round_and_fix(*heur_ws_, root_ctx, root.x, root.basis,
                                       root.factor.get())) {
         offer_point(*x, -1);
-      } else if (auto xd =
-                     warm_dive(*heur_ws_, root_ctx, root.x, root.basis, root.factor.get(), 64)) {
-        offer_point(*xd, -1);
+      } else {
+        // The root dive must be deep enough to walk a fully fractional
+        // point to integrality: on the staircase models a budget row can
+        // spread thinly across every step binary, so a fixed shallow depth
+        // would abandon the dive with hundreds of fractionals left and the
+        // search would run without any incumbent at all.
+        const int dive_depth = std::max(64, base_.num_columns() + 16);
+        if (auto xd = warm_dive(*heur_ws_, root_ctx, root.x, root.basis, root.factor.get(),
+                                dive_depth)) {
+          offer_point(*xd, -1);
+        }
       }
     } else {
       // Cold path only when the root solve could not export a basis.
@@ -752,26 +1096,86 @@ MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
     return out;
   }
 
+  // Reduction pipeline: generic LP presolve first, then probing presolve
+  // over the binaries of the reduced model. Each stage pushes its restore
+  // mapping; the incumbent is expanded back through them in reverse order.
+  MipOptions inner = options;
+  lp::Model work = model;
+  std::vector<lp::PresolveResult> stack;
+  std::vector<Implication> implications;
+  MipCounters probing_counters;
+
+  const auto infeasible_out = [] {
+    MipResult out;
+    out.status = lp::SolveStatus::kInfeasible;
+    out.termination = MipTermination::kProvedInfeasible;
+    return out;
+  };
+
   if (options.use_presolve) {
-    const lp::PresolveResult pre = lp::presolve(model);
-    if (pre.infeasible) {
-      MipResult out;
-      out.status = lp::SolveStatus::kInfeasible;
-      out.termination = MipTermination::kProvedInfeasible;
-      return out;
-    }
+    lp::PresolveResult pre = lp::presolve(work);
+    if (pre.infeasible) return infeasible_out();
     if (pre.removed_columns > 0 || pre.removed_rows > 0) {
-      MipOptions inner = options;
-      inner.use_presolve = false;  // already applied
-      Search solver(pre.reduced, inner);
-      MipResult out = solver.run();
-      if (out.has_solution) out.x = pre.restore(out.x);
-      return out;
+      work = pre.reduced;
+      stack.push_back(std::move(pre));
+    }
+    inner.use_presolve = false;  // already applied
+  }
+
+  if (options.use_probing && work.has_integers()) {
+    const ProbingResult probing = probe_binaries(work);
+    probing_counters.probing_probes = probing.probes;
+    probing_counters.probing_fixed = static_cast<long>(probing.fixed_columns.size());
+    probing_counters.probing_aggregated = static_cast<long>(probing.aggregations.size());
+    probing_counters.probing_implications = static_cast<long>(probing.implications.size());
+    if (probing.infeasible) return infeasible_out();
+    if (probing.has_reductions()) {
+      long tightened = 0;
+      lp::PresolveResult pre = apply_probing(work, probing, &tightened);
+      probing_counters.probing_tightened = tightened;
+      if (pre.infeasible) return infeasible_out();
+      // Conflict implications feed the clique separator; remap them onto the
+      // probed model's column space, dropping any whose endpoint was
+      // eliminated (its conflicts are already encoded in the reduction).
+      for (const Implication& imp : probing.implications) {
+        const int a = pre.column_map[static_cast<std::size_t>(imp.antecedent)];
+        const int c = pre.column_map[static_cast<std::size_t>(imp.consequent)];
+        if (a >= 0 && c >= 0 && a != c)
+          implications.push_back(Implication{a, imp.value, c, imp.forced});
+      }
+      work = pre.reduced;
+      stack.push_back(std::move(pre));
+    } else {
+      implications = probing.implications;
     }
   }
 
-  Search solver(model, options);
-  return solver.run();
+  const auto restore_through = [&stack](MipResult& out) {
+    if (!out.has_solution) return;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) out.x = it->restore(out.x);
+  };
+
+  if (!work.has_integers()) {
+    // Probing fixed every integer: what is left is a pure LP.
+    MipResult out = solve_mip(work, inner);
+    out.counters.probing_probes = probing_counters.probing_probes;
+    out.counters.probing_fixed = probing_counters.probing_fixed;
+    out.counters.probing_aggregated = probing_counters.probing_aggregated;
+    out.counters.probing_implications = probing_counters.probing_implications;
+    out.counters.probing_tightened = probing_counters.probing_tightened;
+    restore_through(out);
+    return out;
+  }
+
+  Search solver(work, inner, std::move(implications));
+  MipResult out = solver.run();
+  out.counters.probing_probes = probing_counters.probing_probes;
+  out.counters.probing_fixed = probing_counters.probing_fixed;
+  out.counters.probing_aggregated = probing_counters.probing_aggregated;
+  out.counters.probing_implications = probing_counters.probing_implications;
+  out.counters.probing_tightened = probing_counters.probing_tightened;
+  restore_through(out);
+  return out;
 }
 
 }  // namespace insched::mip

@@ -6,11 +6,15 @@
 // Features: best-bound parallel tree search over a shared node pool,
 // warm-started dual-simplex node re-solves (parent basis copy-on-branch with
 // an LRU of factorizations, cold primal fallback on numerical failure),
-// most-fractional or pseudo-cost branching with cross-thread pseudo-cost
-// sharing, fix-and-solve rounding heuristic, root-node knapsack cover cuts,
-// optional presolve, and a deterministic mode whose search tree — and hence
-// incumbent — is bit-identical across thread counts. Proves optimality (the
-// schedule experiments rely on exact optima, not approximations).
+// reliability branching (pseudo-costs initialized by bounded strong-branch
+// dual probes) with cross-thread pseudo-cost sharing, fix-and-solve rounding
+// heuristic, probing presolve, a root cutting loop (lifted knapsack covers,
+// GUB/clique cuts from the conflict graph, Gomory mixed-integer cuts off the
+// LU tableau) feeding a shared cut pool, in-tree separation with
+// cut-and-branch restarts, optional presolve, and a deterministic mode whose
+// search tree — and hence incumbent — is bit-identical across thread counts,
+// cuts included. Proves optimality (the schedule experiments rely on exact
+// optima, not approximations).
 
 #include <cstddef>
 #include <vector>
@@ -20,7 +24,14 @@
 
 namespace insched::mip {
 
-enum class Branching { kMostFractional, kPseudoCost };
+enum class Branching {
+  kMostFractional,
+  kPseudoCost,
+  /// Pseudo-costs whose per-column estimates are initialized by bounded
+  /// strong-branching dual-simplex probes until the column has been observed
+  /// `MipOptions::reliability` times on each side.
+  kReliability,
+};
 
 /// Why the search stopped (orthogonal to `MipResult::status`, which keeps
 /// the coarse LP-style status for backward compatibility).
@@ -41,11 +52,53 @@ struct MipOptions {
   double gap_rel = 1e-9;
   long max_nodes = 500000;
   double time_limit_s = 120.0;
-  Branching branching = Branching::kPseudoCost;
+  Branching branching = Branching::kReliability;
   bool use_presolve = true;
+  /// Probing presolve over the binary variables before the root LP: fixes
+  /// and aggregates columns, records conflict implications for the clique
+  /// separator, and tightens row coefficients (see mip/probing.hpp).
+  bool use_probing = true;
   bool use_rounding_heuristic = true;
   bool use_cover_cuts = true;
+  /// Exact sequential lifting of cover cuts (profit-space DP).
+  bool lift_cover_cuts = true;
+  /// GUB/clique cuts from interval windows + probing conflict edges.
+  bool use_clique_cuts = true;
+  /// Gomory mixed-integer cuts from the root LU tableau (root-only: the
+  /// slack substitution bakes in the current column bounds).
+  bool use_gomory_cuts = true;
+  /// Mixed-integer-rounding cuts on binary <= rows (budget rows): rounding
+  /// by a row coefficient yields the cardinality bound that closes the
+  /// near-equal-cost plateau. Globally valid, so also separated in-tree.
+  bool use_mir_cuts = true;
   int max_cut_rounds = 4;
+  /// Cuts appended to the model per root separation round (violation-ranked,
+  /// parallelism-filtered pool selection).
+  int max_root_cuts_per_round = 64;
+  int max_gomory_cuts_per_round = 16;
+  /// Minimum normalized violation for a pool cut to be selected.
+  double cut_min_violation = 1e-4;
+  /// Selection skips a cut whose cosine against an already selected one
+  /// reaches this value.
+  double cut_max_parallel = 0.95;
+  /// Selection rounds a pooled cut survives unselected before aging out.
+  int cut_max_age = 4;
+  /// In-tree separation: shallow nodes also run the (globally valid) cover
+  /// and clique separators into the shared pool; when enough fresh cuts
+  /// accumulate early, the tree is restarted with the cuts appended to the
+  /// model (cut-and-branch). Node workspaces are bound to a fixed row set,
+  /// so a restart is the only way tree cuts can enter the node LPs.
+  bool in_tree_cuts = true;
+  int cut_node_depth = 8;        ///< separate at nodes no deeper than this
+  int max_tree_restarts = 2;
+  long restart_node_budget = 2048;  ///< no restarts after this many nodes
+  int min_restart_cuts = 8;         ///< pooled fresh cuts needed to restart
+  /// Reliability branching: observations per side before a column's
+  /// pseudo-cost is trusted without probing.
+  int reliability = 4;
+  int strong_branch_candidates = 8;   ///< probed columns per node (2 LPs each)
+  int strong_branch_iterations = 100; ///< dual pivot cap per probe
+  int strong_branch_depth = 16;       ///< probe only at nodes this shallow
 
   /// Worker threads for the tree search; 0 = insched::thread_count().
   /// Requests beyond the machine's hardware concurrency are clamped (extra
@@ -95,6 +148,24 @@ struct MipCounters {
   long pc_merges = 0;        ///< pseudo-cost table synchronizations
   long heur_warm = 0;        ///< rounding-heuristic LPs solved warm
   long heur_warm_failed = 0; ///< warm heuristic re-solves that found nothing
+
+  // Cutting-plane engine (root rounds + in-tree separation via the pool).
+  long cuts_separated = 0;   ///< cuts offered to the pool by all separators
+  long cuts_applied = 0;     ///< cuts selected out of the pool
+  long cuts_aged = 0;        ///< pooled cuts dropped by aging
+  long cuts_duplicate = 0;   ///< offers rejected as already seen
+  long tree_restarts = 0;    ///< cut-and-branch restarts performed
+
+  // Probing presolve (filled by solve_mip, which runs probing before the
+  // search object exists).
+  long probing_probes = 0;      ///< 0/1 assignments propagated
+  long probing_fixed = 0;       ///< columns fixed by probing
+  long probing_aggregated = 0;  ///< columns substituted out (y == x, y == 1-x)
+  long probing_implications = 0;///< conflict implications recorded
+  long probing_tightened = 0;   ///< row coefficients tightened
+
+  // Reliability branching.
+  long strong_branch_lps = 0;   ///< bounded strong-branching dual solves
 
   // Basis-factorization observability, summed over every node LP solve
   // (warm, cold, and heuristic) from lp::SimplexResult::factor_stats.

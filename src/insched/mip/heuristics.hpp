@@ -25,4 +25,12 @@ namespace insched::mip {
     const lp::Model& model, const std::vector<double>& lp_point,
     const lp::SimplexOptions& lp_options, double int_tol, int max_depth = 64);
 
+/// Greedy 0->1 polish of an integer-feasible point: flips on, in descending
+/// objective-gain order, every binary whose activation keeps all row
+/// activities feasible (continuous columns keep their current values). Pure
+/// activity arithmetic, no LP solve. Fixes the classic dive failure mode on
+/// budget-constrained schedules — the dive strands one affordable analysis
+/// step behind an already-rounded window — and returns the number of flips.
+int greedy_fill(const lp::Model& model, std::vector<double>* x);
+
 }  // namespace insched::mip

@@ -1,0 +1,99 @@
+#pragma once
+
+// Probing presolve over the binary variables of a MIP. For every candidate
+// binary x_j both assignments are tried and propagated through the rows with
+// activity-bound (interval) arithmetic:
+//
+//  * probe x_j = v infeasible            -> fix x_j = 1 - v globally;
+//  * both probes force the same y = w    -> fix y = w globally;
+//  * the probes force y = w0 and y = w1  -> y is an affine function of x_j
+//    (y == x_j or y == 1 - x_j): aggregate y away;
+//  * probe x_j = 1 forces y = 0 (or vice versa) -> conflict edge, recorded
+//    as an implication and fed to the clique separator.
+//
+// `apply_probing` turns the findings into an `lp::PresolveResult`: fixed and
+// aggregated columns are substituted out of every row and the objective, and
+// the surviving <=/>= rows get their binary coefficients tightened against
+// the row activity bounds (a_j' = a_j - delta, rhs' = rhs - delta with
+// delta = rhs - maxact_without_j > 0 cuts fractional points but no integer
+// ones). `PresolveResult::restore` re-derives the eliminated columns.
+
+#include <vector>
+
+#include "insched/lp/model.hpp"
+#include "insched/lp/presolve.hpp"
+
+namespace insched::mip {
+
+struct ProbingOptions {
+  int max_probe_columns = 2048;  ///< probe at most this many binaries
+  int max_passes = 3;            ///< propagation sweeps per probe
+  double feas_tol = 1e-7;
+};
+
+/// One discovered implication between binary columns: `antecedent == value`
+/// forces `consequent == forced`.
+struct Implication {
+  int antecedent = -1;
+  bool value = false;
+  int consequent = -1;
+  bool forced = false;
+};
+
+struct ProbingResult {
+  bool infeasible = false;
+  /// Columns fixed by probing (indices into the probed model), with values.
+  std::vector<int> fixed_columns;
+  std::vector<double> fixed_values;
+  /// Binary columns that turned out affine in another binary.
+  std::vector<lp::AggregatedColumn> aggregations;
+  /// Conflict-flavoured implications that survive as neither fixing nor
+  /// aggregation (used to extend the clique separator's conflict graph).
+  std::vector<Implication> implications;
+  long probes = 0;  ///< 0/1 assignments propagated
+
+  [[nodiscard]] bool has_reductions() const noexcept {
+    return infeasible || !fixed_columns.empty() || !aggregations.empty();
+  }
+};
+
+[[nodiscard]] ProbingResult probe_binaries(const lp::Model& model,
+                                           const ProbingOptions& options = {});
+
+/// Applies fixings + aggregations to `model`, tightens coefficients, and
+/// returns the reduction (with `tightened` reporting how many coefficients
+/// moved). Only valid when `!result.infeasible`.
+[[nodiscard]] lp::PresolveResult apply_probing(const lp::Model& model,
+                                               const ProbingResult& result,
+                                               long* tightened = nullptr);
+
+/// Conflict graph over binary columns: an edge (i, j) means x_i + x_j <= 1.
+/// Built from small GUB-style rows (at-most-one windows, pairwise-exclusive
+/// knapsack pairs) plus probing implications; queried by the clique
+/// separator.
+class ConflictGraph {
+ public:
+  ConflictGraph() = default;
+  explicit ConflictGraph(int columns) { adj_.resize(static_cast<std::size_t>(columns)); }
+
+  void resize(int columns) { adj_.resize(static_cast<std::size_t>(columns)); }
+  void add_edge(int a, int b);
+  /// Adds edges implied by `model`'s rows (rows with more than
+  /// `max_row_entries` live entries are skipped to bound the quadratic pair
+  /// scan) and by (x=1 -> y=0)-shaped implications.
+  void build(const lp::Model& model, const std::vector<Implication>& implications,
+             int max_row_entries = 96);
+
+  [[nodiscard]] bool adjacent(int a, int b) const;
+  [[nodiscard]] const std::vector<int>& neighbors(int a) const {
+    return adj_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] int columns() const noexcept { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] long edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<std::vector<int>> adj_;  ///< sorted, deduplicated after build()
+  long edges_ = 0;
+};
+
+}  // namespace insched::mip

@@ -25,6 +25,17 @@ void add_counters(mip::MipCounters* into, const mip::MipCounters& c) {
   into->pc_merges += c.pc_merges;
   into->heur_warm += c.heur_warm;
   into->heur_warm_failed += c.heur_warm_failed;
+  into->cuts_separated += c.cuts_separated;
+  into->cuts_applied += c.cuts_applied;
+  into->cuts_aged += c.cuts_aged;
+  into->cuts_duplicate += c.cuts_duplicate;
+  into->tree_restarts += c.tree_restarts;
+  into->probing_probes += c.probing_probes;
+  into->probing_fixed += c.probing_fixed;
+  into->probing_aggregated += c.probing_aggregated;
+  into->probing_implications += c.probing_implications;
+  into->probing_tightened += c.probing_tightened;
+  into->strong_branch_lps += c.strong_branch_lps;
   into->lp_ftran += c.lp_ftran;
   into->lp_btran += c.lp_btran;
   into->lp_refactorizations += c.lp_refactorizations;

@@ -78,8 +78,10 @@ TimeExpandedModel build_time_expanded_milp(const ScheduleProblem& problem) {
       std::vector<lp::RowEntry> cap;
       cap.reserve(static_cast<std::size_t>(steps));
       for (long j = 0; j < steps; ++j) cap.push_back({xs[static_cast<std::size_t>(j)], 1.0});
-      m.add_row(format("card_%s", p.name.c_str()), lp::RowType::kLe,
-                static_cast<double>(problem.max_analysis_steps(i)), std::move(cap));
+      const int r = m.add_row(format("card_%s", p.name.c_str()), lp::RowType::kLe,
+                              static_cast<double>(problem.max_analysis_steps(i)),
+                              std::move(cap));
+      m.set_row_kind(r, lp::RowKind::kInterval);
     }
 
     // Interval rule: at most one analysis step inside any itv-wide window.
@@ -88,9 +90,11 @@ TimeExpandedModel build_time_expanded_milp(const ScheduleProblem& problem) {
         std::vector<lp::RowEntry> window;
         for (long k = j; k < std::min(steps, j + p.itv); ++k)
           window.push_back({xs[static_cast<std::size_t>(k)], 1.0});
-        if (window.size() > 1)
-          m.add_row(format("itv_%s_%ld", p.name.c_str(), j + 1), lp::RowType::kLe, 1.0,
-                    std::move(window));
+        if (window.size() > 1) {
+          const int r = m.add_row(format("itv_%s_%ld", p.name.c_str(), j + 1),
+                                  lp::RowType::kLe, 1.0, std::move(window));
+          m.set_row_kind(r, lp::RowKind::kInterval);
+        }
       }
     }
 
@@ -122,7 +126,9 @@ TimeExpandedModel build_time_expanded_milp(const ScheduleProblem& problem) {
           entries.push_back({built.vars.output[i][static_cast<std::size_t>(j)], ot});
       }
     }
-    m.add_row("time_budget", lp::RowType::kLe, problem.time_budget(), std::move(entries));
+    const int r =
+        m.add_row("time_budget", lp::RowType::kLe, problem.time_budget(), std::move(entries));
+    m.set_row_kind(r, lp::RowKind::kBudget);
   }
 
   // --- Memory recurrence (Eqs 5-8) -------------------------------------------
@@ -183,7 +189,9 @@ TimeExpandedModel build_time_expanded_milp(const ScheduleProblem& problem) {
       std::vector<lp::RowEntry> entries;
       for (std::size_t i = 0; i < n; ++i)
         entries.push_back({built.vars.mem_start[i][static_cast<std::size_t>(j)], 1.0});
-      m.add_row(format("mth_%ld", j + 1), lp::RowType::kLe, problem.mth, std::move(entries));
+      const int r =
+          m.add_row(format("mth_%ld", j + 1), lp::RowType::kLe, problem.mth, std::move(entries));
+      m.set_row_kind(r, lp::RowKind::kBudget);
     }
   }
 

@@ -1,0 +1,325 @@
+// Validity and concurrency tests for the cutting-plane layer: separators
+// (lifted covers, cliques, MIR, Gomory) must never cut an integer feasible
+// point, the cut pool must stay consistent under concurrent offers, probing
+// reductions must round-trip through PresolveResult::restore, and the
+// deterministic wave mode must stay bit-identical with the cut engine on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/lp/model.hpp"
+#include "insched/lp/simplex.hpp"
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/mip/cut_pool.hpp"
+#include "insched/mip/cuts.hpp"
+#include "insched/mip/probing.hpp"
+#include "insched/scheduler/timeexp_milp.hpp"
+#include "insched/support/random.hpp"
+
+namespace insched::mip {
+namespace {
+
+using insched::Rng;
+using lp::Model;
+using lp::RowEntry;
+using lp::RowType;
+using lp::Sense;
+using lp::VarType;
+
+double cut_lhs(const Cut& cut, const std::vector<double>& x) {
+  double lhs = 0.0;
+  for (const RowEntry& e : cut.entries) lhs += e.coeff * x[static_cast<std::size_t>(e.column)];
+  return lhs;
+}
+
+bool cut_satisfied(const Cut& cut, const std::vector<double>& x, double tol = 1e-7) {
+  const double lhs = cut_lhs(cut, x);
+  switch (cut.type) {
+    case RowType::kLe: return lhs <= cut.rhs + tol;
+    case RowType::kGe: return lhs >= cut.rhs - tol;
+    case RowType::kEq: return std::fabs(lhs - cut.rhs) <= tol;
+  }
+  return false;
+}
+
+// Runs `check` on every integer-feasible point of a pure-binary model.
+void for_each_feasible(const Model& m, const std::function<void(const std::vector<double>&)>& check) {
+  const int n = m.num_columns();
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::function<void(int)> rec = [&](int j) {
+    if (j == n) {
+      if (m.is_feasible(x, 1e-9)) check(x);
+      return;
+    }
+    for (int v = 0; v <= 1; ++v) {
+      x[static_cast<std::size_t>(j)] = v;
+      rec(j + 1);
+    }
+  };
+  rec(0);
+}
+
+// Random binary knapsack model: `rows` <= rows over `n` binaries with
+// positive coefficients, maximizing a positive objective.
+Model random_knapsack(Rng* rng, int n, int rows) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j)
+    m.add_column("x", 0, 1, rng->uniform(1.0, 10.0), VarType::kBinary);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<RowEntry> entries;
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = rng->uniform(1.0, 8.0);
+      entries.push_back({j, a});
+      total += a;
+    }
+    m.add_row("k", RowType::kLe, rng->uniform(0.3, 0.7) * total, std::move(entries));
+  }
+  return m;
+}
+
+// Every cut a separator emits must hold at every integer feasible point —
+// separators only see rows and global bounds, so validity is global.
+TEST(Cuts, SeparatorsNeverCutIntegerPointsOnRandomKnapsacks) {
+  Rng rng(20240807);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Model m = random_knapsack(&rng, 9, trial % 3 + 1);
+    lp::SimplexOptions lpopt;
+    lpopt.collect_basis = true;
+    const lp::SimplexResult rel = lp::solve_lp(m, lpopt);
+    ASSERT_TRUE(rel.optimal());
+
+    std::vector<Cut> cuts;
+    for (Cut& c : generate_cover_cuts(m, rel.x, 1e-5, /*lift=*/true))
+      cuts.push_back(std::move(c));
+    for (Cut& c : generate_mir_cuts(m, rel.x, 1e-5)) cuts.push_back(std::move(c));
+    ConflictGraph conflicts;
+    conflicts.build(m, {});
+    for (Cut& c : generate_clique_cuts(m, rel.x, conflicts, 1e-5))
+      cuts.push_back(std::move(c));
+    if (!rel.basis.empty()) {
+      for (Cut& c : generate_gomory_cuts(m, rel.x, rel.basis, rel.factor.get()))
+        cuts.push_back(std::move(c));
+    }
+
+    // Every emitted cut is violated at the fractional LP optimum (that is
+    // what makes it a cut)...
+    for (const Cut& cut : cuts) EXPECT_FALSE(cut_satisfied(cut, rel.x, 1e-9));
+    // ...and satisfied at every integer feasible point (what makes it valid).
+    for_each_feasible(m, [&](const std::vector<double>& x) {
+      for (const Cut& cut : cuts)
+        ASSERT_TRUE(cut_satisfied(cut, x))
+            << cut_family_name(cut.family) << " cut violated by an integer point";
+    });
+  }
+}
+
+// MIR rounding on a budget row with near-equal costs must produce the
+// cardinality bound that plain branching cannot infer.
+TEST(Cuts, MirClosesNearEqualCostBudgetRow) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::vector<RowEntry> budget;
+  for (int j = 0; j < 10; ++j) {
+    const int col = m.add_column("x", 0, 1, 1.0, VarType::kBinary);
+    budget.push_back({col, 17.193 + 1e-3 * j});
+  }
+  m.add_row("budget", RowType::kLe, 100.0, std::move(budget));
+  // Fractional point spreading the budget: 100 / ~17.2 = 5.8 per-unit total.
+  std::vector<double> x(10, 0.58);
+  const std::vector<Cut> cuts = generate_mir_cuts(m, x, 1e-4);
+  ASSERT_FALSE(cuts.empty());
+  const Cut& cut = cuts.front();
+  EXPECT_EQ(cut.family, CutFamily::kMir);
+  // floor(100 / 17.193..) = 5: at most five analysis steps fit the budget.
+  EXPECT_NEAR(cut.rhs, 5.0, 1e-9);
+  EXPECT_GT(cut.violation, 0.5);
+  for_each_feasible(m, [&](const std::vector<double>& xi) {
+    EXPECT_TRUE(cut_satisfied(cut, xi));
+  });
+}
+
+// Cuts separated at the root of the three case-study staircase MILPs must
+// be satisfied by the (independently proved) integer optimum.
+TEST(Cuts, CaseStudyOptimaSatisfyAllRootCuts) {
+  struct Case {
+    const char* name;
+    scheduler::ScheduleProblem problem;
+  };
+  const Case cases[] = {
+      {"water", casestudy::water_ions_problem(16384, 0.10)},
+      {"rhodo", casestudy::rhodopsin_problem(100.0)},
+      {"flash", casestudy::flash_problem({2.0, 1.0, 2.0})},
+  };
+  for (const Case& cs : cases) {
+    scheduler::ScheduleProblem p = cs.problem;
+    p.steps = 40;
+    p.mth = scheduler::kNoLimit;
+    for (auto& a : p.analyses) a.itv = std::max<long>(1, p.steps / 5);
+    const Model model = scheduler::build_time_expanded_milp(p).model;
+
+    MipOptions opt;
+    opt.threads = 1;
+    const MipResult res = solve_mip(model, opt);
+    ASSERT_TRUE(res.optimal()) << cs.name;
+
+    lp::SimplexOptions lpopt;
+    lpopt.collect_basis = true;
+    const lp::SimplexResult rel = lp::solve_lp(model, lpopt);
+    ASSERT_TRUE(rel.optimal()) << cs.name;
+
+    std::vector<Cut> cuts;
+    for (Cut& c : generate_cover_cuts(model, rel.x)) cuts.push_back(std::move(c));
+    for (Cut& c : generate_mir_cuts(model, rel.x)) cuts.push_back(std::move(c));
+    ConflictGraph conflicts;
+    conflicts.build(model, {});
+    for (Cut& c : generate_clique_cuts(model, rel.x, conflicts))
+      cuts.push_back(std::move(c));
+    if (!rel.basis.empty()) {
+      for (Cut& c : generate_gomory_cuts(model, rel.x, rel.basis, rel.factor.get()))
+        cuts.push_back(std::move(c));
+    }
+    for (const Cut& cut : cuts) {
+      EXPECT_TRUE(cut_satisfied(cut, res.x))
+          << cs.name << ": " << cut_family_name(cut.family)
+          << " cut violated by the integer optimum";
+    }
+  }
+}
+
+Cut make_cut(int col_a, int col_b, double rhs) {
+  Cut cut;
+  cut.type = RowType::kLe;
+  cut.family = CutFamily::kCover;
+  cut.rhs = rhs;
+  cut.entries = {{col_a, 1.0}, {col_b, 1.0}};
+  cut.violation = 0.5;
+  return cut;
+}
+
+TEST(CutPool, DeduplicatesAcrossSelect) {
+  CutPool pool(/*max_age=*/4);
+  EXPECT_TRUE(pool.add(make_cut(0, 1, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut(0, 1, 1.0)));  // identical: rejected
+  EXPECT_TRUE(pool.add(make_cut(0, 2, 1.0)));
+  EXPECT_EQ(pool.size(), 2);
+
+  // Select everything; the pool must remember applied cuts forever so a
+  // restart never appends a duplicate row.
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<Cut> picked = pool.select(x, 8, 1e-6, 1.0);
+  EXPECT_EQ(picked.size(), 2u);
+  EXPECT_EQ(pool.size(), 0);
+  EXPECT_FALSE(pool.add(make_cut(0, 1, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut(0, 2, 1.0)));
+  const CutPoolCounters c = pool.counters();
+  EXPECT_EQ(c.separated, 5);  // every offer, fresh or not
+  EXPECT_EQ(c.duplicates, 3);
+  EXPECT_EQ(c.applied, 2);
+}
+
+TEST(CutPool, UnselectedCutsAgeOut) {
+  CutPool pool(/*max_age=*/2);
+  ASSERT_TRUE(pool.add(make_cut(0, 1, 1.0)));
+  // x satisfies the cut: zero violation, never selected, ages each round.
+  const std::vector<double> x = {0.0, 0.0};
+  for (int round = 0; round < 3; ++round) EXPECT_TRUE(pool.select(x, 8).empty());
+  EXPECT_EQ(pool.size(), 0);
+  EXPECT_GE(pool.counters().aged_out, 1L);
+}
+
+TEST(CutPool, ConcurrentOffersStayConsistent) {
+  CutPool pool(/*max_age=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kCutsPerThread = 64;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kCutsPerThread; ++i) {
+        // Half the ids collide across threads, half are thread-unique.
+        const int a = (i % 2 == 0) ? i : t * kCutsPerThread + i;
+        (void)pool.add(make_cut(a, a + 1, 1.0));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const CutPoolCounters c = pool.counters();
+  EXPECT_EQ(c.separated, static_cast<long>(kThreads) * kCutsPerThread);
+  EXPECT_EQ(pool.size(), static_cast<int>(c.separated - c.duplicates));
+  EXPECT_GT(c.duplicates, 0L);
+}
+
+// Probing on a model with a forced variable and a binary equivalence must
+// reproduce both through PresolveResult::restore.
+TEST(Probing, ApplyAndRestoreRoundTrip) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_column("x", 0, 1, 3.0, VarType::kBinary);
+  const int y = m.add_column("y", 0, 1, 2.0, VarType::kBinary);
+  const int z = m.add_column("z", 0, 1, 1.0, VarType::kBinary);
+  // y == x (equality links them), z is forced to 0 by the budget row.
+  m.add_row("link", RowType::kEq, 0.0, {{x, 1.0}, {y, -1.0}});
+  m.add_row("force", RowType::kLe, 1.5, {{x, 1.0}, {z, 2.0}});
+
+  const ProbingResult probing = probe_binaries(m);
+  ASSERT_FALSE(probing.infeasible);
+  EXPECT_TRUE(probing.has_reductions());
+
+  long tightened = 0;
+  const lp::PresolveResult pre = apply_probing(m, probing, &tightened);
+  ASSERT_FALSE(pre.infeasible);
+  ASSERT_LT(pre.reduced.num_columns(), m.num_columns());
+
+  // Solve the reduced MIP and expand: the original-space point must be
+  // feasible for the original model and reproduce the eliminated columns.
+  MipOptions opt;
+  opt.threads = 1;
+  const MipResult res = solve_mip(pre.reduced, opt);
+  ASSERT_TRUE(res.optimal());
+  const std::vector<double> full = pre.restore(res.x);
+  ASSERT_EQ(full.size(), static_cast<std::size_t>(m.num_columns()));
+  EXPECT_TRUE(m.is_feasible(full, 1e-7));
+  EXPECT_NEAR(full[static_cast<std::size_t>(x)], full[static_cast<std::size_t>(y)], 1e-9);
+  EXPECT_NEAR(full[static_cast<std::size_t>(z)], 0.0, 1e-9);
+  // Optimum of the original model: x = y = 1, z = 0 -> 5.
+  EXPECT_NEAR(m.objective_value(full), 5.0, 1e-9);
+}
+
+// Deterministic wave mode must stay bit-identical across thread counts with
+// the full cut engine (root + in-tree separation and restarts) enabled.
+TEST(Cuts, DeterministicModeBitIdenticalWithCuts) {
+  scheduler::ScheduleProblem p = casestudy::flash_problem({2.0, 1.0, 2.0});
+  p.steps = 60;
+  p.mth = scheduler::kNoLimit;
+  for (auto& a : p.analyses) a.itv = std::max<long>(1, p.steps / 10);
+  const Model model = scheduler::build_time_expanded_milp(p).model;
+
+  const auto run = [&](int threads) {
+    MipOptions opt;
+    opt.threads = threads;
+    opt.deterministic = true;
+    return solve_mip(model, opt);
+  };
+  const MipResult one = run(1);
+  const MipResult four = run(4);
+  ASSERT_TRUE(one.optimal());
+  ASSERT_TRUE(four.optimal());
+  EXPECT_EQ(one.objective, four.objective);  // bitwise, not approximate
+  EXPECT_EQ(one.nodes, four.nodes);
+  ASSERT_EQ(one.x.size(), four.x.size());
+  for (std::size_t j = 0; j < one.x.size(); ++j) EXPECT_EQ(one.x[j], four.x[j]);
+  EXPECT_EQ(one.counters.cuts_applied, four.counters.cuts_applied);
+  EXPECT_EQ(one.counters.tree_restarts, four.counters.tree_restarts);
+}
+
+}  // namespace
+}  // namespace insched::mip

@@ -377,6 +377,19 @@ namespace {
 
 // Knapsack with irrational-ish weights: no pruning shortcuts, so node and
 // time limits actually truncate the search.
+// The cutting-plane engine closes small knapsacks at the root; tests that
+// specifically exercise the *tree* (truncation reporting, warm re-solves)
+// pin it off so a search actually happens.
+MipOptions tree_only(MipOptions opt = {}) {
+  opt.use_probing = false;
+  opt.use_cover_cuts = false;
+  opt.use_clique_cuts = false;
+  opt.use_gomory_cuts = false;
+  opt.use_mir_cuts = false;
+  opt.in_tree_cuts = false;
+  return opt;
+}
+
 Model hard_knapsack(int n, unsigned seed) {
   Model m;
   m.set_sense(Sense::kMaximize);
@@ -405,7 +418,7 @@ TEST(MipTermination, ProvedOptimalHasZeroGap) {
 
 TEST(MipTermination, NodeLimitNeverReportsOptimal) {
   const Model m = hard_knapsack(30, 11);
-  MipOptions opt;
+  MipOptions opt = tree_only();
   opt.max_nodes = 3;
   const MipResult res = solve_mip(m, opt);
   EXPECT_LE(res.nodes, 3);
@@ -462,9 +475,9 @@ TEST(MipTermination, PureLpPassthroughTermination) {
 TEST(MipTermination, WarmAndColdSearchesAgreeOnOptimum) {
   for (unsigned seed = 0; seed < 8; ++seed) {
     const Model m = hard_knapsack(16, 100 + seed);
-    MipOptions warm;
+    MipOptions warm = tree_only();
     warm.warm_start = true;
-    MipOptions cold;
+    MipOptions cold = tree_only();
     cold.warm_start = false;
     const MipResult a = solve_mip(m, warm);
     const MipResult b = solve_mip(m, cold);
@@ -475,6 +488,41 @@ TEST(MipTermination, WarmAndColdSearchesAgreeOnOptimum) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Reduction pipeline: probing fixes and aggregations are substituted out of
+// the model handed to the search, and PresolveResult::restore must expand
+// the reduced solution back to the full original space.
+
+TEST(Mip, ProbingReductionsRestoreInFullSpace) {
+  // y == 1 - x via the equality row (complement aggregation), z forced to 0
+  // by the budget row, w an ordinary free binary.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_column("x", 0, 1, 4.0, VarType::kBinary);
+  const int y = m.add_column("y", 0, 1, 1.0, VarType::kBinary);
+  const int z = m.add_column("z", 0, 1, 5.0, VarType::kBinary);
+  const int w = m.add_column("w", 0, 1, 2.0, VarType::kBinary);
+  m.add_row("complement", RowType::kEq, 1.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row("force_z", RowType::kLe, 1.0, {{z, 2.0}});
+  m.add_row("cap", RowType::kLe, 1.0, {{x, 1.0}, {w, 1.0}});
+
+  const ProbingResult probing = probe_binaries(m);
+  ASSERT_FALSE(probing.infeasible);
+  EXPECT_FALSE(probing.fixed_columns.empty());      // z = 0
+  EXPECT_FALSE(probing.aggregations.empty());       // y = 1 - x
+
+  // solve_mip runs the same reductions internally and must hand back a
+  // full-space solution: every eliminated column re-derived.
+  const MipResult res = solve_mip(m);
+  ASSERT_TRUE(res.optimal());
+  ASSERT_EQ(res.x.size(), static_cast<std::size_t>(m.num_columns()));
+  EXPECT_TRUE(m.is_feasible(res.x, 1e-7));
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(z)], 0.0, 1e-9);
+  EXPECT_NEAR(res.x[static_cast<std::size_t>(x)] + res.x[static_cast<std::size_t>(y)], 1.0,
+              1e-9);
+  // Optimum: x = 1 (4) beats y + w (3); cap stops x + w together.
+  EXPECT_NEAR(res.objective, 4.0, 1e-9);
+}
 
 }  // namespace
 }  // namespace insched::mip

@@ -44,6 +44,19 @@ std::vector<CaseStudy> case_study_models() {
   return cases;
 }
 
+// Pins the cutting-plane engine off for tests whose point is the *tree*
+// (node accounting, truncation): the cut engine closes these instances at
+// the root, leaving no search to observe.
+MipOptions tree_only(MipOptions opt = {}) {
+  opt.use_probing = false;
+  opt.use_cover_cuts = false;
+  opt.use_clique_cuts = false;
+  opt.use_gomory_cuts = false;
+  opt.use_mir_cuts = false;
+  opt.in_tree_cuts = false;
+  return opt;
+}
+
 Model knapsack(int n, unsigned seed) {
   Model m;
   m.set_sense(Sense::kMaximize);
@@ -143,13 +156,21 @@ TEST(MipParallel, AsyncSearchAgreesOnRandomInstances) {
 
 TEST(MipParallel, CountersAccountForEveryNodeSolve) {
   for (CaseStudy& cs : case_study_models()) {
-    MipOptions opt;
+    MipOptions opt = tree_only();
     opt.threads = 1;
+    // The rounding/dive/greedy-fill heuristics can close a root outright
+    // (nodes == 0), which would make the node-accounting identity below
+    // vacuous — force an actual tree.
+    opt.use_rounding_heuristic = false;
     const MipResult res = solve_mip(cs.model, opt);
     ASSERT_TRUE(res.optimal()) << cs.name;
-    // Every processed node is either the consumed root relaxation, a warm
-    // dual solve, or a cold primal solve.
-    EXPECT_EQ(res.counters.warm_solves + res.counters.cold_solves + 1, res.nodes) << cs.name;
+    // Every processed node is either a consumed root relaxation (one per
+    // tree, and cut-and-branch restarts start a fresh tree), a warm dual
+    // solve, or a cold primal solve.
+    EXPECT_EQ(res.counters.warm_solves + res.counters.cold_solves + 1 +
+                  res.counters.tree_restarts,
+              res.nodes)
+        << cs.name;
     EXPECT_GT(res.counters.warm_solves, 0) << cs.name << ": warm path never engaged";
     // Warm failures fall back to cold, so they can never exceed cold solves.
     EXPECT_LE(res.counters.warm_failures, res.counters.cold_solves) << cs.name;
@@ -178,7 +199,7 @@ TEST(MipParallel, ThreadsZeroUsesAutoDetection) {
 
 TEST(MipParallel, DeterministicTruncationStillNeverOptimal) {
   const Model m = knapsack(30, 4242);
-  MipOptions opt;
+  MipOptions opt = tree_only();
   opt.threads = 4;
   opt.deterministic = true;
   opt.oversubscribe = true;

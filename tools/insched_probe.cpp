@@ -6,6 +6,13 @@
 //   insched_probe water [molecules=4000] [write_bw=1e9]
 //   insched_probe rhodopsin [particles=32000] [write_bw=1e9]
 //   insched_probe sedov [grid=32] [write_bw=1e9]
+//
+// The `solver` subcommand instead probes the MIP engine itself: it solves
+// the three case-study staircase MILPs and prints the cut/probing/
+// strong-branch counters alongside the basis-factorization (FactorStats)
+// counters, with and without the cutting-plane engine.
+//
+//   insched_probe solver [steps=500] [cuts=0|1|both] [slots=20]
 
 #include <chrono>
 #include <cstdio>
@@ -16,6 +23,11 @@
 #include <vector>
 
 #include "insched/analysis/cost_probe.hpp"
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/mip/branch_and_bound.hpp"
+#include "insched/scheduler/timeexp_milp.hpp"
 #include "insched/analysis/density_histogram.hpp"
 #include "insched/analysis/error_norms.hpp"
 #include "insched/analysis/gyration.hpp"
@@ -150,14 +162,99 @@ int probe_sedov(std::size_t grid, double write_bw) {
   return 0;
 }
 
+// Solves one case-study staircase MILP and prints every MipCounters field:
+// tree shape, cut/probing/strong-branch activity, and the FactorStats-level
+// FTRAN/BTRAN/eta observability of the underlying LU kernel.
+void solve_and_report(const char* name, const scheduler::ScheduleProblem& base, long steps,
+                      bool cuts, long slots, bool own_mth, double wscale,
+                      long max_nodes) {
+  scheduler::ScheduleProblem p = base;
+  p.steps = steps;
+  if (!own_mth) p.mth = scheduler::kNoLimit;
+  for (auto& a : p.analyses) {
+    a.itv = std::max<long>(1, p.steps / slots);
+    a.weight *= wscale;
+  }
+  const lp::Model model = scheduler::build_time_expanded_milp(p).model;
+
+  mip::MipOptions opt;
+  opt.threads = 1;
+  if (max_nodes > 0) opt.max_nodes = max_nodes;
+  if (!cuts) {
+    opt.use_probing = false;
+    opt.use_cover_cuts = false;
+    opt.use_clique_cuts = false;
+    opt.use_gomory_cuts = false;
+    opt.use_mir_cuts = false;
+    opt.in_tree_cuts = false;
+    opt.branching = mip::Branching::kPseudoCost;
+  }
+  const mip::MipResult res = mip::solve_mip(model, opt);
+  const mip::MipCounters& c = res.counters;
+
+  std::printf("%-6s cuts=%d  %s  obj %.6f  %.1f ms\n", name, cuts ? 1 : 0,
+              mip::to_string(res.termination), res.objective, res.solve_seconds * 1e3);
+  std::printf("  tree      : nodes %ld  lp_iters %ld  rows %d  cols %d\n", res.nodes,
+              res.lp_iterations, model.num_rows(), model.num_columns());
+  std::printf("  cuts      : separated %ld  applied %ld (rows +%d)  aged %ld  dup %ld  "
+              "restarts %ld\n",
+              c.cuts_separated, c.cuts_applied, res.cuts_added, c.cuts_aged,
+              c.cuts_duplicate, c.tree_restarts);
+  std::printf("  probing   : probes %ld  fixed %ld  aggregated %ld  implications %ld  "
+              "tightened %ld\n",
+              c.probing_probes, c.probing_fixed, c.probing_aggregated,
+              c.probing_implications, c.probing_tightened);
+  std::printf("  branching : strong_branch_lps %ld  warm %ld  cold %ld  warm_fail %ld\n",
+              c.strong_branch_lps, c.warm_solves, c.cold_solves, c.warm_failures);
+  std::printf("  factor    : ftran %ld  btran %ld  refactor %ld  eta %ld  rhs_density "
+              "%.4f\n",
+              c.lp_ftran, c.lp_btran, c.lp_refactorizations, c.lp_eta_pivots,
+              c.lp_rhs_density());
+}
+
+int probe_solver(long steps, const std::string& cuts_arg, long slots,
+                 const std::string& only, bool own_mth, double wscale,
+                 long max_nodes) {
+  struct Case {
+    const char* name;
+    scheduler::ScheduleProblem problem;
+  };
+  const Case cases[] = {
+      {"water", casestudy::water_ions_problem(16384, 0.10)},
+      {"rhodo", casestudy::rhodopsin_problem(100.0)},
+      {"flash", casestudy::flash_problem({2.0, 1.0, 2.0})},
+  };
+  for (const Case& cs : cases) {
+    if (!only.empty() && only != cs.name) continue;
+    if (cuts_arg == "both" || cuts_arg == "0")
+      solve_and_report(cs.name, cs.problem, steps, false, slots, own_mth, wscale, max_nodes);
+    if (cuts_arg == "both" || cuts_arg == "1")
+      solve_and_report(cs.name, cs.problem, steps, true, slots, own_mth, wscale, max_nodes);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::printf("usage: %s <water|rhodopsin|sedov> [size] [write_bw]\n", argv[0]);
+    std::printf("       %s solver [steps=500] [cuts=0|1|both] [slots=20] [case] [mth|-]"
+                " [wscale=1] [max_nodes]\n",
+                argv[0]);
     return 2;
   }
   const std::string which = argv[1];
+  if (which == "solver") {
+    const long steps = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 500;
+    const std::string cuts = argc > 3 ? argv[3] : "both";
+    const long slots = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 20;
+    const std::string only = argc > 5 ? argv[5] : "";
+    const bool own_mth = argc > 6 && std::strcmp(argv[6], "mth") == 0;
+    const double wscale = argc > 7 ? std::strtod(argv[7], nullptr) : 1.0;
+    const long max_nodes = argc > 8 ? std::strtol(argv[8], nullptr, 10) : 0;
+    return probe_solver(steps, cuts, slots, only, own_mth, wscale, max_nodes);
+  }
   const std::size_t size = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
   const double bw = argc > 3 ? std::strtod(argv[3], nullptr) : 1e9;
   if (which == "water") return probe_water(size ? size : 4000, bw);

@@ -15,7 +15,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
-filter="${1:-test_mip_parallel|test_mip|test_warm_simplex|test_support}"
+filter="${1:-test_mip_parallel|test_mip|test_cuts|test_warm_simplex|test_support}"
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -18,6 +18,11 @@
 # factor_peak_bytes / factor_dense_equiv_bytes counters (sparse-LU PR), and
 # the `nodes` / `objective` counters of the staircase rows at cuts:0 vs
 # cuts:1 (cutting-plane PR — the >=2x node-reduction gate).
+#
+# The staircase rows also record the recovery-ladder counters (`recoveries`,
+# `lp_recover_*`, `node_retries`, `root_retries` — docs/ROBUSTNESS.md) into
+# the JSON: all zero on a healthy build, so a nonzero value in a fresh
+# BENCH_solver.json means the solver is silently fighting numerical trouble.
 
 set -euo pipefail
 

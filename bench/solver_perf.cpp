@@ -245,6 +245,21 @@ void run_staircase_mip(benchmark::State& state, scheduler::ScheduleProblem p,
       static_cast<double>(res.counters.lp_refactorizations);
   state.counters["lp_eta_pivots"] = static_cast<double>(res.counters.lp_eta_pivots);
   state.counters["lp_rhs_density"] = res.counters.lp_rhs_density();
+  // Recovery-ladder actions (docs/ROBUSTNESS.md): all zero on a healthy run,
+  // so any drift here flags a numerical regression before it costs accuracy.
+  state.counters["recoveries"] = static_cast<double>(res.counters.recoveries());
+  state.counters["lp_recover_refactor"] =
+      static_cast<double>(res.counters.lp_recover_refactor);
+  state.counters["lp_recover_repair"] =
+      static_cast<double>(res.counters.lp_recover_repair);
+  state.counters["lp_recover_perturb"] =
+      static_cast<double>(res.counters.lp_recover_perturb);
+  state.counters["lp_recover_residual"] =
+      static_cast<double>(res.counters.lp_recover_residual);
+  state.counters["lp_recover_resolve"] =
+      static_cast<double>(res.counters.lp_recover_resolve);
+  state.counters["node_retries"] = static_cast<double>(res.counters.node_retries);
+  state.counters["root_retries"] = static_cast<double>(res.counters.root_retries);
 }
 
 void BM_schedule_water_staircase_config(benchmark::State& state) {

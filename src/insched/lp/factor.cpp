@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "insched/support/fault_inject.hpp"
+
 namespace insched::lp {
 
 long LuCore::nnz() const noexcept {
@@ -70,11 +72,42 @@ struct Elimination {
   }
 };
 
+// Injected solve corruption: scaling the largest entry far past the drift
+// tolerance guarantees the downstream detection layer (residual checks in
+// simplex.cpp, br*B = e_r proof validation) can observe the fault.
+void corrupt_solution(SparseVec* x) {
+  if (x->nz.empty()) {
+    x->add(0, 1.0);
+    return;
+  }
+  int worst = x->nz.front();
+  for (const int i : x->nz)
+    if (std::fabs(x->values[static_cast<std::size_t>(i)]) >
+        std::fabs(x->values[static_cast<std::size_t>(worst)]))
+      worst = i;
+  x->values[static_cast<std::size_t>(worst)] *= 64.0;
+}
+
 }  // namespace
 
 bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
-                          double pivot_tol, double tau) {
+                          double pivot_tol, double tau, SingularInfo* singular) {
   const int m = static_cast<int>(basis_cols.size());
+  if (singular != nullptr) {
+    singular->rows.clear();
+    singular->positions.clear();
+  }
+  if (fault::should_fail(fault::Hook::kLuFactorize)) {
+    // Injected singularity: report every row/position as stuck so the
+    // repair rung has the same information as a structurally rank-0 basis.
+    if (singular != nullptr) {
+      for (int i = 0; i < m; ++i) {
+        singular->rows.push_back(i);
+        singular->positions.push_back(i);
+      }
+    }
+    return false;
+  }
   auto core = std::make_shared<LuCore>();
   core->m = m;
   core->pr.resize(static_cast<std::size_t>(m));
@@ -84,10 +117,21 @@ bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
   core->urows.assign(static_cast<std::size_t>(m), {});
 
   Elimination el(m);
+  // Reports the still-active (unpivoted) slice of a failed elimination, so
+  // the caller can repair it by slack substitution.
+  auto fail = [&]() {
+    if (singular != nullptr) {
+      for (int i = 0; i < m; ++i)
+        if (el.row_active[static_cast<std::size_t>(i)]) singular->rows.push_back(i);
+      for (int j = 0; j < m; ++j)
+        if (el.col_active[static_cast<std::size_t>(j)]) singular->positions.push_back(j);
+    }
+    return false;
+  };
   for (int j = 0; j < m; ++j) {
     for (const LuEntry& e : basis_cols[static_cast<std::size_t>(j)]) {
       if (e.value == 0.0) continue;
-      if (e.index < 0 || e.index >= m) return false;
+      if (e.index < 0 || e.index >= m) return fail();
       el.rows[static_cast<std::size_t>(e.index)].push_back({j, e.value});
       el.colrows[static_cast<std::size_t>(j)].push_back(e.index);
       ++el.row_count[static_cast<std::size_t>(e.index)];
@@ -95,11 +139,11 @@ bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
     }
   }
   for (int j = 0; j < m; ++j) {
-    if (el.col_count[static_cast<std::size_t>(j)] == 0) return false;  // empty column
+    if (el.col_count[static_cast<std::size_t>(j)] == 0) return fail();  // empty column
     el.note_col_count(j);
   }
   for (int i = 0; i < m; ++i) {
-    if (el.row_count[static_cast<std::size_t>(i)] == 0) return false;  // empty row
+    if (el.row_count[static_cast<std::size_t>(i)] == 0) return fail();  // empty row
     el.note_row_count(i);
   }
 
@@ -184,7 +228,7 @@ bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
         const int at = el.find(i, j);
         if (at < 0) continue;
         const double v = el.rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(at)].value;
-        if (std::fabs(v) <= pivot_tol) return false;  // forced tiny pivot: singular
+        if (std::fabs(v) <= pivot_tol) return fail();  // forced tiny pivot: singular
         pi = i;
         pj = j;
         pivot = v;
@@ -215,7 +259,7 @@ bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
       std::vector<int> order;
       for (int j = 0; j < m; ++j)
         if (el.col_active[static_cast<std::size_t>(j)]) order.push_back(j);
-      if (order.empty()) return false;
+      if (order.empty()) return fail();
       std::sort(order.begin(), order.end(), [&](int a, int b) {
         const int ca = el.col_count[static_cast<std::size_t>(a)];
         const int cb = el.col_count[static_cast<std::size_t>(b)];
@@ -257,7 +301,7 @@ bool LuFactors::factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
           }
         }
       }
-      if (pi < 0) return false;  // no admissible pivot anywhere: singular
+      if (pi < 0) return fail();  // no admissible pivot anywhere: singular
     }
 
     apply_pivot(k, pi, pj, pivot);
@@ -369,6 +413,8 @@ void LuFactors::ftran(SparseVec* x) {
     }
   }
   x->compact();
+  if (fault::enabled() && fault::should_fail(fault::Hook::kLuFtran))
+    corrupt_solution(x);
 }
 
 void LuFactors::btran(SparseVec* y) {
@@ -421,6 +467,8 @@ void LuFactors::btran(SparseVec* y) {
     if (z != 0.0) y->add(lu.pr[static_cast<std::size_t>(k)], z);
   }
   y->compact();
+  if (fault::enabled() && fault::should_fail(fault::Hook::kLuBtran))
+    corrupt_solution(y);
 }
 
 // ---------------------------------------------------------------------------

@@ -169,15 +169,29 @@ struct FactorStats {
 
 /// Mutable factorization state of one simplex engine: LU core + eta file +
 /// workspaces. Not thread-safe; each engine owns one.
+/// Where a failed factorization got stuck: the original rows and the basis
+/// positions (columns of the basis matrix) that never received a pivot.
+/// Pairing position[k] with row[k] and substituting the slack of that row
+/// for the stuck basic variable makes the basis structurally nonsingular
+/// again — the singular-basis repair rung of the recovery ladder
+/// (docs/ROBUSTNESS.md).
+struct SingularInfo {
+  std::vector<int> rows;       ///< original row indices left unpivoted
+  std::vector<int> positions;  ///< basis positions left unpivoted
+};
+
 class LuFactors {
  public:
   /// (Re)factorizes the basis given by `basis_cols`: m sparse columns, each
   /// a list of (original row, coefficient). Entries with |pivot| below
   /// `pivot_tol` are never chosen; `tau` is the threshold-partial-pivoting
   /// relaxation (a bump pivot must be >= tau * column max). Returns false on
-  /// a (numerically) singular basis; the previous factors stay untouched.
+  /// a (numerically) singular basis; the previous factors stay untouched
+  /// and, when `singular` is given, it receives the unpivoted rows and
+  /// basis positions for slack-substitution repair.
   [[nodiscard]] bool factorize(const std::vector<std::vector<LuEntry>>& basis_cols,
-                               double pivot_tol, double tau = 0.1);
+                               double pivot_tol, double tau = 0.1,
+                               SingularInfo* singular = nullptr);
 
   /// Loads a snapshot (shared core, copied eta chain).
   void load(const Factorization& snapshot);

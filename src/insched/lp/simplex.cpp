@@ -5,6 +5,7 @@
 
 #include "insched/lp/factor.hpp"
 #include "insched/support/assert.hpp"
+#include "insched/support/fault_inject.hpp"
 #include "insched/support/log.hpp"
 
 namespace insched::lp {
@@ -53,12 +54,17 @@ class Engine {
 
   void build_arrays();
   void prepare(const std::vector<BoundOverride>& overrides);
-  void start_cold();
-  void add_artificials();
+  [[nodiscard]] bool start_cold();
+  [[nodiscard]] bool add_artificials();
   [[nodiscard]] bool load_basis(const Basis& start, const Factorization* hint);
   void compute_basic_values();
-  [[nodiscard]] bool factorize_basis();
+  [[nodiscard]] bool factorize_basis(double tau = 0.1, SingularInfo* singular = nullptr);
   [[nodiscard]] bool refactorize();
+  [[nodiscard]] bool recover_factorization();
+  [[nodiscard]] bool primal_feasible() const;
+  void snap_nonbasic_and_recompute();
+  void perturb_bounds();
+  void unperturb_bounds();
   void compute_duals(const std::vector<double>& cost, std::vector<double>* y);
   [[nodiscard]] double reduced_cost(int j, const std::vector<double>& cost,
                                     const std::vector<double>& y) const;
@@ -100,6 +106,15 @@ class Engine {
   int total_iterations_ = 0;
   int phase1_iterations_ = 0;
   int first_artificial_ = 0;
+
+  // Recovery-ladder state (docs/ROBUSTNESS.md), reset per solve. The ladder
+  // shares one budget (`recoveries_` vs opt_.max_recoveries) across all its
+  // rungs so a genuinely broken basis cannot loop forever.
+  RecoveryStats recovery_;
+  int recoveries_ = 0;
+  bool perturbed_ = false;      // perturbed bounds are currently in effect
+  bool perturb_used_ = false;   // at most one perturbation per solve
+  std::vector<double> saved_lower_, saved_upper_;
 };
 
 void Engine::build_arrays() {
@@ -162,9 +177,13 @@ void Engine::prepare(const std::vector<BoundOverride>& overrides) {
   pivots_since_refactor_ = 0;
   total_iterations_ = 0;
   phase1_iterations_ = 0;
+  recovery_ = RecoveryStats{};
+  recoveries_ = 0;
+  perturbed_ = false;
+  perturb_used_ = false;
 }
 
-void Engine::start_cold() {
+bool Engine::start_cold() {
   // Start every variable nonbasic at the finite bound nearest zero.
   for (int j = 0; j < total_; ++j) {
     const double lo = lower_[static_cast<std::size_t>(j)];
@@ -188,10 +207,10 @@ void Engine::start_cold() {
       value_[static_cast<std::size_t>(j)] = 0.0;
     }
   }
-  add_artificials();
+  return add_artificials();
 }
 
-void Engine::add_artificials() {
+bool Engine::add_artificials() {
   // Residual of each row with every variable at its starting value.
   std::vector<double> residual = b_;
   for (int j = 0; j < total_; ++j) {
@@ -239,9 +258,10 @@ void Engine::add_artificials() {
   cost1_.resize(static_cast<std::size_t>(total_), 0.0);
 
   // The starting basis is all unit columns (slacks and artificials), so the
-  // factorization is a trivial singleton cascade and cannot fail.
-  const bool ok = factorize_basis();
-  INSCHED_ASSERT(ok);
+  // factorization is a trivial singleton cascade that only fails under
+  // injected faults or corrupted memory — both worth surviving.
+  if (factorize_basis()) return true;
+  return recover_factorization();
 }
 
 bool Engine::load_basis(const Basis& start, const Factorization* hint) {
@@ -307,7 +327,7 @@ void Engine::compute_basic_values() {
   vwork_.clear();
 }
 
-bool Engine::factorize_basis() {
+bool Engine::factorize_basis(double tau, SingularInfo* singular) {
   std::vector<std::vector<LuEntry>> bcols(static_cast<std::size_t>(m_));
   for (int i = 0; i < m_; ++i) {
     const auto& col = cols_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
@@ -315,15 +335,124 @@ bool Engine::factorize_basis() {
     out.reserve(col.size());
     for (const Entry& e : col) out.push_back({e.row, e.coeff});
   }
-  if (!lu_.factorize(bcols, opt_.pivot_tol)) return false;  // singular basis
+  if (!lu_.factorize(bcols, opt_.pivot_tol, tau, singular)) return false;  // singular
   pivots_since_refactor_ = 0;
   return true;
 }
 
+// Recovery ladder for a singular (re)factorization: first retry with
+// progressively tighter Markowitz thresholds (tau -> 1 forbids the unstable
+// small-pivot choices that let the elimination paint itself into a corner),
+// then substitute slacks for the basis positions the last attempt left
+// unpivoted. A slack column is a unit vector, so the repaired basis is
+// structurally nonsingular; the evicted variables park on their nearest
+// bound and the caller's pivots restore feasibility and optimality.
+bool Engine::recover_factorization() {
+  if (!opt_.enable_recovery || recoveries_ >= opt_.max_recoveries) return false;
+  ++recoveries_;
+  SingularInfo info;
+  for (const double tau : {0.5, 0.9}) {
+    ++recovery_.refactor_tightened;
+    if (factorize_basis(tau, &info)) return true;
+  }
+  const std::size_t k = std::min(info.rows.size(), info.positions.size());
+  long substituted = 0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto pos = static_cast<std::size_t>(info.positions[t]);
+    const auto slack = static_cast<std::size_t>(n_ + info.rows[t]);
+    if (state_[slack] == VarState::kBasic) continue;  // basic in another row
+    const auto old = static_cast<std::size_t>(basis_[pos]);
+    const double lo = lower_[old];
+    const double hi = upper_[old];
+    if (std::isfinite(lo) &&
+        (!std::isfinite(hi) || std::fabs(value_[old] - lo) <= std::fabs(hi - value_[old]))) {
+      state_[old] = VarState::kAtLower;
+      value_[old] = lo;
+    } else if (std::isfinite(hi)) {
+      state_[old] = VarState::kAtUpper;
+      value_[old] = hi;
+    } else {
+      state_[old] = VarState::kFreeZero;
+      value_[old] = 0.0;
+    }
+    basis_[pos] = static_cast<int>(slack);
+    state_[slack] = VarState::kBasic;
+    ++substituted;
+  }
+  if (substituted == 0) return false;
+  recovery_.singular_repairs += substituted;
+  return factorize_basis(0.9);
+}
+
 bool Engine::refactorize() {
-  if (!factorize_basis()) return false;
+  if (!factorize_basis() && !recover_factorization()) return false;
   compute_basic_values();
+  if (!residuals_ok()) {
+    // Fresh factors can only disagree with A x = b when a solve was
+    // corrupted (drifted eta chain, injected FTRAN fault): rebuild once
+    // with the tightest threshold; a second drift is terminal.
+    ++recovery_.residual_failures;
+    if (!opt_.enable_recovery || recoveries_ >= opt_.max_recoveries) return false;
+    ++recoveries_;
+    if (!factorize_basis(0.9) && !recover_factorization()) return false;
+    compute_basic_values();
+    if (!residuals_ok()) return false;
+  }
   return true;
+}
+
+bool Engine::primal_feasible() const {
+  for (int i = 0; i < m_; ++i) {
+    const auto bj = static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+    const double v = value_[bj];
+    if (v < lower_[bj] - opt_.feasibility_tol || v > upper_[bj] + opt_.feasibility_tol)
+      return false;
+  }
+  return true;
+}
+
+void Engine::snap_nonbasic_and_recompute() {
+  for (int j = 0; j < total_; ++j) {
+    const auto s = static_cast<std::size_t>(j);
+    if (state_[s] == VarState::kAtLower) value_[s] = lower_[s];
+    else if (state_[s] == VarState::kAtUpper) value_[s] = upper_[s];
+  }
+  compute_basic_values();
+}
+
+// Anti-cycling bound perturbation: relax every finite, non-fixed structural
+// and slack bound by a tiny deterministic per-column amount. The perturbed
+// problem is a relaxation whose degenerate vertices split apart, so a pivot
+// sequence that Bland's rule could not unstick resumes making (tiny) real
+// progress; unperturb_bounds() restores the exact problem and the clean-up
+// pivots finish at its true optimum. The magnitudes stay well below
+// feasibility_tol so the restored point is at worst tolerably infeasible,
+// which the exit-path feasibility check and dual clean-up absorb.
+void Engine::perturb_bounds() {
+  saved_lower_ = lower_;
+  saved_upper_ = upper_;
+  for (int j = 0; j < first_artificial_; ++j) {
+    const auto s = static_cast<std::size_t>(j);
+    double& lo = lower_[s];
+    double& hi = upper_[s];
+    if (lo == hi) continue;  // fixed columns must stay fixed
+    const unsigned h = static_cast<unsigned>(j) * 2654435761u;  // Fibonacci hash
+    const double eps = 1e-10 * (1.0 + static_cast<double>((h >> 8) & 1023) / 1024.0);
+    if (std::isfinite(lo)) lo -= eps * (1.0 + std::fabs(lo));
+    if (std::isfinite(hi)) hi += eps * (1.0 + std::fabs(hi));
+  }
+  snap_nonbasic_and_recompute();
+  perturbed_ = true;
+  perturb_used_ = true;
+  ++recovery_.perturbations;
+}
+
+void Engine::unperturb_bounds() {
+  lower_ = std::move(saved_lower_);
+  upper_ = std::move(saved_upper_);
+  snap_nonbasic_and_recompute();
+  perturbed_ = false;
+  ++recovery_.cleanups;
 }
 
 void Engine::compute_duals(const std::vector<double>& cost, std::vector<double>* y) {
@@ -382,6 +511,7 @@ bool Engine::residuals_ok() const {
 SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_out, int* iters) {
   int stall = 0;
   bool bland = false;
+  int repair_rounds = 0;  // dual feasibility-repair passes at the exit
 
   compute_duals(cost, &ywork_);
   std::vector<double>& y = ywork_;
@@ -474,6 +604,40 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
       }
     }
     if (entering < 0) {
+      if (perturbed_) {
+        // Clean-up phase: restore the exact bounds and keep pivoting; the
+        // perturbed optimum is one short pivot sequence from the true one.
+        unperturb_bounds();
+        compute_duals(cost, &y);
+        y_fresh = true;
+        stall = 0;
+        bland = false;
+        continue;
+      }
+      if (!primal_feasible()) {
+        // A singular-basis repair (or perturbation round-off) moved basic
+        // values off their bounds, and pricing alone never re-checks them.
+        // Restore primal feasibility with dual pivots, then resume pricing.
+        if (!opt_.enable_recovery || repair_rounds >= 2)
+          return SolveStatus::kNumericalFailure;
+        ++repair_rounds;
+        const SolveStatus ds = iterate_dual(cost, iters);
+        if (ds == SolveStatus::kInfeasible) {
+          // The dual loop never prices artificial columns, so its
+          // infeasibility proof only stands once no artificial can move
+          // (phase 2, where they are pinned at zero).
+          for (int j = first_artificial_; j < total_; ++j)
+            if (lower_[static_cast<std::size_t>(j)] < upper_[static_cast<std::size_t>(j)])
+              return SolveStatus::kNumericalFailure;
+          return ds;
+        }
+        if (ds != SolveStatus::kOptimal) return ds;
+        compute_duals(cost, &y);
+        y_fresh = true;
+        stall = 0;
+        bland = false;
+        continue;
+      }
       if (objective_out) {
         double obj = 0.0;
         for (int j = 0; j < total_; ++j)
@@ -596,12 +760,22 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
     }
 
     // Anti-cycling: degenerate steps (no movement) switch to Bland-style
-    // smallest-index selection until real progress resumes.
+    // smallest-index selection until real progress resumes; when even
+    // Bland's rule keeps stalling, perturb the bounds once per solve.
     if (t_best > 1e-12) {
       stall = 0;
       bland = false;
     } else if (++stall > opt_.stall_limit) {
       bland = true;
+      if (opt_.enable_recovery && !perturb_used_ && stall > 4 * opt_.stall_limit &&
+          recoveries_ < opt_.max_recoveries) {
+        ++recoveries_;
+        perturb_bounds();
+        compute_duals(cost, &y);
+        y_fresh = true;
+        stall = 0;
+        bland = false;
+      }
     }
   }
 }
@@ -618,6 +792,11 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
 SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
   int stall = 0;
   bool bland = false;
+
+  // Fault hook: one event per dual-simplex solve; an armed event simulates
+  // losing the pivot right away (the shape of a real tiny-|w_r| breakdown).
+  if (fault::enabled() && fault::should_fail(fault::Hook::kDualPivot))
+    return SolveStatus::kNumericalFailure;
 
   compute_duals(cost, &ywork_);
   std::vector<double>& y = ywork_;
@@ -674,7 +853,19 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
         below = false;
       }
     }
-    if (leaving_row < 0) return SolveStatus::kOptimal;  // primal feasible
+    if (leaving_row < 0) {
+      if (perturbed_) {
+        // Clean-up phase: restore the exact bounds; any re-violated rows
+        // are repaired by further dual pivots against the true problem.
+        unperturb_bounds();
+        compute_duals(cost, &y);
+        y_fresh = true;
+        stall = 0;
+        bland = false;
+        continue;
+      }
+      return SolveStatus::kOptimal;  // primal feasible
+    }
 
     ++total_iterations_;
     ++pivots;
@@ -824,12 +1015,22 @@ SolveStatus Engine::iterate_dual(const std::vector<double>& cost, int* iters) {
     }
 
     // Anti-cycling: degenerate pivots (zero step) switch to Bland-style
-    // smallest-index selection until real progress resumes.
+    // smallest-index selection until real progress resumes; when even
+    // Bland's rule keeps stalling, perturb the bounds once per solve.
     if (t > 1e-12) {
       stall = 0;
       bland = false;
     } else if (++stall > opt_.stall_limit) {
       bland = true;
+      if (opt_.enable_recovery && !perturb_used_ && stall > 4 * opt_.stall_limit &&
+          recoveries_ < opt_.max_recoveries) {
+        ++recoveries_;
+        perturb_bounds();
+        compute_duals(cost, &y);
+        y_fresh = true;
+        stall = 0;
+        bland = false;
+      }
     }
   }
 }
@@ -886,28 +1087,55 @@ SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
       return result;
     }
   }
-  start_cold();
-
   SimplexResult result;
+  if (!start_cold()) {
+    result.status = SolveStatus::kNumericalFailure;
+    result.factor_stats = lu_.stats();
+    result.recovery = recovery_;
+    return result;
+  }
 
   // Phase 1: drive artificial infeasibility to zero (skipped when the slack
   // start was already feasible).
   if (first_artificial_ < total_) {
     double phase1_obj = 0.0;
-    const SolveStatus st = iterate(cost1_, &phase1_obj, &phase1_iterations_);
+    SolveStatus st = iterate(cost1_, &phase1_obj, &phase1_iterations_);
     result.phase1_iterations = phase1_iterations_;
     if (st == SolveStatus::kIterationLimit || st == SolveStatus::kNumericalFailure) {
       result.status = st;
       result.iterations = total_iterations_;
       result.factor_stats = lu_.stats();
+      result.recovery = recovery_;
       return result;
     }
     INSCHED_ASSERT(st != SolveStatus::kUnbounded);  // phase-1 objective >= 0
     if (phase1_infeasibility() > 1e-6) {
-      result.status = SolveStatus::kInfeasible;
-      result.iterations = total_iterations_;
-      result.factor_stats = lu_.stats();
-      return result;
+      // Never declare infeasibility off drifted values: when the residual
+      // check fails, re-derive the point from fresh factors and
+      // re-optimize phase 1 once before trusting the verdict.
+      if (opt_.enable_recovery && !residuals_ok() && recoveries_ < opt_.max_recoveries) {
+        ++recoveries_;
+        ++recovery_.residual_failures;
+        ++recovery_.resolves;
+        if (refactorize()) {
+          st = iterate(cost1_, &phase1_obj, &phase1_iterations_);
+          result.phase1_iterations = phase1_iterations_;
+          if (st != SolveStatus::kOptimal) {
+            result.status = st == SolveStatus::kUnbounded ? SolveStatus::kNumericalFailure : st;
+            result.iterations = total_iterations_;
+            result.factor_stats = lu_.stats();
+            result.recovery = recovery_;
+            return result;
+          }
+        }
+      }
+      if (phase1_infeasibility() > 1e-6) {
+        result.status = SolveStatus::kInfeasible;
+        result.iterations = total_iterations_;
+        result.factor_stats = lu_.stats();
+        result.recovery = recovery_;
+        return result;
+      }
     }
     // Pin artificials at zero for phase 2.
     for (int j = first_artificial_; j < total_; ++j) {
@@ -922,18 +1150,35 @@ SimplexResult Engine::solve_cold(const std::vector<BoundOverride>& overrides) {
 
   double phase2_obj = 0.0;
   int phase2_iters = 0;
-  const SolveStatus st = iterate(cost2_, &phase2_obj, &phase2_iters);
+  SolveStatus st = iterate(cost2_, &phase2_obj, &phase2_iters);
+  if (st == SolveStatus::kOptimal && !residuals_ok()) {
+    // Detection at the exit: the optimal point must satisfy A x = b. On
+    // drift, re-solve once from fresh factors before reporting failure.
+    ++recovery_.residual_failures;
+    st = SolveStatus::kNumericalFailure;
+    if (opt_.enable_recovery && recoveries_ < opt_.max_recoveries) {
+      ++recoveries_;
+      ++recovery_.resolves;
+      if (refactorize()) {
+        st = iterate(cost2_, &phase2_obj, &phase2_iters);
+        if (st == SolveStatus::kOptimal && !residuals_ok())
+          st = SolveStatus::kNumericalFailure;
+      }
+    }
+  }
   result.iterations = total_iterations_;
   result.phase1_iterations = phase1_iterations_;
   result.status = st;
   if (st != SolveStatus::kOptimal) {
     result.factor_stats = lu_.stats();
+    result.recovery = recovery_;
     return result;
   }
 
   extract(&result);
   if (opt_.collect_basis) export_basis(&result);
   result.factor_stats = lu_.stats();
+  result.recovery = recovery_;
   return result;
 }
 
@@ -950,36 +1195,62 @@ SimplexResult Engine::solve_dual(const std::vector<BoundOverride>& overrides,
   if (!load_basis(start, hint)) {
     result.status = SolveStatus::kNumericalFailure;
     result.factor_stats = lu_.stats();
+    result.recovery = recovery_;
     return result;
   }
 
-  int dual_iters = 0;
-  SolveStatus st = iterate_dual(cost2_, &dual_iters);
-  if (st == SolveStatus::kOptimal) {
-    // The dual loop restored primal feasibility; a short primal cleanup
-    // clears any dual infeasibility introduced by bound snapping (usually
-    // zero pivots).
-    double obj = 0.0;
-    int cleanup_iters = 0;
-    st = iterate(cost2_, &obj, &cleanup_iters);
+  // One dual+cleanup pass; run_pass is re-entered by the in-engine re-solve
+  // rungs below (fresh factors, same basis) before the caller pays for a
+  // cold restart.
+  auto run_pass = [&]() -> SolveStatus {
+    int dual_iters = 0;
+    SolveStatus st = iterate_dual(cost2_, &dual_iters);
+    if (st == SolveStatus::kOptimal) {
+      // The dual loop restored primal feasibility; a short primal cleanup
+      // clears any dual infeasibility introduced by bound snapping (usually
+      // zero pivots).
+      double obj = 0.0;
+      int cleanup_iters = 0;
+      st = iterate(cost2_, &obj, &cleanup_iters);
+    }
+    return st;
+  };
+
+  SolveStatus st = run_pass();
+  if (st == SolveStatus::kNumericalFailure && opt_.enable_recovery &&
+      recoveries_ < opt_.max_recoveries) {
+    ++recoveries_;
+    ++recovery_.resolves;
+    if (refactorize()) st = run_pass();
+  }
+  if (st == SolveStatus::kOptimal && !residuals_ok()) {
+    // A stale factorization hint can silently corrupt the solution; verify
+    // A x = b before trusting the warm result, re-solving once from fresh
+    // factors when it drifted.
+    ++recovery_.residual_failures;
+    st = SolveStatus::kNumericalFailure;
+    if (opt_.enable_recovery && recoveries_ < opt_.max_recoveries) {
+      ++recoveries_;
+      ++recovery_.resolves;
+      if (refactorize()) {
+        st = run_pass();
+        if (st == SolveStatus::kOptimal && !residuals_ok())
+          st = SolveStatus::kNumericalFailure;
+      }
+    }
   }
   result.iterations = total_iterations_;
   result.status = st;
   if (st != SolveStatus::kOptimal) {
     result.factor_stats = lu_.stats();
-    return result;
-  }
-  if (!residuals_ok()) {
-    // A stale factorization hint can silently corrupt the solution; verify
-    // A x = b before trusting the warm result.
-    result.status = SolveStatus::kNumericalFailure;
-    result.factor_stats = lu_.stats();
+    result.recovery = recovery_;
     return result;
   }
 
   extract(&result);
   if (opt_.collect_basis) export_basis(&result);
   result.factor_stats = lu_.stats();
+  result.recovery = recovery_;
   return result;
 }
 

@@ -18,8 +18,17 @@
 // feasible. `WarmSimplex` keeps a per-thread workspace bound to one base
 // model and re-solves `base + bound overrides` with the dual simplex from a
 // `Basis` snapshot (optionally seeded with the parent's `Factorization` to
-// skip refactorization). Numerical trouble is reported, never patched — the
-// caller falls back to the cold primal path.
+// skip refactorization).
+//
+// Resilience: numerical trouble is first *detected* (residual checks after
+// every refactorization and at optimal exits, self-validating infeasibility
+// proofs, stall counters) and then *recovered* through a bounded ladder —
+// refactorization with a tightened Markowitz threshold, singular-basis
+// repair by slack substitution, anti-cycling bound perturbation with an
+// exact clean-up phase, and a full in-engine re-solve (docs/ROBUSTNESS.md).
+// Only when the ladder is exhausted does kNumericalFailure escape to the
+// caller, which falls back to the cold primal path. Every rung taken is
+// counted in SimplexResult::recovery.
 
 #include <memory>
 #include <string>
@@ -50,6 +59,32 @@ struct SimplexOptions {
   int price_block_size = 512;     ///< partial-pricing block (<= 0: full Dantzig scan)
   bool collect_basis = false;     ///< export the optimal basis + factorization
   bool want_duals = true;         ///< compute duals/reduced costs on optimal exit
+  bool enable_recovery = true;    ///< run the numerical-recovery ladder
+  int max_recoveries = 8;         ///< ladder invocations per solve before giving up
+};
+
+/// Counters of the numerical-recovery ladder: every detection event and
+/// every rung taken during one solve (see docs/ROBUSTNESS.md).
+struct RecoveryStats {
+  long refactor_tightened = 0;  ///< refactorization retries with tightened tau
+  long singular_repairs = 0;    ///< slack columns substituted into a singular basis
+  long perturbations = 0;       ///< anti-cycling bound perturbations applied
+  long cleanups = 0;            ///< perturbation clean-up phases run
+  long residual_failures = 0;   ///< A x = b drift detections
+  long resolves = 0;            ///< in-engine re-solve restarts
+
+  [[nodiscard]] long total() const noexcept {
+    return refactor_tightened + singular_repairs + perturbations + residual_failures +
+           resolves;
+  }
+  void add(const RecoveryStats& other) noexcept {
+    refactor_tightened += other.refactor_tightened;
+    singular_repairs += other.singular_repairs;
+    perturbations += other.perturbations;
+    cleanups += other.cleanups;
+    residual_failures += other.residual_failures;
+    resolves += other.resolves;
+  }
 };
 
 struct SimplexResult {
@@ -63,6 +98,9 @@ struct SimplexResult {
   /// Factorization observability for this solve: ftran/btran call counts,
   /// average right-hand-side density, eta-chain length, refactorizations.
   FactorStats factor_stats;
+  /// Recovery-ladder actions taken during this solve (all zero on a clean
+  /// run); nonzero counters with kOptimal mean the ladder worked.
+  RecoveryStats recovery;
 
   /// Optimal basis snapshot; filled when `collect_basis` is set, the solve
   /// proved optimality, and no artificial variable remained basic.

@@ -19,6 +19,7 @@
 #include "insched/mip/node_pool.hpp"
 #include "insched/mip/probing.hpp"
 #include "insched/support/assert.hpp"
+#include "insched/support/fault_inject.hpp"
 #include "insched/support/log.hpp"
 #include "insched/support/parallel.hpp"
 
@@ -30,6 +31,7 @@ const char* to_string(MipTermination termination) noexcept {
     case MipTermination::kProvedInfeasible: return "proved_infeasible";
     case MipTermination::kNodeLimit: return "node_limit";
     case MipTermination::kTimeLimit: return "time_limit";
+    case MipTermination::kWorkLimit: return "work_limit";
     case MipTermination::kUnbounded: return "unbounded";
     case MipTermination::kNumericalFailure: return "numerical_failure";
   }
@@ -52,7 +54,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-enum class Cause : int { kNone = 0, kNodeLimit = 1, kTimeLimit = 2 };
+enum class Cause : int { kNone = 0, kNodeLimit = 1, kTimeLimit = 2, kWorkLimit = 3 };
 
 class Search {
  public:
@@ -181,6 +183,10 @@ class Search {
   // FTRAN/BTRAN/eta observability summed over every LP solve in the search.
   std::atomic<long> lp_ftran_{0}, lp_btran_{0}, lp_refactor_{0}, lp_eta_{0};
   std::atomic<long> lp_rhs_nnz_{0}, lp_rhs_dim_{0};
+  // Recovery-ladder counters summed over the same solves, plus tree retries.
+  std::atomic<long> rec_refactor_{0}, rec_repair_{0}, rec_perturb_{0};
+  std::atomic<long> rec_residual_{0}, rec_resolve_{0};
+  std::atomic<long> node_retries_{0}, root_retries_{0};
 
   void add_factor_stats(const lp::FactorStats& fs) {
     lp_ftran_.fetch_add(fs.ftran_calls, std::memory_order_relaxed);
@@ -189,6 +195,24 @@ class Search {
     lp_eta_.fetch_add(fs.eta_pivots, std::memory_order_relaxed);
     lp_rhs_nnz_.fetch_add(fs.rhs_nonzeros, std::memory_order_relaxed);
     lp_rhs_dim_.fetch_add(fs.rhs_dimension, std::memory_order_relaxed);
+  }
+
+  /// Accumulates everything observable from one LP solve: factorization
+  /// stats plus any recovery-ladder rungs the engine had to take.
+  void add_lp_stats(const lp::SimplexResult& res) {
+    add_factor_stats(res.factor_stats);
+    const lp::RecoveryStats& rc = res.recovery;
+    if (rc.total() == 0) return;
+    rec_refactor_.fetch_add(rc.refactor_tightened, std::memory_order_relaxed);
+    rec_repair_.fetch_add(rc.singular_repairs, std::memory_order_relaxed);
+    rec_perturb_.fetch_add(rc.perturbations, std::memory_order_relaxed);
+    rec_residual_.fetch_add(rc.residual_failures, std::memory_order_relaxed);
+    rec_resolve_.fetch_add(rc.resolves, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool work_limit_hit() const noexcept {
+    return opt_.max_lp_iterations > 0 &&
+           lp_iterations_.load(std::memory_order_relaxed) >= opt_.max_lp_iterations;
   }
 
   bool pin_factors_ = false;
@@ -288,7 +312,7 @@ int Search::pick_branch_var(const SearchNode& node, const std::vector<double>& x
         ov.push_back({c.j, clo, chi});
         sb_lps_.fetch_add(1, std::memory_order_relaxed);
         const lp::SimplexResult res = sb_ws->solve_dual(ov, *basis, hint);
-        add_factor_stats(res.factor_stats);
+        add_lp_stats(res);
         lp_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
         if (res.status == lp::SolveStatus::kOptimal) {
           const double deg = std::max(0.0, internal(res.objective) - node_bound);
@@ -378,7 +402,7 @@ std::optional<std::vector<double>> Search::warm_round_and_fix(
 
   heur_warm_.fetch_add(1, std::memory_order_relaxed);
   const lp::SimplexResult res = ws.solve_dual(overrides, basis, hint);
-  add_factor_stats(res.factor_stats);
+  add_lp_stats(res);
   if (!res.optimal()) {
     heur_warm_failed_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -457,11 +481,11 @@ std::optional<std::vector<double>> Search::warm_dive(lp::WarmSimplex& ws,
                              : std::min(nearest + 1.0, std::floor(hi[ps] + 1e-9));
     overrides.push_back({pick, nearest, nearest});
     lp::SimplexResult res = ws.solve_dual(overrides, cur_basis, cur_hint);
-    add_factor_stats(res.factor_stats);
+    add_lp_stats(res);
     if (!res.optimal() && other != nearest) {
       overrides.back() = {pick, other, other};
       res = ws.solve_dual(overrides, cur_basis, cur_hint);
-      add_factor_stats(res.factor_stats);
+      add_lp_stats(res);
     }
     if (!res.optimal()) return std::nullopt;
     fixed[ps] = true;
@@ -496,7 +520,7 @@ lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node
     if (hint) factor_hits_.fetch_add(1, std::memory_order_relaxed);
     else factor_misses_.fetch_add(1, std::memory_order_relaxed);
     lp::SimplexResult res = ws.solve_dual(node.bounds, *node.warm_basis, hint);
-    add_factor_stats(res.factor_stats);
+    add_lp_stats(res);
     // Optimal outcomes are residual-checked and infeasibility proofs are
     // self-validating inside the dual loop (br * B = e_r plus the
     // sub-tolerance-column slack bound), so both can be trusted even when
@@ -510,8 +534,26 @@ lp::SimplexResult Search::solve_node(lp::WarmSimplex& ws, const SearchNode& node
   }
   cold_solves_.fetch_add(1, std::memory_order_relaxed);
   lp::SimplexResult cold = ws.solve_cold(node.bounds);
-  add_factor_stats(cold.factor_stats);
-  return cold;
+  add_lp_stats(cold);
+  if (cold.status != lp::SolveStatus::kNumericalFailure || !opt_.lp.enable_recovery)
+    return cold;
+
+  // Last tree-level rung: even the cold primal failed numerically, which on
+  // these models means the shared workspace state (eta drift, pricing
+  // weights) is suspect rather than the subproblem itself. Re-solve once
+  // from scratch on a throwaway workspace with conservative settings — full
+  // Dantzig pricing, frequent refactorization — before dropping the node
+  // (dropping an unsolved node silently weakens the optimality proof).
+  node_retries_.fetch_add(1, std::memory_order_relaxed);
+  lp::SimplexOptions careful = opt_.lp;
+  careful.collect_basis = true;
+  careful.want_duals = false;
+  careful.price_block_size = 0;
+  careful.refactor_interval = 32;
+  lp::WarmSimplex fresh(base_, careful);
+  lp::SimplexResult retry = fresh.solve_cold(node.bounds);
+  add_lp_stats(retry);
+  return retry;
 }
 
 // In-tree separation: shallow non-root nodes run the bound-independent
@@ -527,6 +569,9 @@ void Search::separate_in_tree(const SearchNode& node, const std::vector<double>&
   if (node.depth == 0 || node.depth > opt_.cut_node_depth) return;
   if (restarts_done_ >= opt_.max_tree_restarts) return;
   if (nodes_.load(std::memory_order_relaxed) > opt_.restart_node_budget) return;
+  // Injected separator failure: cuts are optional, so the round just yields
+  // nothing — the search must still prove the optimum from branching alone.
+  if (fault::enabled() && fault::should_fail(fault::Hook::kCutSeparation)) return;
   int fresh = 0;
   if (opt_.use_cover_cuts)
     fresh += cut_pool_->add_all(
@@ -652,8 +697,11 @@ void Search::async_worker(int tid) {
 
   while (NodePtr node = pool_->pop(tid)) {
     const long processed = nodes_.load(std::memory_order_relaxed);
-    if (processed >= opt_.max_nodes || elapsed_s() > opt_.time_limit_s) {
-      set_cause(processed >= opt_.max_nodes ? Cause::kNodeLimit : Cause::kTimeLimit);
+    if (processed >= opt_.max_nodes || work_limit_hit() ||
+        elapsed_s() > opt_.time_limit_s) {
+      set_cause(processed >= opt_.max_nodes ? Cause::kNodeLimit
+                : work_limit_hit()          ? Cause::kWorkLimit
+                                            : Cause::kTimeLimit);
       // Keep the node's bound visible to the final best_bound accounting.
       pool_->push(std::move(node), tid);
       pool_->task_done(tid);
@@ -748,6 +796,10 @@ void Search::run_deterministic(int threads, NodePtr root_node) {
   while (!open.empty()) {
     if (elapsed_s() > opt_.time_limit_s) {
       set_cause(Cause::kTimeLimit);
+      break;
+    }
+    if (work_limit_hit()) {
+      set_cause(Cause::kWorkLimit);
       break;
     }
     // Fill the wave in best-bound order, pruning at selection time. The wave
@@ -852,9 +904,17 @@ void Search::finalize(bool proved) {
     result_.counters.cuts_applied = cc.applied;
     result_.counters.cuts_aged = cc.aged_out;
     result_.counters.cuts_duplicate = cc.duplicates;
+    result_.counters.cuts_evicted = cc.evicted;
   }
   result_.counters.tree_restarts = restarts_done_;
   result_.counters.strong_branch_lps = sb_lps_.load(std::memory_order_relaxed);
+  result_.counters.lp_recover_refactor = rec_refactor_.load(std::memory_order_relaxed);
+  result_.counters.lp_recover_repair = rec_repair_.load(std::memory_order_relaxed);
+  result_.counters.lp_recover_perturb = rec_perturb_.load(std::memory_order_relaxed);
+  result_.counters.lp_recover_residual = rec_residual_.load(std::memory_order_relaxed);
+  result_.counters.lp_recover_resolve = rec_resolve_.load(std::memory_order_relaxed);
+  result_.counters.node_retries = node_retries_.load(std::memory_order_relaxed);
+  result_.counters.root_retries = root_retries_.load(std::memory_order_relaxed);
 
   result_.has_solution = have_inc;
   if (have_inc) {
@@ -870,10 +930,11 @@ void Search::finalize(bool proved) {
     result_.best_bound = maximize_ ? -ob : ob;
   } else {
     result_.status = lp::SolveStatus::kIterationLimit;
-    result_.termination = cause_.load(std::memory_order_relaxed) ==
-                                  static_cast<int>(Cause::kNodeLimit)
-                              ? MipTermination::kNodeLimit
-                              : MipTermination::kTimeLimit;
+    switch (static_cast<Cause>(cause_.load(std::memory_order_relaxed))) {
+      case Cause::kNodeLimit: result_.termination = MipTermination::kNodeLimit; break;
+      case Cause::kWorkLimit: result_.termination = MipTermination::kWorkLimit; break;
+      default: result_.termination = MipTermination::kTimeLimit; break;
+    }
     double ob = trunc_open_bound_;
     if (have_inc) ob = std::min(ob, inc_obj);
     if (!std::isfinite(ob)) ob = 0.0;
@@ -895,7 +956,7 @@ bool Search::apply_cuts(const std::vector<Cut>& cuts, lp::SimplexResult* root) {
   root_lp.collect_basis = true;
   lp::SimplexResult res = lp::solve_lp(trial, root_lp);
   lp_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
-  add_factor_stats(res.factor_stats);
+  add_lp_stats(res);
   if (!res.optimal()) return false;
   base_ = std::move(trial);
   result_.cuts_added += static_cast<int>(cuts.size());
@@ -908,6 +969,9 @@ bool Search::apply_cuts(const std::vector<Cut>& cuts, lp::SimplexResult* root) {
 // point, offers into the pool, and a violation-ranked parallelism-filtered
 // batch is committed. Returns false when the round went dry.
 bool Search::separate_root(lp::SimplexResult* root) {
+  // Injected separator failure: the round reports dry, which ends the root
+  // cutting loop cleanly (cuts only accelerate the search, never gate it).
+  if (fault::enabled() && fault::should_fail(fault::Hook::kCutSeparation)) return false;
   if (opt_.use_cover_cuts)
     cut_pool_->add_all(
         generate_cover_cuts(base_, root->x, opt_.cut_min_violation, opt_.lift_cover_cuts));
@@ -963,7 +1027,7 @@ NodePtr Search::try_restart() {
     root_lp.collect_basis = true;
     root = lp::solve_lp(base_, root_lp);
     lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
-    add_factor_stats(root.factor_stats);
+    add_lp_stats(root);
     if (!root.optimal()) return nullptr;
   }
   ++restarts_done_;
@@ -995,11 +1059,29 @@ MipResult Search::run() {
   root_lp.collect_basis = true;
   lp::SimplexResult root = lp::solve_lp(base_, root_lp);
   lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
-  add_factor_stats(root.factor_stats);
+  add_lp_stats(root);
+  if (root.status == lp::SolveStatus::kNumericalFailure && opt_.lp.enable_recovery) {
+    // The engine's own ladder is exhausted; one conservative re-solve (full
+    // Dantzig pricing, frequent refactorization) before giving up on the
+    // whole MILP — everything downstream depends on this one LP.
+    root_retries_.fetch_add(1, std::memory_order_relaxed);
+    lp::SimplexOptions careful = root_lp;
+    careful.price_block_size = 0;
+    careful.refactor_interval = 32;
+    root = lp::solve_lp(base_, careful);
+    lp_iterations_.fetch_add(root.iterations, std::memory_order_relaxed);
+    add_lp_stats(root);
+  }
   auto bail = [&](lp::SolveStatus status, MipTermination termination) {
     result_.status = status;
     result_.termination = termination;
     result_.lp_iterations = lp_iterations_.load(std::memory_order_relaxed);
+    result_.counters.lp_recover_refactor = rec_refactor_.load(std::memory_order_relaxed);
+    result_.counters.lp_recover_repair = rec_repair_.load(std::memory_order_relaxed);
+    result_.counters.lp_recover_perturb = rec_perturb_.load(std::memory_order_relaxed);
+    result_.counters.lp_recover_residual = rec_residual_.load(std::memory_order_relaxed);
+    result_.counters.lp_recover_resolve = rec_resolve_.load(std::memory_order_relaxed);
+    result_.counters.root_retries = root_retries_.load(std::memory_order_relaxed);
     result_.solve_seconds = elapsed_s();
     return result_;
   };
@@ -1016,7 +1098,8 @@ MipResult Search::run() {
   // and restarts use them); the root rounds run all families — the trial
   // re-solve inside apply_cuts() guarantees a failed cut LP never replaces
   // the working root, so no recovery pass is needed here.
-  cut_pool_ = std::make_unique<CutPool>(std::max(1, opt_.cut_max_age));
+  cut_pool_ = std::make_unique<CutPool>(std::max(1, opt_.cut_max_age),
+                                        std::max(0, opt_.cut_pool_capacity));
   if (opt_.use_clique_cuts) conflicts_.build(base_, implications_);
   root_x_ = root.x;
   if (cuts_enabled()) {
@@ -1075,6 +1158,9 @@ MipResult Search::run() {
 }  // namespace
 
 MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
+  if (!options.fault_spec.empty() && !fault::arm_from_spec(options.fault_spec))
+    INSCHED_LOG_WARN("mip: malformed fault_spec '%s' ignored", options.fault_spec.c_str());
+
   if (!model.has_integers()) {
     // Pure LP: answer directly.
     const lp::SimplexResult res = lp::solve_lp(model, options.lp);
@@ -1100,6 +1186,7 @@ MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
   // over the binaries of the reduced model. Each stage pushes its restore
   // mapping; the incumbent is expanded back through them in reverse order.
   MipOptions inner = options;
+  inner.fault_spec.clear();  // already armed; a recursive call must not re-arm
   lp::Model work = model;
   std::vector<lp::PresolveResult> stack;
   std::vector<Implication> implications;

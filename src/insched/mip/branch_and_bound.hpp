@@ -17,6 +17,7 @@
 // optima, not approximations).
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "insched/lp/model.hpp"
@@ -40,6 +41,7 @@ enum class MipTermination {
   kProvedInfeasible, ///< tree exhausted without an incumbent
   kNodeLimit,        ///< max_nodes hit; best_bound/gap() reflect the open tree
   kTimeLimit,        ///< time_limit_s hit; best_bound/gap() reflect the open tree
+  kWorkLimit,        ///< max_lp_iterations hit; best_bound/gap() reflect the open tree
   kUnbounded,        ///< LP relaxation unbounded
   kNumericalFailure, ///< root relaxation could not be solved
 };
@@ -51,7 +53,18 @@ struct MipOptions {
   double gap_abs = 1e-6;        ///< terminate when bound-incumbent gap below this
   double gap_rel = 1e-9;
   long max_nodes = 500000;
+  /// Wall-clock limit. A non-positive limit expires right after the root LP
+  /// and its heuristic, so the result is a deterministic kTimeLimit
+  /// truncation (usually with the root-heuristic incumbent), never a crash.
+  /// `scheduler::solve_schedule` additionally short-circuits a non-positive
+  /// budget before building the MILP at all and degrades to its greedy
+  /// fallback (docs/ROBUSTNESS.md).
   double time_limit_s = 120.0;
+  /// Deterministic work limit: total simplex iterations across every LP in
+  /// the search (0 = unlimited). Unlike time_limit_s this truncates at the
+  /// same tree point on every machine; the result reports kWorkLimit with
+  /// the usual certified best_bound/gap.
+  long max_lp_iterations = 0;
   Branching branching = Branching::kReliability;
   bool use_presolve = true;
   /// Probing presolve over the binary variables before the root LP: fixes
@@ -83,6 +96,10 @@ struct MipOptions {
   double cut_max_parallel = 0.95;
   /// Selection rounds a pooled cut survives unselected before aging out.
   int cut_max_age = 4;
+  /// Hard cap on pooled (unapplied) cuts; 0 = unbounded. At capacity the
+  /// pool evicts its stalest entry (highest age, oldest id) per new offer,
+  /// bounding pool memory on cut-heavy models.
+  int cut_pool_capacity = 0;
   /// In-tree separation: shallow nodes also run the (globally valid) cover
   /// and clique separators into the shared pool; when enough fresh cuts
   /// accumulate early, the tree is restarted with the cuts appended to the
@@ -134,6 +151,12 @@ struct MipOptions {
   /// many processed nodes.
   int pc_merge_interval = 32;
 
+  /// Fault-injection spec ("hook:N[:count][,...]", see
+  /// support/fault_inject.hpp) armed at solve_mip entry. Empty = none; used
+  /// by the resilience tests to exercise the recovery ladder
+  /// deterministically.
+  std::string fault_spec;
+
   lp::SimplexOptions lp;
 };
 
@@ -154,7 +177,26 @@ struct MipCounters {
   long cuts_applied = 0;     ///< cuts selected out of the pool
   long cuts_aged = 0;        ///< pooled cuts dropped by aging
   long cuts_duplicate = 0;   ///< offers rejected as already seen
+  long cuts_evicted = 0;     ///< pooled cuts evicted by the capacity cap
   long tree_restarts = 0;    ///< cut-and-branch restarts performed
+
+  // Numerical-recovery ladder, summed over every LP solve in the search
+  // (lp::SimplexResult::recovery), plus the tree-level retry rungs
+  // (docs/ROBUSTNESS.md). All zero on a numerically clean run.
+  long lp_recover_refactor = 0;  ///< tightened-tau refactorization retries
+  long lp_recover_repair = 0;    ///< slack columns substituted into singular bases
+  long lp_recover_perturb = 0;   ///< anti-cycling bound perturbations
+  long lp_recover_residual = 0;  ///< A x = b drift detections
+  long lp_recover_resolve = 0;   ///< in-engine re-solve restarts
+  long node_retries = 0;         ///< node LPs re-solved with conservative settings
+  long root_retries = 0;         ///< root LPs re-solved with conservative settings
+
+  /// Total recovery actions across LP ladder and tree retries; nonzero with
+  /// an optimal result means the resilience layer did its job.
+  [[nodiscard]] long recoveries() const noexcept {
+    return lp_recover_refactor + lp_recover_repair + lp_recover_perturb +
+           lp_recover_residual + lp_recover_resolve + node_retries + root_retries;
+  }
 
   // Probing presolve (filled by solve_mip, which runs probing before the
   // search object exists).
@@ -205,11 +247,12 @@ struct MipResult {
   [[nodiscard]] bool optimal() const noexcept {
     return status == lp::SolveStatus::kOptimal && has_solution;
   }
-  /// True when the search stopped on a node/time limit (never reported as
-  /// optimal even when an incumbent exists).
+  /// True when the search stopped on a node/time/work limit (never reported
+  /// as optimal even when an incumbent exists).
   [[nodiscard]] bool truncated() const noexcept {
     return termination == MipTermination::kNodeLimit ||
-           termination == MipTermination::kTimeLimit;
+           termination == MipTermination::kTimeLimit ||
+           termination == MipTermination::kWorkLimit;
   }
   /// Absolute gap between incumbent and proven bound: exactly 0 on a proved
   /// optimum, +inf without an incumbent.

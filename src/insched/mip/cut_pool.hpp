@@ -23,11 +23,17 @@ struct CutPoolCounters {
   long duplicates = 0;  ///< offers rejected as already seen (pooled or applied)
   long applied = 0;     ///< cuts handed out by select()
   long aged_out = 0;    ///< cuts dropped after going unselected too long
+  long evicted = 0;     ///< cuts displaced by the capacity cap
 };
 
 class CutPool {
  public:
-  explicit CutPool(int max_age = 4) : max_age_(max_age) {}
+  /// `capacity` caps the pooled (unapplied) cuts; 0 = unbounded. At capacity
+  /// an incoming fresh cut evicts the stalest pooled entry — highest age,
+  /// oldest id on ties — so the pool degrades deterministically instead of
+  /// growing without bound on cut-heavy models.
+  explicit CutPool(int max_age = 4, int capacity = 0)
+      : max_age_(max_age), capacity_(capacity) {}
 
   /// Offers one cut. Returns false when an identical cut (same type, rhs and
   /// entries up to 1e-9 rounding) was already offered — including cuts that
@@ -63,6 +69,7 @@ class CutPool {
   std::unordered_set<std::uint64_t> seen_;
   CutPoolCounters counters_;
   int max_age_;
+  int capacity_;
   long next_id_ = 0;
 };
 

@@ -33,12 +33,19 @@ std::string RunMetrics::to_string() const {
   table.set_header({"analysis", "steps", "outputs", "setup", "per-step", "compute", "output",
                     "written"});
   for (const AnalysisMetrics& a : analyses) {
-    table.add_row({a.name, format("%ld", a.analysis_steps), format("%ld", a.output_steps),
+    std::string name = a.name;
+    if (a.disabled) name += " [disabled]";
+    table.add_row({name, format("%ld", a.analysis_steps), format("%ld", a.output_steps),
                    format_seconds(a.setup_seconds), format_seconds(a.per_step_seconds),
                    format_seconds(a.compute_seconds), format_seconds(a.output_seconds),
                    format_bytes(a.bytes_written)});
   }
-  return table.render();
+  std::string out = table.render();
+  if (analysis_failures > 0 || analyses_disabled > 0 || memory_overruns > 0)
+    out += format("failures: %ld analysis step(s) failed, %ld analysis(es) disabled, "
+                  "%ld memory overrun(s)\n",
+                  analysis_failures, analyses_disabled, memory_overruns);
+  return out;
 }
 
 }  // namespace insched::runtime

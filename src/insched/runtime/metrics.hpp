@@ -17,6 +17,8 @@ struct AnalysisMetrics {
   double compute_seconds = 0.0;   ///< accumulated ct
   double output_seconds = 0.0;    ///< accumulated ot (measured or modeled)
   double bytes_written = 0.0;
+  long failures = 0;              ///< analyze()/output() calls that threw
+  bool disabled = false;          ///< turned off mid-run by a failure policy
 
   [[nodiscard]] double total_seconds() const noexcept {
     return setup_seconds + per_step_seconds + compute_seconds + output_seconds;
@@ -37,6 +39,12 @@ struct RunMetrics {
   // hidden behind subsequent simulation steps (charged at the end).
   double async_output_seconds = 0.0;
   double async_drain_seconds = 0.0;
+  // Failure-policy accounting (RuntimeConfig::on_analysis_failure /
+  // on_memory_overrun): exceptions swallowed, analyses disabled mid-run,
+  // and steps whose committed memory peak exceeded the budget.
+  long analysis_failures = 0;
+  long analyses_disabled = 0;
+  long memory_overruns = 0;
 
   [[nodiscard]] double total_analysis_seconds() const noexcept;
   [[nodiscard]] double visible_analysis_seconds() const noexcept;

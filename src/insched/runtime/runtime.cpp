@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "insched/perfmodel/profiler.hpp"
 #include "insched/support/assert.hpp"
+#include "insched/support/fault_inject.hpp"
+#include "insched/support/log.hpp"
 
 namespace insched::runtime {
+
+const char* to_string(FailurePolicy policy) noexcept {
+  switch (policy) {
+    case FailurePolicy::kSkipAndLog: return "skip_and_log";
+    case FailurePolicy::kDisableAnalysis: return "disable_analysis";
+    case FailurePolicy::kAbort: return "abort";
+  }
+  return "unknown";
+}
 
 namespace {
 using Clock = std::chrono::steady_clock;
@@ -52,6 +67,29 @@ RunMetrics InsituRuntime::run() {
   std::vector<std::size_t> next_a(n, 0), next_o(n, 0);
   double async_debt = 0.0;  // modeled write time not yet hidden
 
+  // Failure-policy state: analyses turned off mid-run, and the violation
+  // count already attributed to a policy decision.
+  std::vector<char> disabled(n, 0);
+  long violations_seen = 0;
+  const auto disable = [&](std::size_t i, const char* why) {
+    disabled[i] = 1;
+    metrics.analyses[i].disabled = true;
+    ++metrics.analyses_disabled;
+    INSCHED_LOG_WARN("insitu runtime: disabling analysis '%s' (%s)",
+                     metrics.analyses[i].name.c_str(), why);
+  };
+  // Shared analyze/output failure handling; returns after applying the
+  // configured policy (kAbort rethrows from the catch site instead).
+  const auto note_failure = [&](std::size_t i, long step, const char* phase,
+                                const char* what) {
+    ++metrics.analyses[i].failures;
+    ++metrics.analysis_failures;
+    INSCHED_LOG_WARN("insitu runtime: analysis '%s' %s failed at step %ld: %s",
+                     metrics.analyses[i].name.c_str(), phase, step, what);
+    if (config_.on_analysis_failure == FailurePolicy::kDisableAnalysis)
+      disable(i, "analysis failure policy");
+  };
+
   for (long step = 1; step <= schedule_.steps(); ++step) {
     {
       INSCHED_PROFILE("simulation/step");
@@ -67,7 +105,7 @@ RunMetrics InsituRuntime::run() {
     // Per-step facilitation of every active analysis (it / im).
     for (std::size_t i = 0; i < n; ++i) {
       const scheduler::AnalysisSchedule& s = schedule_.analysis(i);
-      if (!s.active()) continue;
+      if (!s.active() || disabled[i]) continue;
       analysis::IAnalysis& a = analyses_.at(i);
       const double before = a.resident_bytes();
       const auto begin = Clock::now();
@@ -88,19 +126,38 @@ RunMetrics InsituRuntime::run() {
           next_a[i] < s.analysis_steps.size() && s.analysis_steps[next_a[i]] == step;
       if (!analysis_step) continue;
       ++next_a[i];
+      const bool output_due =
+          next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == step;
+      if (disabled[i]) {
+        // Keep the output cursor aligned with the schedule even while off.
+        if (output_due) ++next_o[i];
+        continue;
+      }
       analysis::IAnalysis& a = analyses_.at(i);
       const double before = a.resident_bytes();
       const auto begin = Clock::now();
-      {
+      bool ok = true;
+      try {
         INSCHED_PROFILE("insitu/analyze");
+        if (fault::enabled() && fault::should_fail(fault::Hook::kRuntimeAnalyze))
+          throw std::runtime_error("injected analysis fault");
         (void)a.analyze();
+      } catch (const std::exception& e) {
+        if (config_.on_analysis_failure == FailurePolicy::kAbort) throw;
+        ok = false;
+        note_failure(i, step, "analyze", e.what());
       }
       if (config_.measure_time)
         metrics.analyses[i].compute_seconds += seconds_since(begin);
+      if (!ok) {
+        // The failed step produced nothing to flush.
+        if (output_due) ++next_o[i];
+        continue;
+      }
       ++metrics.analyses[i].analysis_steps;
       tracker.add_analysis(i, std::max(0.0, a.resident_bytes() - before));
 
-      output_now[i] = next_o[i] < s.output_steps.size() && s.output_steps[next_o[i]] == step;
+      output_now[i] = output_due;
     }
 
     // Output allocation happens before the step's memory peak is sampled,
@@ -110,29 +167,74 @@ RunMetrics InsituRuntime::run() {
     }
     tracker.commit_step();
 
+    // Memory-budget overrun policy: the tracker samples the step's committed
+    // peak against the budget; new violations trigger the configured action.
+    const long violations_now = tracker.violations();
+    if (violations_now > violations_seen) {
+      metrics.memory_overruns += violations_now - violations_seen;
+      violations_seen = violations_now;
+      switch (config_.on_memory_overrun) {
+        case FailurePolicy::kAbort:
+          throw std::runtime_error("in-situ memory budget overrun at step " +
+                                   std::to_string(step));
+        case FailurePolicy::kDisableAnalysis: {
+          // Shed the largest-footprint analysis still running; its tracked
+          // memory stops growing and later steps skip it entirely.
+          std::size_t victim = n;
+          double worst = -1.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (disabled[i] || !schedule_.analysis(i).active()) continue;
+            const double b = analyses_.at(i).resident_bytes();
+            if (b > worst) {
+              worst = b;
+              victim = i;
+            }
+          }
+          if (victim < n) disable(victim, "memory budget overrun");
+          break;
+        }
+        case FailurePolicy::kSkipAndLog:
+          INSCHED_LOG_WARN("insitu runtime: memory budget overrun at step %ld "
+                           "(peak %.0f bytes)",
+                           step, tracker.peak());
+          break;
+      }
+    }
+
     for (std::size_t i = 0; i < n; ++i) {
       if (!output_now[i]) continue;
       ++next_o[i];
       analysis::IAnalysis& a = analyses_.at(i);
       const auto begin = Clock::now();
       double bytes = 0.0;
-      {
+      bool ok = true;
+      try {
         INSCHED_PROFILE("insitu/output");
+        if (fault::enabled() && fault::should_fail(fault::Hook::kRuntimeOutput))
+          throw std::runtime_error("injected output fault");
         bytes = a.output();
+      } catch (const std::exception& e) {
+        if (config_.on_analysis_failure == FailurePolicy::kAbort) throw;
+        ok = false;
+        note_failure(i, step, "output", e.what());
       }
       if (config_.measure_time)
         metrics.analyses[i].output_seconds += seconds_since(begin);
-      if (store) {
-        const double write_seconds = store->write(bytes);
-        if (config_.async_output) {
-          metrics.async_output_seconds += write_seconds;
-          async_debt += write_seconds;  // hidden behind later sim steps
-        } else {
-          metrics.analyses[i].output_seconds += write_seconds;
+      if (ok) {
+        if (store) {
+          const double write_seconds = store->write(bytes);
+          if (config_.async_output) {
+            metrics.async_output_seconds += write_seconds;
+            async_debt += write_seconds;  // hidden behind later sim steps
+          } else {
+            metrics.analyses[i].output_seconds += write_seconds;
+          }
         }
+        metrics.analyses[i].bytes_written += bytes;
+        ++metrics.analyses[i].output_steps;
       }
-      metrics.analyses[i].bytes_written += bytes;
-      ++metrics.analyses[i].output_steps;
+      // The output buffer is released either way (a failed flush is dropped),
+      // keeping the Eq 5-6 recurrence consistent.
       tracker.finish_output(i);
     }
   }

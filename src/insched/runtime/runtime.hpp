@@ -19,6 +19,17 @@
 
 namespace insched::runtime {
 
+/// What the runtime does when an analysis step throws or a committed step's
+/// memory peak overruns the budget (docs/ROBUSTNESS.md). The simulation
+/// itself is never sacrificed: analyses are the expendable part of the loop.
+enum class FailurePolicy {
+  kSkipAndLog,       ///< drop this step's analysis work, keep it scheduled
+  kDisableAnalysis,  ///< permanently disable the offending analysis
+  kAbort,            ///< propagate: the exception leaves run()
+};
+
+[[nodiscard]] const char* to_string(FailurePolicy policy) noexcept;
+
 struct RuntimeConfig {
   /// Storage model for analysis outputs; when set, each output's modeled
   /// write time (bytes/bw) is charged to the analysis's output_seconds in
@@ -32,6 +43,11 @@ struct RuntimeConfig {
   /// subsequent simulation steps instead of blocking the analysis; any
   /// remainder at the end of the run is charged as async_drain_seconds.
   bool async_output = false;
+  /// Applied when IAnalysis::analyze() or output() throws.
+  FailurePolicy on_analysis_failure = FailurePolicy::kSkipAndLog;
+  /// Applied when a committed step's memory peak exceeds `memory_budget`.
+  /// kDisableAnalysis turns off the largest-footprint active analysis.
+  FailurePolicy on_memory_overrun = FailurePolicy::kSkipAndLog;
 };
 
 class InsituRuntime {

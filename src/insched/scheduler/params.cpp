@@ -30,25 +30,32 @@ double ScheduleProblem::output_time(std::size_t i) const {
 
 void ScheduleProblem::validate() const {
   if (steps <= 0) throw std::invalid_argument("ScheduleProblem: steps must be positive");
-  if (threshold < 0.0) throw std::invalid_argument("ScheduleProblem: negative threshold");
-  if (threshold_kind == ThresholdKind::kFractionOfSimTime && sim_time_per_step <= 0.0)
+  if (!(threshold >= 0.0))  // also rejects NaN
+    throw std::invalid_argument("ScheduleProblem: threshold must be >= 0 (and not NaN)");
+  if (threshold_kind == ThresholdKind::kFractionOfSimTime && !(sim_time_per_step > 0.0))
     throw std::invalid_argument("ScheduleProblem: fraction threshold needs sim_time_per_step");
-  if (mth < 0.0) throw std::invalid_argument("ScheduleProblem: negative memory threshold");
+  if (!(mth >= 0.0))  // +infinity (kNoLimit) passes, NaN does not
+    throw std::invalid_argument("ScheduleProblem: memory threshold must be >= 0 (or kNoLimit)");
+  if (!(bw > 0.0))  // bw == 0 would turn ot = om/bw into a division by zero
+    throw std::invalid_argument(
+        "ScheduleProblem: bandwidth must be positive (use kNoLimit for no bottleneck)");
   for (const AnalysisParams& a : analyses) {
     if (a.itv < 1)
       throw std::invalid_argument(format("analysis %s: itv must be >= 1", a.name.c_str()));
     if (a.itv > steps)
       throw std::invalid_argument(
           format("analysis %s: itv %ld exceeds steps %ld", a.name.c_str(), a.itv, steps));
-    if (a.weight < 0.0)
-      throw std::invalid_argument(format("analysis %s: negative weight", a.name.c_str()));
-    if (a.ft < 0.0 || a.it < 0.0 || a.ct < 0.0)
-      throw std::invalid_argument(format("analysis %s: negative time", a.name.c_str()));
-    if (a.fm < 0.0 || a.im < 0.0 || a.cm < 0.0 || a.om < 0.0)
-      throw std::invalid_argument(format("analysis %s: negative memory", a.name.c_str()));
-    if (a.ot < 0.0 && a.om > 0.0 && !(bw > 0.0))
+    if (!(a.weight >= 0.0))
+      throw std::invalid_argument(format("analysis %s: weight must be >= 0", a.name.c_str()));
+    if (!(a.ft >= 0.0) || !(a.it >= 0.0) || !(a.ct >= 0.0) ||
+        !std::isfinite(a.ft) || !std::isfinite(a.it) || !std::isfinite(a.ct))
       throw std::invalid_argument(
-          format("analysis %s: derived output time needs bandwidth", a.name.c_str()));
+          format("analysis %s: times (ft/it/ct) must be finite and >= 0", a.name.c_str()));
+    if (!(a.fm >= 0.0) || !(a.im >= 0.0) || !(a.cm >= 0.0) || !(a.om >= 0.0) ||
+        !std::isfinite(a.fm) || !std::isfinite(a.im) || !std::isfinite(a.cm) ||
+        !std::isfinite(a.om))
+      throw std::invalid_argument(
+          format("analysis %s: memory (fm/im/cm/om) must be finite and >= 0", a.name.c_str()));
   }
 }
 

@@ -41,6 +41,27 @@ const char* policy_name(OutputPolicy policy) {
   return "every_analysis";
 }
 
+// Config-layer rejection with messages that name the section and key. The
+// structural rules live in ScheduleProblem::validate(); these checks are
+// stricter (e.g. threshold must be strictly positive here, while a directly
+// constructed problem may legitimately model a zero budget).
+void reject(const std::string& where, const std::string& why) {
+  throw std::runtime_error("config: " + where + ": " + why);
+}
+
+void require_positive(const std::string& where, const char* key, double value,
+                      const char* hint = nullptr) {
+  if (value > 0.0 && std::isfinite(value)) return;
+  std::string why = format("'%s' must be a positive finite number, got %g", key, value);
+  if (hint != nullptr) why += format(" (%s)", hint);
+  reject(where, why);
+}
+
+void require_nonneg(const std::string& where, const char* key, double value) {
+  if (value >= 0.0 && std::isfinite(value)) return;
+  reject(where, format("'%s' must be a finite number >= 0, got %g", key, value));
+}
+
 }  // namespace
 
 ScheduleProblem problem_from_config(const Config& config) {
@@ -49,11 +70,23 @@ ScheduleProblem problem_from_config(const Config& config) {
 
   ScheduleProblem problem;
   problem.steps = run->get_integer("steps", 1000);
+  if (problem.steps <= 0)
+    reject("[run]", format("'steps' must be positive, got %ld", problem.steps));
   problem.sim_time_per_step = run->get_number("sim_time_per_step", 1.0);
+  require_positive("[run]", "sim_time_per_step", problem.sim_time_per_step);
   problem.threshold = run->get_number("threshold", 0.1);
+  require_positive("[run]", "threshold", problem.threshold,
+                   "a zero analysis budget schedules nothing");
   problem.threshold_kind = parse_kind(run->get_string("threshold_kind", "fraction"));
   problem.mth = run->has("memory") ? run->get_number("memory", kNoLimit) : kNoLimit;
+  if (run->has("memory") && std::isfinite(problem.mth))
+    require_positive("[run]", "memory", problem.mth,
+                     "omit the key for an unlimited memory budget");
   problem.bw = run->has("bandwidth") ? run->get_number("bandwidth", kNoLimit) : kNoLimit;
+  if (run->has("bandwidth") && std::isfinite(problem.bw))
+    require_positive("[run]", "bandwidth", problem.bw,
+                     "derived output time ot = om/bw would divide by zero; omit the "
+                     "key for unlimited bandwidth");
   problem.output_policy = parse_policy(run->get_string("output_policy", "every_analysis"));
 
   const auto analyses = config.sections("analysis");
@@ -63,6 +96,7 @@ ScheduleProblem problem_from_config(const Config& config) {
     a.name = section->get_string("name");
     if (a.name.empty())
       throw std::runtime_error("config: [analysis] section without a name");
+    const std::string where = "[analysis] '" + a.name + "'";
     a.ft = section->get_number("ft", 0.0);
     a.it = section->get_number("it", 0.0);
     a.ct = section->get_number("ct", 0.0);
@@ -73,6 +107,21 @@ ScheduleProblem problem_from_config(const Config& config) {
     a.om = section->get_number("om", 0.0);
     a.weight = section->get_number("weight", 1.0);
     a.itv = section->get_integer("itv", 1);
+    require_nonneg(where, "ft", a.ft);
+    require_nonneg(where, "it", a.it);
+    require_nonneg(where, "ct", a.ct);
+    if (section->has("ot")) require_nonneg(where, "ot", a.ot);
+    require_nonneg(where, "fm", a.fm);
+    require_nonneg(where, "im", a.im);
+    require_nonneg(where, "cm", a.cm);
+    require_nonneg(where, "om", a.om);
+    require_nonneg(where, "weight", a.weight);
+    if (a.itv <= 0)
+      reject(where, format("'itv' must be positive, got %ld", a.itv));
+    if (a.itv > problem.steps)
+      reject(where, format("'itv' (%ld) exceeds [run] steps (%ld): the analysis "
+                           "could never run",
+                           a.itv, problem.steps));
     problem.analyses.push_back(std::move(a));
   }
 

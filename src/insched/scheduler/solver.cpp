@@ -4,14 +4,30 @@
 #include <cmath>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/greedy.hpp"
 #include "insched/scheduler/placement.hpp"
 #include "insched/scheduler/timeexp_milp.hpp"
 #include "insched/support/assert.hpp"
 #include "insched/support/log.hpp"
 
 namespace insched::scheduler {
+
+const char* to_string(FailureClass failure) noexcept {
+  switch (failure) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kInfeasibleModel: return "infeasible_model";
+    case FailureClass::kTimeLimit: return "time_limit";
+    case FailureClass::kNodeLimit: return "node_limit";
+    case FailureClass::kWorkLimit: return "work_limit";
+    case FailureClass::kNumerical: return "numerical";
+    case FailureClass::kValidationFailed: return "validation_failed";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -42,6 +58,14 @@ void add_counters(mip::MipCounters* into, const mip::MipCounters& c) {
   into->lp_eta_pivots += c.lp_eta_pivots;
   into->lp_rhs_nonzeros += c.lp_rhs_nonzeros;
   into->lp_rhs_dimension += c.lp_rhs_dimension;
+  into->cuts_evicted += c.cuts_evicted;
+  into->lp_recover_refactor += c.lp_recover_refactor;
+  into->lp_recover_repair += c.lp_recover_repair;
+  into->lp_recover_perturb += c.lp_recover_perturb;
+  into->lp_recover_residual += c.lp_recover_residual;
+  into->lp_recover_resolve += c.lp_recover_resolve;
+  into->node_retries += c.node_retries;
+  into->root_retries += c.root_retries;
   into->factor_cache_peak_bytes =
       std::max(into->factor_cache_peak_bytes, c.factor_cache_peak_bytes);
   into->factor_cache_peak_dense_bytes =
@@ -66,6 +90,8 @@ ScheduleSolution solve_aggregate(const ScheduleProblem& problem, const SolveOpti
   out.nodes = res.nodes;
   out.lp_iterations = res.lp_iterations;
   out.mip_counters = res.counters;
+  out.diagnostics.gap_abs = res.gap();
+  out.diagnostics.gap_rel = res.gap_rel();
   if (!res.has_solution) return out;
 
   const AggregateCounts counts = decode_aggregate(built, res.x);
@@ -89,6 +115,8 @@ ScheduleSolution solve_time_expanded(const ScheduleProblem& problem,
   out.nodes = res.nodes;
   out.lp_iterations = res.lp_iterations;
   out.mip_counters = res.counters;
+  out.diagnostics.gap_abs = res.gap();
+  out.diagnostics.gap_rel = res.gap_rel();
   if (!res.has_solution) return out;
 
   out.schedule = decode_time_expanded(problem, built, res.x);
@@ -158,18 +186,86 @@ ScheduleSolution solve_lexicographic(const ScheduleProblem& problem,
   return last;
 }
 
+// Maps a failed MILP outcome to the taxonomy. Only called when no usable
+// schedule came back, so a limit termination here means "truncated without
+// an incumbent".
+FailureClass classify_failure(const ScheduleSolution& out) {
+  switch (out.termination) {
+    case mip::MipTermination::kProvedInfeasible: return FailureClass::kInfeasibleModel;
+    case mip::MipTermination::kTimeLimit: return FailureClass::kTimeLimit;
+    case mip::MipTermination::kNodeLimit: return FailureClass::kNodeLimit;
+    case mip::MipTermination::kWorkLimit: return FailureClass::kWorkLimit;
+    default: return FailureClass::kNumerical;
+  }
+}
+
+// Graceful degradation: replace the (missing or invalid) MILP schedule with
+// the greedy heuristic's. The greedy schedule satisfies the time budget and
+// the conservative per-analysis memory bound by construction, so it is
+// validated and only committed when the exact recurrence accepts it.
+void degrade_to_greedy(const ScheduleProblem& problem, const SolveOptions& options,
+                       FailureClass why, const std::string& message,
+                       ScheduleSolution* out) {
+  Schedule fallback = greedy_schedule(problem);
+  if (options.run_validation) {
+    out->validation = validate_schedule(problem, fallback);
+    if (!out->validation.feasible) {
+      // Even the heuristic cannot satisfy the exact recurrence: report the
+      // original failure honestly instead of shipping an infeasible plan.
+      out->solved = false;
+      out->degraded = false;
+      out->diagnostics.degraded = false;
+      out->diagnostics.failure = why;
+      out->diagnostics.message = message + "; greedy fallback failed validation";
+      return;
+    }
+  }
+  out->schedule = std::move(fallback);
+  out->frequencies = out->schedule.frequencies();
+  out->output_counts.clear();
+  for (const AnalysisSchedule& a : out->schedule.analyses())
+    out->output_counts.push_back(a.output_count());
+  out->objective = out->schedule.objective(weights_of(problem));
+  out->solved = true;
+  out->proven_optimal = false;
+  out->degraded = true;
+  out->diagnostics.degraded = true;
+  out->diagnostics.failure = why;
+  out->diagnostics.message = message;
+  INSCHED_LOG_WARN("scheduler degraded to greedy schedule: %s", message.c_str());
+}
+
 }  // namespace
 
 ScheduleSolution solve_schedule(const ScheduleProblem& problem, const SolveOptions& options) {
   problem.validate();
   ScheduleSolution out;
-  if (options.formulation == Formulation::kAggregate) {
-    out = options.weight_mode == WeightMode::kLexicographic
-              ? solve_lexicographic(problem, options)
-              : solve_aggregate(problem, options);
-  } else {
-    out = solve_time_expanded(problem, options);
+
+  // A non-positive time budget is honored before any MILP work: the MILP
+  // cannot finish in 0 seconds, so skip straight to the greedy fallback
+  // (deterministic, crash-free) instead of building and truncating a model.
+  if (options.mip.time_limit_s <= 0.0) {
+    out.status = lp::SolveStatus::kIterationLimit;
+    out.termination = mip::MipTermination::kTimeLimit;
+    out.diagnostics.failure = FailureClass::kTimeLimit;
+    out.diagnostics.message = "time budget exhausted before the MILP solve started";
+    if (options.fallback_to_greedy)
+      degrade_to_greedy(problem, options, FailureClass::kTimeLimit,
+                        "time budget exhausted before the MILP solve started", &out);
+    return out;
   }
+
+  const auto run = [&](const ScheduleProblem& p) {
+    if (options.formulation == Formulation::kAggregate) {
+      return options.weight_mode == WeightMode::kLexicographic
+                 ? solve_lexicographic(p, options)
+                 : solve_aggregate(p, options);
+    }
+    return solve_time_expanded(p, options);
+  };
+
+  out = run(problem);
+  int resolve_attempts = 0;
   if (out.solved && options.run_validation) {
     out.validation = validate_schedule(problem, out.schedule);
     // The aggregate memory bound is conservative against placement's gap
@@ -186,15 +282,37 @@ ScheduleSolution solve_schedule(const ScheduleProblem& problem, const SolveOptio
       }
       if (!memory_violation || !std::isfinite(problem.mth)) break;
       tightened.mth *= 0.9;
-      out = options.formulation == Formulation::kAggregate
-                ? (options.weight_mode == WeightMode::kLexicographic
-                       ? solve_lexicographic(tightened, options)
-                       : solve_aggregate(tightened, options))
-                : solve_time_expanded(tightened, options);
+      ++resolve_attempts;
+      out = run(tightened);
       if (!out.solved) break;
       out.validation = validate_schedule(problem, out.schedule);
     }
-    INSCHED_ASSERT(!out.solved || out.validation.feasible);
+  }
+  out.diagnostics.resolve_attempts = resolve_attempts;
+  out.diagnostics.recoveries = out.mip_counters.recoveries();
+
+  if (!out.solved) {
+    const FailureClass why = classify_failure(out);
+    out.diagnostics.failure = why;
+    out.diagnostics.message =
+        std::string("MILP solve failed: ") + mip::to_string(out.termination);
+    if (options.fallback_to_greedy && why != FailureClass::kInfeasibleModel) {
+      // A proven-infeasible model is a statement about the problem, not a
+      // solver failure — substituting a heuristic schedule would mask it.
+      degrade_to_greedy(problem, options, why, out.diagnostics.message, &out);
+      out.diagnostics.resolve_attempts = resolve_attempts;
+    }
+  } else if (options.run_validation && !out.validation.feasible) {
+    // Tightened re-solves exhausted without an acceptable schedule.
+    out.diagnostics.failure = FailureClass::kValidationFailed;
+    out.diagnostics.message = "MILP schedule failed exact validation";
+    if (options.fallback_to_greedy) {
+      degrade_to_greedy(problem, options, FailureClass::kValidationFailed,
+                        out.diagnostics.message, &out);
+      out.diagnostics.resolve_attempts = resolve_attempts;
+    } else {
+      out.solved = false;
+    }
   }
   return out;
 }

@@ -4,6 +4,17 @@
 // ScheduleProblem (aggregate by default, time-expanded on request), solves it
 // with the branch-and-bound engine, places the recommended counts on the
 // timeline, and validates the resulting schedule against the exact Eqs 2-9.
+//
+// Failure handling (docs/ROBUSTNESS.md): every exit is classified into a
+// FailureClass and reported in ScheduleSolution::diagnostics. When the MILP
+// cannot deliver a validated schedule — blown time budget, node/work limit
+// without an incumbent, numerical collapse, or a validation failure that
+// survives the tightened re-solves — solve_schedule degrades to the greedy
+// heuristic (greedy.hpp) instead of asserting or returning nothing: the
+// caller always gets a feasible schedule, flagged `degraded`, unless
+// `fallback_to_greedy` is disabled.
+
+#include <string>
 
 #include "insched/mip/branch_and_bound.hpp"
 #include "insched/scheduler/params.hpp"
@@ -31,11 +42,43 @@ struct SolveOptions {
   WeightMode weight_mode = WeightMode::kWeightedSum;
   mip::MipOptions mip;
   bool run_validation = true;
+  /// Degrade to the greedy schedule (flagged in diagnostics) when the MILP
+  /// fails outright or its schedule cannot be validated. Off: failures are
+  /// reported as `solved == false` with the failure class filled in.
+  bool fallback_to_greedy = true;
+};
+
+/// Coarse taxonomy of why a solve fell short of a proven-optimal, validated
+/// schedule (docs/ROBUSTNESS.md).
+enum class FailureClass {
+  kNone,              ///< clean solve
+  kInfeasibleModel,   ///< the MILP itself is infeasible
+  kTimeLimit,         ///< wall-clock budget exhausted
+  kNodeLimit,         ///< node budget exhausted without an incumbent
+  kWorkLimit,         ///< LP-iteration budget exhausted without an incumbent
+  kNumerical,         ///< solver numerical failure after all recovery rungs
+  kValidationFailed,  ///< MILP schedule kept failing the exact Eq 2-9 check
+};
+
+[[nodiscard]] const char* to_string(FailureClass failure) noexcept;
+
+/// Structured failure/recovery report attached to every ScheduleSolution.
+struct SolveDiagnostics {
+  FailureClass failure = FailureClass::kNone;
+  bool degraded = false;      ///< schedule came from the greedy fallback
+  int resolve_attempts = 0;   ///< validation-driven tightened re-solves
+  double gap_abs = 0.0;       ///< |bound - incumbent| of the final MIP solve
+  double gap_rel = 0.0;       ///< gap_abs / max(1, |objective|)
+  long recoveries = 0;        ///< MipCounters::recoveries() summed over tiers
+  std::string message;        ///< one-line human-readable explanation
 };
 
 struct ScheduleSolution {
   bool solved = false;       ///< a feasible schedule was found
   bool proven_optimal = false;
+  /// True when `schedule` is the greedy fallback, not a MILP optimum
+  /// (mirrors diagnostics.degraded for quick checks).
+  bool degraded = false;
   Schedule schedule;
   std::vector<long> frequencies;    ///< |C_i| per analysis (paper-table rows)
   std::vector<long> output_counts;  ///< |O_i| per analysis
@@ -49,6 +92,7 @@ struct ScheduleSolution {
   /// tier's termination but accumulate nodes/iterations/counters over all.
   mip::MipTermination termination = mip::MipTermination::kNumericalFailure;
   mip::MipCounters mip_counters;    ///< warm/cold solves, steals, ... summed over tiers
+  SolveDiagnostics diagnostics;     ///< failure taxonomy + recovery counters
 };
 
 [[nodiscard]] ScheduleSolution solve_schedule(const ScheduleProblem& problem,

@@ -1,0 +1,175 @@
+#include "insched/support/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "insched/support/log.hpp"
+#include "insched/support/string_util.hpp"
+
+namespace insched::fault {
+
+namespace {
+
+constexpr int kHooks = static_cast<int>(Hook::kCount);
+
+struct HookState {
+  std::atomic<long> count{0};     ///< events observed while enabled
+  std::atomic<long> first{0};     ///< first armed event index (0 = disarmed)
+  std::atomic<long> remaining{0}; ///< failures left in the armed window
+  std::atomic<long> fired{0};     ///< failures actually injected
+};
+
+HookState g_hooks[kHooks];
+std::atomic<int> g_armed_hooks{0};
+std::atomic<int> g_counting_scopes{0};
+
+HookState& state_of(Hook hook) noexcept {
+  return g_hooks[static_cast<int>(hook)];
+}
+
+// INSCHED_FAULT is parsed once, on the first enabled()/should_fail() call
+// (a static-init-order-safe lazy read instead of a global constructor).
+std::atomic<bool> g_env_parsed{false};
+
+void parse_env_once() noexcept {
+  bool expected = false;
+  if (!g_env_parsed.compare_exchange_strong(expected, true)) return;
+  const char* spec = std::getenv("INSCHED_FAULT");
+  if (spec != nullptr && *spec != '\0' && !arm_from_spec(spec)) {
+    INSCHED_LOG_WARN("ignoring malformed INSCHED_FAULT spec: %s", spec);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Hook hook) noexcept {
+  switch (hook) {
+    case Hook::kLuFactorize: return "lu_factorize";
+    case Hook::kLuFtran: return "lu_ftran";
+    case Hook::kLuBtran: return "lu_btran";
+    case Hook::kDualPivot: return "dual_pivot";
+    case Hook::kCutSeparation: return "cut_separation";
+    case Hook::kRuntimeAnalyze: return "runtime_analyze";
+    case Hook::kRuntimeOutput: return "runtime_output";
+    case Hook::kCount: break;
+  }
+  return "unknown";
+}
+
+bool enabled() noexcept {
+  parse_env_once();
+  return g_armed_hooks.load(std::memory_order_relaxed) > 0 ||
+         g_counting_scopes.load(std::memory_order_relaxed) > 0;
+}
+
+bool should_fail(Hook hook) noexcept {
+  if (!enabled()) return false;
+  HookState& s = state_of(hook);
+  const long event = s.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  const long first = s.first.load(std::memory_order_relaxed);
+  if (first <= 0 || event < first) return false;
+  // Claim one failure from the armed window; the last claim disarms the
+  // hook so concurrent callers inject exactly `count` failures in total.
+  long left = s.remaining.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (s.remaining.compare_exchange_weak(left, left - 1, std::memory_order_relaxed)) {
+      if (left == 1) {
+        s.first.store(0, std::memory_order_relaxed);
+        g_armed_hooks.fetch_sub(1, std::memory_order_relaxed);
+      }
+      s.fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+long events(Hook hook) noexcept {
+  return state_of(hook).count.load(std::memory_order_relaxed);
+}
+
+long injected(Hook hook) noexcept {
+  return state_of(hook).fired.load(std::memory_order_relaxed);
+}
+
+void arm(Hook hook, long nth, long count) noexcept {
+  HookState& s = state_of(hook);
+  const bool was_armed = s.first.load(std::memory_order_relaxed) > 0;
+  if (nth <= 0 || count <= 0) {
+    if (was_armed) {
+      s.first.store(0, std::memory_order_relaxed);
+      s.remaining.store(0, std::memory_order_relaxed);
+      g_armed_hooks.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  s.count.store(0, std::memory_order_relaxed);
+  s.remaining.store(count, std::memory_order_relaxed);
+  s.first.store(nth, std::memory_order_relaxed);
+  if (!was_armed) g_armed_hooks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm_all() noexcept {
+  for (int h = 0; h < kHooks; ++h) arm(static_cast<Hook>(h), 0);
+}
+
+void reset_counts() noexcept {
+  for (int h = 0; h < kHooks; ++h) {
+    g_hooks[h].count.store(0, std::memory_order_relaxed);
+    g_hooks[h].fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool arm_from_spec(const std::string& spec) {
+  struct Parsed {
+    Hook hook;
+    long nth;
+    long count;
+  };
+  std::vector<Parsed> parsed;
+  for (const std::string& part : split(spec, ',')) {
+    const std::string entry{trim(part)};
+    if (entry.empty()) continue;
+    const std::vector<std::string> fields = split(entry, ':');
+    if (fields.size() < 2 || fields.size() > 3) return false;
+    Hook hook = Hook::kCount;
+    for (int h = 0; h < kHooks; ++h) {
+      if (trim(fields[0]) == to_string(static_cast<Hook>(h))) {
+        hook = static_cast<Hook>(h);
+        break;
+      }
+    }
+    if (hook == Hook::kCount) return false;
+    char* end = nullptr;
+    const long nth = std::strtol(fields[1].c_str(), &end, 10);
+    if (end == fields[1].c_str() || *end != '\0' || nth <= 0) return false;
+    long count = 1;
+    if (fields.size() == 3) {
+      count = std::strtol(fields[2].c_str(), &end, 10);
+      if (end == fields[2].c_str() || *end != '\0' || count <= 0) return false;
+    }
+    parsed.push_back({hook, nth, count});
+  }
+  for (const Parsed& p : parsed) arm(p.hook, p.nth, p.count);
+  return true;
+}
+
+ScopedCounting::ScopedCounting() noexcept {
+  g_counting_scopes.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedCounting::~ScopedCounting() {
+  g_counting_scopes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ScopedFault::ScopedFault(Hook hook, long nth, long count) noexcept {
+  arm(hook, nth, count);
+}
+
+ScopedFault::~ScopedFault() {
+  disarm_all();
+  reset_counts();
+}
+
+}  // namespace insched::fault

@@ -1,0 +1,89 @@
+#pragma once
+
+// Deterministic fault-injection harness for the numerical-resilience layer
+// (docs/ROBUSTNESS.md). Production code places named hook points at the
+// spots where hardware, round-off or I/O can genuinely fail; tests arm a
+// hook to fire at its Nth observed event and assert that the recovery
+// ladder restores the documented behaviour. With no hook armed and no
+// counting scope active, a hook call is a single relaxed atomic load.
+//
+// All state is process-global and atomic: hooks may be hit concurrently
+// from branch-and-bound worker threads, and arming is single-shot — once
+// the armed event fires the hook disarms itself, so one injection yields
+// exactly one failure regardless of thread interleaving.
+//
+// Arming sources, in precedence order:
+//   1. explicit arm() / ScopedFault in tests,
+//   2. mip::MipOptions::fault_spec (armed at solve_mip entry),
+//   3. the INSCHED_FAULT environment variable (parsed once at startup).
+// Specs use the syntax "hook:N[:count][,hook:N[:count]...]" where `hook`
+// is a name from to_string(), `N` is the 1-based event index of the first
+// failure and `count` (default 1) makes the next `count` events fail in a
+// row — consecutive failures are what pushes the recovery ladder past its
+// first rung.
+
+#include <string>
+
+namespace insched::fault {
+
+enum class Hook : int {
+  kLuFactorize = 0,  ///< "lu_factorize": LU reports the basis as singular
+  kLuFtran,          ///< "lu_ftran": FTRAN solution corrupted (drift)
+  kLuBtran,          ///< "lu_btran": BTRAN solution corrupted (drift)
+  kDualPivot,        ///< "dual_pivot": a dual-simplex solve loses its pivot
+  kCutSeparation,    ///< "cut_separation": a separation round yields nothing
+  kRuntimeAnalyze,   ///< "runtime_analyze": IAnalysis::analyze throws
+  kRuntimeOutput,    ///< "runtime_output": IAnalysis::output throws
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Hook hook) noexcept;
+
+/// Fast path guard: true while any hook is armed or a counting scope is
+/// active. Hook sites may (but need not) check it before should_fail().
+[[nodiscard]] bool enabled() noexcept;
+
+/// Counts one event at `hook` and reports whether the armed failure window
+/// covers it. Events are only counted while enabled(), so event indices are
+/// stable across runs that arm the same spec.
+[[nodiscard]] bool should_fail(Hook hook) noexcept;
+
+/// Events observed at `hook` since the last reset_counts().
+[[nodiscard]] long events(Hook hook) noexcept;
+
+/// Failures actually injected at `hook` since the last reset_counts().
+[[nodiscard]] long injected(Hook hook) noexcept;
+
+/// Arms `hook` to fail at events [nth, nth + count); nth <= 0 or count <= 0
+/// disarms the hook. Arming resets the hook's event counter so the index is
+/// relative to the arming point.
+void arm(Hook hook, long nth, long count = 1) noexcept;
+void disarm_all() noexcept;
+void reset_counts() noexcept;
+
+/// Parses and arms a "hook:N[:count][,...]" spec. Returns false (arming
+/// nothing) on a malformed spec or unknown hook name. An empty spec is
+/// valid and arms nothing.
+bool arm_from_spec(const std::string& spec);
+
+/// RAII: enables event counting without arming anything, so a clean run can
+/// report how many events each hook emits (the sweep bound for tests).
+class ScopedCounting {
+ public:
+  ScopedCounting() noexcept;
+  ~ScopedCounting();
+  ScopedCounting(const ScopedCounting&) = delete;
+  ScopedCounting& operator=(const ScopedCounting&) = delete;
+};
+
+/// RAII: arms one hook on construction, disarms everything and resets the
+/// counters on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(Hook hook, long nth, long count = 1) noexcept;
+  ~ScopedFault();
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace insched::fault

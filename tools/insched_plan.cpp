@@ -128,6 +128,9 @@ int main(int argc, char** argv) {
   }
   if (config_path.empty()) return usage(argv[0]);
 
+  // 0 = optimal/feasible plan, 1 = no schedule, 2 = usage, 3 = degraded
+  // (greedy fallback printed, but the MILP solve failed).
+  int exit_code = 0;
   try {
     const Config config = Config::load(config_path);
 
@@ -167,8 +170,20 @@ int main(int argc, char** argv) {
 
     const scheduler::Recommendation rec = scheduler::recommend(problem, options);
     if (!rec.solution.solved) {
-      std::printf("no feasible schedule within the given budgets\n");
+      const auto& d = rec.solution.diagnostics;
+      std::fprintf(stderr, "error: no feasible schedule (%s%s%s)\n",
+                   scheduler::to_string(d.failure),
+                   d.message.empty() ? "" : ": ", d.message.c_str());
       return 1;
+    }
+    if (rec.solution.degraded) {
+      // The MILP failed and the greedy fallback was substituted; the plan
+      // below is feasible but carries no optimality certificate.
+      const auto& d = rec.solution.diagnostics;
+      std::fprintf(stderr, "warning: DEGRADED schedule (%s: %s); greedy fallback, "
+                   "no optimality certificate\n",
+                   scheduler::to_string(d.failure), d.message.c_str());
+      exit_code = 3;
     }
     std::printf("%s", rec.summary.c_str());
     const auto& report = rec.solution.validation;
@@ -181,7 +196,17 @@ int main(int argc, char** argv) {
                     : "unbounded");
     std::printf("solver: %.2f ms, %ld nodes, %s\n", rec.solution.solver_seconds * 1e3,
                 rec.solution.nodes,
-                rec.solution.proven_optimal ? "proven optimal" : "feasible (limit hit)");
+                rec.solution.proven_optimal     ? "proven optimal"
+                : rec.solution.degraded         ? "DEGRADED (greedy fallback)"
+                                                : "feasible (limit hit)");
+    if (!rec.solution.proven_optimal && !rec.solution.degraded &&
+        std::isfinite(rec.solution.diagnostics.gap_abs))
+      std::printf("gap: %.6g absolute (%.3f%% relative)\n",
+                  rec.solution.diagnostics.gap_abs,
+                  100.0 * rec.solution.diagnostics.gap_rel);
+    if (rec.solution.diagnostics.recoveries > 0)
+      std::printf("numerical recoveries during solve: %ld\n",
+                  rec.solution.diagnostics.recoveries);
 
     if (render_steps > 0)
       std::printf("\ntimeline: %s\n", rec.solution.schedule.render(render_steps).c_str());
@@ -247,5 +272,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return exit_code;
 }

@@ -163,11 +163,12 @@ int probe_sedov(std::size_t grid, double write_bw) {
 }
 
 // Solves one case-study staircase MILP and prints every MipCounters field:
-// tree shape, cut/probing/strong-branch activity, and the FactorStats-level
-// FTRAN/BTRAN/eta observability of the underlying LU kernel.
-void solve_and_report(const char* name, const scheduler::ScheduleProblem& base, long steps,
-                      bool cuts, long slots, bool own_mth, double wscale,
-                      long max_nodes) {
+// tree shape, cut/probing/strong-branch activity, recovery-ladder actions,
+// and the FactorStats-level FTRAN/BTRAN/eta observability of the underlying
+// LU kernel. Returns 0 on a solve with an incumbent, 1 otherwise.
+int solve_and_report(const char* name, const scheduler::ScheduleProblem& base, long steps,
+                     bool cuts, long slots, bool own_mth, double wscale,
+                     long max_nodes) {
   scheduler::ScheduleProblem p = base;
   p.steps = steps;
   if (!own_mth) p.mth = scheduler::kNoLimit;
@@ -210,6 +211,17 @@ void solve_and_report(const char* name, const scheduler::ScheduleProblem& base, 
               "%.4f\n",
               c.lp_ftran, c.lp_btran, c.lp_refactorizations, c.lp_eta_pivots,
               c.lp_rhs_density());
+  std::printf("  recovery  : refactor %ld  repair %ld  perturb %ld  residual %ld  "
+              "resolve %ld  node_retry %ld  root_retry %ld  evicted %ld\n",
+              c.lp_recover_refactor, c.lp_recover_repair, c.lp_recover_perturb,
+              c.lp_recover_residual, c.lp_recover_resolve, c.node_retries,
+              c.root_retries, c.cuts_evicted);
+  if (!res.has_solution) {
+    std::fprintf(stderr, "error: %s staircase MILP solve failed (%s): no incumbent\n",
+                 name, mip::to_string(res.termination));
+    return 1;
+  }
+  return 0;
 }
 
 int probe_solver(long steps, const std::string& cuts_arg, long slots,
@@ -224,14 +236,17 @@ int probe_solver(long steps, const std::string& cuts_arg, long slots,
       {"rhodo", casestudy::rhodopsin_problem(100.0)},
       {"flash", casestudy::flash_problem({2.0, 1.0, 2.0})},
   };
+  int rc = 0;
   for (const Case& cs : cases) {
     if (!only.empty() && only != cs.name) continue;
     if (cuts_arg == "both" || cuts_arg == "0")
-      solve_and_report(cs.name, cs.problem, steps, false, slots, own_mth, wscale, max_nodes);
+      rc |= solve_and_report(cs.name, cs.problem, steps, false, slots, own_mth, wscale,
+                             max_nodes);
     if (cuts_arg == "both" || cuts_arg == "1")
-      solve_and_report(cs.name, cs.problem, steps, true, slots, own_mth, wscale, max_nodes);
+      rc |= solve_and_report(cs.name, cs.problem, steps, true, slots, own_mth, wscale,
+                             max_nodes);
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace

@@ -50,7 +50,13 @@ fi
 
 if [[ ! -x "$build_dir/bench/solver_perf" ]]; then
   echo "building solver_perf in $build_dir ..." >&2
-  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  if [[ "$quick" == 1 ]]; then
+    # The smoke mode doubles as a warnings gate: the benchmark harness (and
+    # any stale parts of the tree it drags in) must build warning-free.
+    cmake -B "$build_dir" -S "$repo_root" -DINSCHED_WERROR=ON >/dev/null
+  else
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  fi
   cmake --build "$build_dir" --target solver_perf -j >/dev/null
 fi
 

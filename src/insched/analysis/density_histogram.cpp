@@ -1,10 +1,10 @@
 #include "insched/analysis/density_histogram.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "insched/support/assert.hpp"
 #include "insched/support/parallel.hpp"
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched::analysis {
 
@@ -37,7 +37,7 @@ AnalysisResult DensityHistogramAnalysis::analyze() {
 
   const std::size_t shards = config_.parallel ? static_cast<std::size_t>(thread_count()) : 1;
   const std::size_t n = members_.size();
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   parallel_for(
       shards,
       [&](std::size_t sb, std::size_t se) {
@@ -55,7 +55,7 @@ AnalysisResult DensityHistogramAnalysis::analyze() {
             bb = std::min(bb, config_.bins_b - 1);
             local[ba * config_.bins_b + bb] += 1.0;
           }
-          std::lock_guard<std::mutex> lock(merge_mutex);
+          MutexLock lock(merge_mutex);
           for (std::size_t k = 0; k < histogram_.size(); ++k) histogram_[k] += local[k];
         }
       },

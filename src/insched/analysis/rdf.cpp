@@ -1,12 +1,12 @@
 #include "insched/analysis/rdf.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <numbers>
 
 #include "insched/sim/particles/cell_list.hpp"
 #include "insched/support/assert.hpp"
 #include "insched/support/parallel.hpp"
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched::analysis {
 
@@ -46,7 +46,7 @@ AnalysisResult RdfAnalysis::analyze() {
   const std::size_t shards =
       config_.parallel ? static_cast<std::size_t>(thread_count()) : 1;
   const std::size_t ncells = cells.num_cells();
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   parallel_for(
       shards,
       [&](std::size_t sb, std::size_t se) {
@@ -57,7 +57,7 @@ AnalysisResult RdfAnalysis::analyze() {
                                                  std::vector<double>(config_.bins, 0.0));
           cells.for_each_pair_in_cells(begin, end, [&](std::size_t i, std::size_t j,
                                                        double r2) { visit(local, i, j, r2); });
-          std::lock_guard<std::mutex> lock(merge_mutex);
+          MutexLock lock(merge_mutex);
           for (std::size_t p = 0; p < npairs; ++p)
             for (std::size_t b = 0; b < config_.bins; ++b) histograms_[p][b] += local[p][b];
         }

@@ -588,7 +588,7 @@ SolveStatus Engine::iterate(const std::vector<double>& cost, double* objective_o
         // exact duals with a full scan before declaring optimality.
         compute_duals(cost, &y);
         y_fresh = true;
-        double best_score = 0.0;
+        best_score = 0.0;
         for (int j = 0; j < total_; ++j) {
           double d = 0.0;
           const int dir = price(j, &d);

@@ -56,7 +56,7 @@ double cosine(const Cut& a, double na, const Cut& b, double nb) {
 bool CutPool::add(Cut cut) {
   if (cut.entries.empty()) return false;
   const std::uint64_t h = cut_hash(cut);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_.separated;
   if (!seen_.insert(h).second) {
     ++counters_.duplicates;
@@ -92,7 +92,7 @@ int CutPool::add_all(std::vector<Cut> cuts) {
 
 std::vector<Cut> CutPool::select(const std::vector<double>& x, int max_cuts,
                                  double min_violation, double max_parallel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   struct Scored {
     std::size_t index;
     double score;
@@ -157,12 +157,12 @@ std::vector<Cut> CutPool::select(const std::vector<double>& x, int max_cuts,
 }
 
 int CutPool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(entries_.size());
 }
 
 CutPoolCounters CutPool::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -10,11 +10,11 @@
 // deterministic order — which the sequential wave phase guarantees.
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "insched/mip/cuts.hpp"
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched::mip {
 
@@ -64,13 +64,13 @@ class CutPool {
     long id = 0;  ///< insertion order, deterministic tiebreak
   };
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::unordered_set<std::uint64_t> seen_;
-  CutPoolCounters counters_;
-  int max_age_;
-  int capacity_;
-  long next_id_ = 0;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ INSCHED_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> seen_ INSCHED_GUARDED_BY(mu_);
+  CutPoolCounters counters_ INSCHED_GUARDED_BY(mu_);
+  const int max_age_;
+  const int capacity_;
+  long next_id_ INSCHED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace insched::mip

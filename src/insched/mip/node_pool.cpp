@@ -16,14 +16,14 @@ NodePool::NodePool(int workers)
 void NodePool::push(NodePtr node, int tid) {
   node->producer = tid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     open_.insert(std::move(node));
   }
   cv_.notify_one();
 }
 
 NodePtr NodePool::pop(int tid) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (stop_.load(std::memory_order_relaxed)) return nullptr;
     if (!open_.empty()) {
@@ -39,14 +39,14 @@ NodePtr NodePool::pop(int tid) {
       cv_.notify_all();
       return nullptr;
     }
-    cv_.wait(lock);
+    cv_.wait(mu_);
   }
 }
 
 void NodePool::task_done(int tid) {
   bool was_last = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     INSCHED_ASSERT(active_ > 0);
     --active_;
     inflight_[static_cast<std::size_t>(tid)] = std::numeric_limits<double>::infinity();
@@ -63,7 +63,7 @@ void NodePool::stop() {
 }
 
 double NodePool::best_open_bound() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double best = std::numeric_limits<double>::infinity();
   if (!open_.empty()) best = (*open_.begin())->parent_bound;
   for (const double b : inflight_) best = std::min(best, b);
@@ -71,7 +71,7 @@ double NodePool::best_open_bound() const {
 }
 
 std::size_t NodePool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return open_.size();
 }
 
@@ -84,7 +84,7 @@ void FactorCache::put(long id, std::shared_ptr<const lp::Factorization> factor) 
   if (!factor) return;
   const std::size_t bytes = factor->bytes();
   const std::size_t dense_bytes = factor->dense_equivalent_bytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(id);
   if (it != map_.end()) {
     bytes_ += bytes - it->second.bytes;
@@ -112,7 +112,7 @@ void FactorCache::put(long id, std::shared_ptr<const lp::Factorization> factor) 
 }
 
 std::shared_ptr<const lp::Factorization> FactorCache::get(long id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -129,7 +129,7 @@ std::shared_ptr<const lp::Factorization> FactorCache::get(long id) {
 // Incumbent
 
 bool Incumbent::offer(double obj, const std::vector<double>& x, long node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double current = obj_.load(std::memory_order_relaxed);
   const bool better = obj < current - 1e-12;
   const bool tie_wins = obj < current + 1e-12 && node_id < node_id_;
@@ -142,7 +142,7 @@ bool Incumbent::offer(double obj, const std::vector<double>& x, long node_id) {
 }
 
 std::pair<double, std::vector<double>> Incumbent::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {obj_.load(std::memory_order_relaxed), x_};
 }
 
@@ -188,7 +188,7 @@ void PseudoCostTable::clear_counts() {
 SharedPseudoCosts::SharedPseudoCosts(int columns) { global_.resize(columns); }
 
 void SharedPseudoCosts::merge(PseudoCostTable* delta, PseudoCostTable* snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   global_.add(*delta);
   delta->clear_counts();
   if (snapshot) *snapshot = global_;
@@ -196,7 +196,7 @@ void SharedPseudoCosts::merge(PseudoCostTable* delta, PseudoCostTable* snapshot)
 }
 
 PseudoCostTable SharedPseudoCosts::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return global_;
 }
 

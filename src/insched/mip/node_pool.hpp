@@ -18,17 +18,16 @@
 //                      deltas and merge on a fixed cadence.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "insched/lp/basis.hpp"
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched::mip {
 
@@ -84,11 +83,12 @@ class NodePool {
   [[nodiscard]] long steals() const noexcept { return steals_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::multiset<NodePtr, NodeOrder> open_;
-  std::vector<double> inflight_;  // per-tid bound of the node being processed
-  int active_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::multiset<NodePtr, NodeOrder> open_ INSCHED_GUARDED_BY(mu_);
+  // Per-tid bound of the node being processed.
+  std::vector<double> inflight_ INSCHED_GUARDED_BY(mu_);
+  int active_ INSCHED_GUARDED_BY(mu_) = 0;
   std::atomic<bool> stop_{false};
   std::atomic<long> steals_{0};
 };
@@ -120,12 +120,12 @@ class FactorCache {
     std::size_t dense_bytes = 0;  // factor->dense_equivalent_bytes()
   };
 
-  std::mutex mu_;
-  std::size_t capacity_;
-  std::list<long> order_;  // most recent first
-  std::unordered_map<long, Slot> map_;
-  std::size_t bytes_ = 0;        // current resident total (guarded by mu_)
-  std::size_t dense_bytes_ = 0;  // dense-equivalent counterpart
+  Mutex mu_;
+  const std::size_t capacity_;
+  std::list<long> order_ INSCHED_GUARDED_BY(mu_);  // most recent first
+  std::unordered_map<long, Slot> map_ INSCHED_GUARDED_BY(mu_);
+  std::size_t bytes_ INSCHED_GUARDED_BY(mu_) = 0;        // current resident total
+  std::size_t dense_bytes_ INSCHED_GUARDED_BY(mu_) = 0;  // dense-equivalent counterpart
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
   std::atomic<std::size_t> peak_bytes_{0};
@@ -150,10 +150,12 @@ class Incumbent {
   [[nodiscard]] std::pair<double, std::vector<double>> snapshot() const;
 
  private:
+  // obj_ is written only under mu_ but read lock-free by pruning; it stays a
+  // bare atomic (GUARDED_BY would outlaw the lock-free bound() fast path).
   std::atomic<double> obj_{std::numeric_limits<double>::infinity()};
-  mutable std::mutex mu_;
-  std::vector<double> x_;
-  long node_id_ = std::numeric_limits<long>::max();
+  mutable Mutex mu_;
+  std::vector<double> x_ INSCHED_GUARDED_BY(mu_);
+  long node_id_ INSCHED_GUARDED_BY(mu_) = std::numeric_limits<long>::max();
 };
 
 /// Per-column pseudo-cost statistics: average objective degradation per unit
@@ -179,8 +181,8 @@ class SharedPseudoCosts {
   [[nodiscard]] long merges() const noexcept { return merges_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  PseudoCostTable global_;
+  mutable Mutex mu_;
+  PseudoCostTable global_ INSCHED_GUARDED_BY(mu_);
   std::atomic<long> merges_{0};
 };
 

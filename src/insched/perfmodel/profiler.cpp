@@ -39,7 +39,7 @@ void Profiler::stop(const std::string& name) {
 }
 
 void Profiler::add_sample(const std::string& path, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RegionStats& s = regions_[path];
   if (s.count == 0) {
     s.min_s = seconds;
@@ -53,18 +53,18 @@ void Profiler::add_sample(const std::string& path, double seconds) {
 }
 
 RegionStats Profiler::stats(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = regions_.find(path);
   return it == regions_.end() ? RegionStats{} : it->second;
 }
 
 std::map<std::string, RegionStats> Profiler::all() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return regions_;
 }
 
 void Profiler::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   regions_.clear();
 }
 

@@ -7,8 +7,9 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched::perfmodel {
 
@@ -46,8 +47,8 @@ class Profiler {
   static Profiler& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, RegionStats> regions_;
+  mutable Mutex mutex_;
+  std::map<std::string, RegionStats> regions_ INSCHED_GUARDED_BY(mutex_);
 };
 
 /// RAII region guard.

@@ -1,5 +1,7 @@
 #include "insched/runtime/metrics.hpp"
 
+#include <algorithm>
+
 #include "insched/support/string_util.hpp"
 #include "insched/support/table.hpp"
 
@@ -46,6 +48,63 @@ std::string RunMetrics::to_string() const {
                   "%ld memory overrun(s)\n",
                   analysis_failures, analyses_disabled, memory_overruns);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+namespace {
+
+void merge_analysis(AnalysisMetrics& into, const AnalysisMetrics& from) {
+  into.analysis_steps += from.analysis_steps;
+  into.output_steps += from.output_steps;
+  into.setup_seconds += from.setup_seconds;
+  into.per_step_seconds += from.per_step_seconds;
+  into.compute_seconds += from.compute_seconds;
+  into.output_seconds += from.output_seconds;
+  into.bytes_written += from.bytes_written;
+  into.failures += from.failures;
+  into.disabled = into.disabled || from.disabled;
+}
+
+}  // namespace
+
+void MetricsRegistry::merge(const RunMetrics& partial) {
+  MutexLock lock(mu_);
+  total_.steps += partial.steps;
+  total_.simulation_seconds += partial.simulation_seconds;
+  total_.peak_memory_bytes = std::max(total_.peak_memory_bytes, partial.peak_memory_bytes);
+  total_.memory_violations += partial.memory_violations;
+  total_.async_output_seconds += partial.async_output_seconds;
+  total_.async_drain_seconds += partial.async_drain_seconds;
+  total_.analysis_failures += partial.analysis_failures;
+  total_.analyses_disabled += partial.analyses_disabled;
+  total_.memory_overruns += partial.memory_overruns;
+  for (const AnalysisMetrics& a : partial.analyses) {
+    auto it = std::find_if(total_.analyses.begin(), total_.analyses.end(),
+                           [&](const AnalysisMetrics& b) { return b.name == a.name; });
+    if (it == total_.analyses.end())
+      total_.analyses.push_back(a);
+    else
+      merge_analysis(*it, a);
+  }
+  ++merges_;
+}
+
+RunMetrics MetricsRegistry::snapshot() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+long MetricsRegistry::merges() const {
+  MutexLock lock(mu_);
+  return merges_;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mu_);
+  total_ = RunMetrics{};
+  merges_ = 0;
 }
 
 }  // namespace insched::runtime

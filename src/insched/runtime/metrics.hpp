@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "insched/support/thread_annotations.hpp"
+
 namespace insched::runtime {
 
 struct AnalysisMetrics {
@@ -54,6 +56,31 @@ struct RunMetrics {
   [[nodiscard]] double overhead_fraction() const noexcept;
 
   [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe accumulator for metrics produced by concurrent runtime
+/// shards (ensemble members, replicated virtual runs). Partial RunMetrics
+/// merge under a lock: scalar counters and times add, per-analysis rows
+/// join by name, and peak memory takes the max. The locking discipline is
+/// declared with thread-safety annotations, so a Clang -Wthread-safety
+/// build rejects unguarded access to the accumulated state.
+class MetricsRegistry {
+ public:
+  /// Folds one shard's metrics into the running total.
+  void merge(const RunMetrics& partial);
+
+  /// Copy of the accumulated state.
+  [[nodiscard]] RunMetrics snapshot() const;
+
+  /// Number of merge() calls folded in so far.
+  [[nodiscard]] long merges() const;
+
+  void reset();
+
+ private:
+  mutable Mutex mu_;
+  RunMetrics total_ INSCHED_GUARDED_BY(mu_);
+  long merges_ INSCHED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace insched::runtime

@@ -1,0 +1,110 @@
+#pragma once
+
+// Pre-solve static analysis ("lint") of scheduling instances and the MILPs
+// generated from them. The linter never solves anything: every check is a
+// cheap structural pass that catches configuration mistakes before they
+// surface as a mysteriously infeasible or ill-conditioned solve —
+//
+//   * trivial infeasibility: an analysis whose activation memory alone
+//     exceeds the memory budget, a single analysis step that exceeds the
+//     whole-run time budget, an interval longer than the run, sign errors
+//     on steps/threshold/bandwidth/memory;
+//   * modelling smells: zero-weight analyses the objective ignores,
+//     duplicate names, exact cost-twin (dominated) analyses;
+//   * numerics: coefficient magnitude ranges wide enough to threaten the
+//     simplex (a cheap kappa-style conditioning proxy);
+//   * generated-LP structure: empty, duplicate, singleton and fixed rows.
+//
+// Diagnostics are structured (severity, check id, "[section] / key" locus,
+// message, remediation hint) so tools can render them as text or JSON.
+// problem_io.cpp routes its config validation through the same field checks
+// (check_positive_number & co.), keeping one source of truth for the
+// "[section]: 'key' must be ..." messages. docs/STATIC_ANALYSIS.md lists the
+// full diagnostic catalog.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "insched/lp/model.hpp"
+#include "insched/scheduler/params.hpp"
+
+namespace insched::scheduler {
+
+enum class LintSeverity {
+  kInfo,     ///< stylistic / redundancy note; never affects the exit code
+  kWarning,  ///< suspicious but solvable; exit 1 (or 2 under --strict)
+  kError,    ///< the instance is broken; exit 2, planning refuses to run
+};
+
+[[nodiscard]] const char* to_string(LintSeverity severity) noexcept;
+
+/// One finding. `id` is the stable kebab-case check name from the catalog
+/// (docs/STATIC_ANALYSIS.md); `locus` pinpoints the input ("[analysis]
+/// 'msd' / itv" or "row 'memory_peak'"); `hint` suggests a remediation and
+/// may be empty.
+struct LintDiagnostic {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string id;
+  std::string locus;
+  std::string message;
+  std::string hint;
+
+  /// "error: [run] / steps: 'steps' must be positive, got -5 (hint: ...)"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Ordered collection of findings plus the exit-code policy shared by
+/// insched_lint and insched_plan --lint.
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+
+  [[nodiscard]] int count(LintSeverity severity) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept { return count(LintSeverity::kError) > 0; }
+  [[nodiscard]] bool has_warnings() const noexcept {
+    return count(LintSeverity::kWarning) > 0;
+  }
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+
+  void add(LintSeverity severity, std::string id, std::string locus, std::string message,
+           std::string hint = {});
+  void merge(const LintReport& other);
+
+  /// 0 = clean (info-only counts as clean), 1 = warnings, 2 = errors.
+  /// `strict` promotes warnings to the error exit code.
+  [[nodiscard]] int exit_code(bool strict = false) const noexcept;
+
+  /// One line per diagnostic, errors first, input order preserved within a
+  /// severity.
+  [[nodiscard]] std::string to_string() const;
+
+  /// {"diagnostics":[...],"errors":N,"warnings":N,"infos":N}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lints a scheduling instance (Table 1 parameters + run context).
+[[nodiscard]] LintReport lint_problem(const ScheduleProblem& problem);
+
+/// Lints a generated LP/MILP (any lp::Model, typically the aggregate MILP).
+[[nodiscard]] LintReport lint_model(const lp::Model& model);
+
+// ---------------------------------------------------------------------------
+// Field checks shared with the config reader. Each returns nullopt when the
+// value is fine, otherwise an error diagnostic whose message matches what
+// lint_problem would emit — problem_from_config throws it, insched_lint
+// collects it.
+
+[[nodiscard]] std::optional<LintDiagnostic> check_positive_number(
+    const std::string& locus, const char* key, double value, const char* hint = nullptr);
+[[nodiscard]] std::optional<LintDiagnostic> check_positive_integer(
+    const std::string& locus, const char* key, long value, const char* hint = nullptr);
+[[nodiscard]] std::optional<LintDiagnostic> check_nonnegative_number(
+    const std::string& locus, const char* key, double value);
+[[nodiscard]] std::optional<LintDiagnostic> check_interval_within_steps(
+    const std::string& locus, long itv, long steps);
+
+/// Message for the std::runtime_error thrown by the config reader:
+/// "config: [run] / steps: 'steps' must be positive, got -5".
+[[nodiscard]] std::string config_error_message(const LintDiagnostic& diagnostic);
+
+}  // namespace insched::scheduler

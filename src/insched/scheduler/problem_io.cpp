@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "insched/scheduler/lint.hpp"
 #include "insched/support/string_util.hpp"
 
 namespace insched::scheduler {
@@ -41,49 +42,45 @@ const char* policy_name(OutputPolicy policy) {
   return "every_analysis";
 }
 
-// Config-layer rejection with messages that name the section and key. The
-// structural rules live in ScheduleProblem::validate(); these checks are
-// stricter (e.g. threshold must be strictly positive here, while a directly
+// Config-layer rejection reuses the lint field checks, so the
+// "[section] / key" messages the reader throws and the diagnostics
+// insched_lint prints come from one place (lint.cpp). The structural rules
+// still live in ScheduleProblem::validate(); these checks are stricter
+// (e.g. threshold must be strictly positive here, while a directly
 // constructed problem may legitimately model a zero budget).
-void reject(const std::string& where, const std::string& why) {
-  throw std::runtime_error("config: " + where + ": " + why);
+void require(const std::optional<LintDiagnostic>& diagnostic) {
+  if (diagnostic) throw std::runtime_error(config_error_message(*diagnostic));
 }
 
 void require_positive(const std::string& where, const char* key, double value,
                       const char* hint = nullptr) {
-  if (value > 0.0 && std::isfinite(value)) return;
-  std::string why = format("'%s' must be a positive finite number, got %g", key, value);
-  if (hint != nullptr) why += format(" (%s)", hint);
-  reject(where, why);
+  require(check_positive_number(where, key, value, hint));
 }
 
 void require_nonneg(const std::string& where, const char* key, double value) {
-  if (value >= 0.0 && std::isfinite(value)) return;
-  reject(where, format("'%s' must be a finite number >= 0, got %g", key, value));
+  require(check_nonnegative_number(where, key, value));
 }
 
-}  // namespace
-
-ScheduleProblem problem_from_config(const Config& config) {
+ScheduleProblem problem_from_config_impl(const Config& config, bool validate) {
   const ConfigSection* run = config.section("run");
   if (run == nullptr) throw std::runtime_error("config: missing [run] section");
 
   ScheduleProblem problem;
   problem.steps = run->get_integer("steps", 1000);
-  if (problem.steps <= 0)
-    reject("[run]", format("'steps' must be positive, got %ld", problem.steps));
+  if (validate) require(check_positive_integer("[run]", "steps", problem.steps));
   problem.sim_time_per_step = run->get_number("sim_time_per_step", 1.0);
-  require_positive("[run]", "sim_time_per_step", problem.sim_time_per_step);
+  if (validate) require_positive("[run]", "sim_time_per_step", problem.sim_time_per_step);
   problem.threshold = run->get_number("threshold", 0.1);
-  require_positive("[run]", "threshold", problem.threshold,
-                   "a zero analysis budget schedules nothing");
+  if (validate)
+    require_positive("[run]", "threshold", problem.threshold,
+                     "a zero analysis budget schedules nothing");
   problem.threshold_kind = parse_kind(run->get_string("threshold_kind", "fraction"));
   problem.mth = run->has("memory") ? run->get_number("memory", kNoLimit) : kNoLimit;
-  if (run->has("memory") && std::isfinite(problem.mth))
+  if (validate && run->has("memory") && std::isfinite(problem.mth))
     require_positive("[run]", "memory", problem.mth,
                      "omit the key for an unlimited memory budget");
   problem.bw = run->has("bandwidth") ? run->get_number("bandwidth", kNoLimit) : kNoLimit;
-  if (run->has("bandwidth") && std::isfinite(problem.bw))
+  if (validate && run->has("bandwidth") && std::isfinite(problem.bw))
     require_positive("[run]", "bandwidth", problem.bw,
                      "derived output time ot = om/bw would divide by zero; omit the "
                      "key for unlimited bandwidth");
@@ -107,26 +104,34 @@ ScheduleProblem problem_from_config(const Config& config) {
     a.om = section->get_number("om", 0.0);
     a.weight = section->get_number("weight", 1.0);
     a.itv = section->get_integer("itv", 1);
-    require_nonneg(where, "ft", a.ft);
-    require_nonneg(where, "it", a.it);
-    require_nonneg(where, "ct", a.ct);
-    if (section->has("ot")) require_nonneg(where, "ot", a.ot);
-    require_nonneg(where, "fm", a.fm);
-    require_nonneg(where, "im", a.im);
-    require_nonneg(where, "cm", a.cm);
-    require_nonneg(where, "om", a.om);
-    require_nonneg(where, "weight", a.weight);
-    if (a.itv <= 0)
-      reject(where, format("'itv' must be positive, got %ld", a.itv));
-    if (a.itv > problem.steps)
-      reject(where, format("'itv' (%ld) exceeds [run] steps (%ld): the analysis "
-                           "could never run",
-                           a.itv, problem.steps));
+    if (validate) {
+      require_nonneg(where, "ft", a.ft);
+      require_nonneg(where, "it", a.it);
+      require_nonneg(where, "ct", a.ct);
+      if (section->has("ot")) require_nonneg(where, "ot", a.ot);
+      require_nonneg(where, "fm", a.fm);
+      require_nonneg(where, "im", a.im);
+      require_nonneg(where, "cm", a.cm);
+      require_nonneg(where, "om", a.om);
+      require_nonneg(where, "weight", a.weight);
+      require(check_positive_integer(where, "itv", a.itv));
+      require(check_interval_within_steps(where, a.itv, problem.steps));
+    }
     problem.analyses.push_back(std::move(a));
   }
 
-  problem.validate();
+  if (validate) problem.validate();
   return problem;
+}
+
+}  // namespace
+
+ScheduleProblem problem_from_config(const Config& config) {
+  return problem_from_config_impl(config, /*validate=*/true);
+}
+
+ScheduleProblem problem_from_config_lenient(const Config& config) {
+  return problem_from_config_impl(config, /*validate=*/false);
 }
 
 ScheduleProblem problem_from_string(const std::string& text) {

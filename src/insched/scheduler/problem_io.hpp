@@ -37,6 +37,13 @@ namespace insched::scheduler {
 /// Convenience: parse text then build.
 [[nodiscard]] ScheduleProblem problem_from_string(const std::string& text);
 
+/// Lenient variant for the linter (insched_lint): value-level violations are
+/// left in the returned problem for lint_problem() to report instead of
+/// throwing. Structural problems — missing [run], no [analysis] sections,
+/// unnamed analyses, unknown enum text — still throw, since no meaningful
+/// problem can be built from them.
+[[nodiscard]] ScheduleProblem problem_from_config_lenient(const Config& config);
+
 /// Serializes a problem to config text that problem_from_config() accepts.
 [[nodiscard]] std::string problem_to_config(const ScheduleProblem& problem);
 

@@ -203,12 +203,12 @@ std::string render_gantt(const Schedule& schedule, int width) {
     label.resize(label_width, ' ');
     std::string row(static_cast<std::size_t>(width), '.');
     for (long step : a.analysis_steps) {
-      auto col = static_cast<std::size_t>((step - 1) / steps_per_col);
+      auto col = static_cast<std::size_t>(static_cast<double>(step - 1) / steps_per_col);
       col = std::min<std::size_t>(col, static_cast<std::size_t>(width) - 1);
       if (row[col] != 'O') row[col] = '#';
     }
     for (long step : a.output_steps) {
-      auto col = static_cast<std::size_t>((step - 1) / steps_per_col);
+      auto col = static_cast<std::size_t>(static_cast<double>(step - 1) / steps_per_col);
       col = std::min<std::size_t>(col, static_cast<std::size_t>(width) - 1);
       row[col] = 'O';
     }

@@ -1,13 +1,14 @@
 #include "insched/support/log.hpp"
 
 #include <atomic>
-#include <mutex>
+
+#include "insched/support/thread_annotations.hpp"
 
 namespace insched {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes writes so concurrent log lines never interleave
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,7 +34,7 @@ bool log_enabled(LogLevel level) noexcept {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[insched %-5s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "insched/support/thread_annotations.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -78,16 +78,18 @@ class TaskPool {
   }
 
   ~TaskPool() {
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
+      workers.swap(workers_);  // join outside the lock
     }
     cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
+    for (std::thread& t : workers) t.join();
   }
 
   void ensure_workers(int wanted) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const int cap = std::max(2 * hardware_threads(), 16);
     wanted = std::min(wanted, cap);
     while (static_cast<int>(workers_.size()) < wanted && !stop_)
@@ -98,7 +100,7 @@ class TaskPool {
   /// (job not queued) otherwise.
   bool try_submit(std::function<void()> job) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stop_ || idle_ <= static_cast<int>(queue_.size())) return false;
       queue_.push_back(std::move(job));
     }
@@ -107,7 +109,7 @@ class TaskPool {
   }
 
   [[nodiscard]] int size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<int>(workers_.size());
   }
 
@@ -115,10 +117,10 @@ class TaskPool {
   TaskPool() = default;
 
   void worker_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++idle_;
     while (true) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (stop_) break;
       std::function<void()> job = std::move(queue_.front());
       queue_.pop_front();
@@ -130,12 +132,13 @@ class TaskPool {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int idle_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ INSCHED_GUARDED_BY(mu_);
+  // Joined by the destructor; grown under mu_ (never shrunk while running).
+  std::vector<std::thread> workers_ INSCHED_GUARDED_BY(mu_);
+  int idle_ INSCHED_GUARDED_BY(mu_) = 0;
+  bool stop_ INSCHED_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
@@ -149,11 +152,11 @@ void parallel_run(int threads, const std::function<void(int)>& worker) {
   TaskPool& pool = TaskPool::instance();
   pool.ensure_workers(threads - 1);
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   int remaining = threads - 1;
   auto finish_one = [&] {
-    std::lock_guard<std::mutex> lock(done_mu);
+    MutexLock lock(done_mu);
     if (--remaining == 0) done_cv.notify_one();
   };
 
@@ -170,8 +173,8 @@ void parallel_run(int threads, const std::function<void(int)>& worker) {
     worker(tid);
     finish_one();
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(done_mu);
+  while (remaining != 0) done_cv.wait(done_mu);
 }
 
 int task_pool_size() noexcept { return TaskPool::instance().size(); }

@@ -1,0 +1,138 @@
+#pragma once
+
+// Clang -Wthread-safety annotation macros and annotated synchronization
+// wrappers (docs/STATIC_ANALYSIS.md).
+//
+// The concurrent solver core (mip::CutPool, mip::NodePool, the factor
+// cache, incumbent state, the support thread pool) declares its locking
+// discipline with these macros so a Clang build with -Wthread-safety
+// -Werror rejects a mis-locked access at compile time — the static
+// counterpart of the TSan smoke pass, which only catches a race when a test
+// happens to interleave it. On compilers without the attributes (GCC, MSVC)
+// every macro expands to nothing and the wrappers behave exactly like the
+// std primitives they wrap, so the annotations cost nothing off-Clang.
+//
+// Usage:
+//   class INSCHED_CAPABILITY("mutex") ... — provided below as `Mutex`.
+//   Mutex mu_;
+//   int shared_ INSCHED_GUARDED_BY(mu_);
+//   void touch() INSCHED_REQUIRES(mu_);     // caller must hold mu_
+//   void api() INSCHED_EXCLUDES(mu_);       // caller must NOT hold mu_
+//
+// tools/check_thread_safety.sh compiles a deliberately mis-locked access
+// and asserts Clang rejects it (the negative-compile gate registered as
+// part of the static_analysis_smoke ctest target).
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by) && __has_attribute(acquire_capability)
+#define INSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef INSCHED_THREAD_ANNOTATION
+#define INSCHED_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define INSCHED_CAPABILITY(x) INSCHED_THREAD_ANNOTATION(capability(x))
+#define INSCHED_SCOPED_CAPABILITY INSCHED_THREAD_ANNOTATION(scoped_lockable)
+#define INSCHED_GUARDED_BY(x) INSCHED_THREAD_ANNOTATION(guarded_by(x))
+#define INSCHED_PT_GUARDED_BY(x) INSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+#define INSCHED_ACQUIRED_BEFORE(...) INSCHED_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define INSCHED_ACQUIRED_AFTER(...) INSCHED_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define INSCHED_REQUIRES(...) INSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define INSCHED_REQUIRES_SHARED(...) \
+  INSCHED_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define INSCHED_ACQUIRE(...) INSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define INSCHED_ACQUIRE_SHARED(...) \
+  INSCHED_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define INSCHED_RELEASE(...) INSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define INSCHED_RELEASE_SHARED(...) \
+  INSCHED_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define INSCHED_TRY_ACQUIRE(...) INSCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define INSCHED_EXCLUDES(...) INSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define INSCHED_ASSERT_CAPABILITY(x) INSCHED_THREAD_ANNOTATION(assert_capability(x))
+#define INSCHED_RETURN_CAPABILITY(x) INSCHED_THREAD_ANNOTATION(lock_returned(x))
+#define INSCHED_NO_THREAD_SAFETY_ANALYSIS INSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace insched {
+
+/// std::mutex with the `capability` attribute so members can be declared
+/// INSCHED_GUARDED_BY it. Zero-overhead: the wrapper is exactly one
+/// std::mutex and every method forwards inline.
+class INSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() INSCHED_ACQUIRE() { mu_.lock(); }
+  void unlock() INSCHED_RELEASE() { mu_.unlock(); }
+  bool try_lock() INSCHED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock on a Mutex (the annotated replacement for
+/// std::lock_guard / std::unique_lock). Supports explicit unlock()/lock()
+/// cycles for drop-the-lock-around-work patterns; the destructor releases
+/// only when the lock is currently held.
+class INSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) INSCHED_ACQUIRE(mu) : mu_(mu), owned_(true) { mu_.lock(); }
+  ~MutexLock() INSCHED_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the mutex (e.g. to run a queued job).
+  void unlock() INSCHED_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  /// Re-acquires after unlock().
+  void lock() INSCHED_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable bound to `Mutex` holders. wait() declares
+/// INSCHED_REQUIRES(mu): the caller provably holds the mutex, the wait
+/// releases it atomically while blocked and re-acquires before returning —
+/// the analysis treats the capability as held across the call, which
+/// matches the caller-visible contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) INSCHED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) INSCHED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace insched

@@ -1,0 +1,23 @@
+// Negative TU for the thread-safety gate (tools/check_thread_safety.sh):
+// this file accesses a guarded member WITHOUT holding its mutex, and the
+// gate asserts that a Clang -Wthread-safety -Werror pass REJECTS it. If
+// this file ever compiles under that configuration, the annotation macros
+// have silently degraded to no-ops on a compiler that should enforce them,
+// and the static locking guarantee is gone.
+//
+// Never added to any build target; only the gate script compiles it.
+
+#include "insched/support/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  insched::Mutex mu;
+  int value INSCHED_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int thread_safety_negative_entry(Counter& c) {
+  return c.value;  // mis-locked: no MutexLock, no REQUIRES contract
+}

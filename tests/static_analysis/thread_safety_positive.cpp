@@ -1,0 +1,59 @@
+// Positive TU for the thread-safety negative-compile gate
+// (tools/check_thread_safety.sh). Everything here follows the declared
+// locking discipline, so a Clang -Wthread-safety -Werror syntax-only pass
+// must ACCEPT this file; if it does not, the annotations themselves are
+// wrong. The mis-locked counterpart lives in thread_safety_negative.cpp.
+//
+// The annotated concurrent-core headers are included so their declarations
+// are themselves checked for consistency.
+
+#include "insched/mip/cut_pool.hpp"
+#include "insched/mip/node_pool.hpp"
+#include "insched/support/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  insched::Mutex mu;
+  int value INSCHED_GUARDED_BY(mu) = 0;
+};
+
+int read_locked(Counter& c) {
+  insched::MutexLock lock(c.mu);
+  return c.value;
+}
+
+void write_locked(Counter& c) {
+  c.mu.lock();
+  ++c.value;
+  c.mu.unlock();
+}
+
+// The drop-the-lock-around-work pattern used by the task pool: the analysis
+// must track the explicit unlock()/lock() cycle on the scoped capability.
+int relock_cycle(Counter& c) {
+  insched::MutexLock lock(c.mu);
+  const int before = c.value;
+  lock.unlock();
+  // ... unguarded work here ...
+  lock.lock();
+  return c.value - before;
+}
+
+// A function-level contract: callers must already hold the mutex.
+int read_with_contract(Counter& c) INSCHED_REQUIRES(c.mu) { return c.value; }
+
+int call_with_contract(Counter& c) {
+  insched::MutexLock lock(c.mu);
+  return read_with_contract(c);
+}
+
+}  // namespace
+
+int thread_safety_positive_entry(insched::mip::CutPool& pool) {
+  (void)read_locked;
+  (void)write_locked;
+  (void)relock_cycle;
+  (void)call_with_contract;
+  return pool.size();
+}

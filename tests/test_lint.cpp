@@ -1,0 +1,373 @@
+// Tests for the pre-solve model linter (scheduler/lint.hpp): one crafted
+// instance per catalog diagnostic — each must fire exactly once on its
+// instance — plus clean passes over the three paper case studies, the
+// report plumbing (severity ordering, exit codes, JSON), and the routing of
+// the config reader's validation through the shared field checks.
+
+#include <gtest/gtest.h>
+
+#include "insched/casestudy/flash_sedov.hpp"
+#include "insched/casestudy/lammps_rhodo.hpp"
+#include "insched/casestudy/lammps_water.hpp"
+#include "insched/scheduler/aggregate_milp.hpp"
+#include "insched/scheduler/lint.hpp"
+#include "insched/scheduler/problem_io.hpp"
+
+namespace insched {
+namespace {
+
+using scheduler::AnalysisParams;
+using scheduler::LintReport;
+using scheduler::LintSeverity;
+using scheduler::ScheduleProblem;
+
+int count_id(const LintReport& report, const std::string& id) {
+  int n = 0;
+  for (const auto& d : report.diagnostics)
+    if (d.id == id) ++n;
+  return n;
+}
+
+/// Lint-clean baseline: whole-run budget 10 s, memory 1000 B, one cheap
+/// analysis. Every crafted-defect test perturbs exactly one aspect.
+ScheduleProblem base_problem() {
+  ScheduleProblem p;
+  p.steps = 100;
+  p.threshold = 0.1;
+  p.threshold_kind = scheduler::ThresholdKind::kFractionOfSimTime;
+  p.sim_time_per_step = 1.0;
+  p.mth = 1000.0;
+  p.bw = 100.0;
+  AnalysisParams a;
+  a.name = "probe";
+  a.ct = 0.5;
+  a.ot = 0.0;
+  a.itv = 10;
+  p.analyses.push_back(a);
+  return p;
+}
+
+/// The single expected diagnostic of the crafted instance.
+void expect_fires_once(const ScheduleProblem& p, const char* id, LintSeverity severity) {
+  const LintReport report = scheduler::lint_problem(p);
+  EXPECT_EQ(count_id(report, id), 1) << report.to_string();
+  EXPECT_EQ(static_cast<int>(report.diagnostics.size()), 1) << report.to_string();
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.diagnostics.front().severity, severity);
+}
+
+TEST(LintProblem, BaselineIsClean) {
+  const LintReport report = scheduler::lint_problem(base_problem());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+// --- trivial-infeasibility and sign errors (severity: error) ---------------
+
+TEST(LintProblem, StepsNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.steps = 0;
+  // itv (10) now also exceeds steps (0)? No: the interval check is gated on
+  // steps > 0, so only the steps diagnostic fires.
+  expect_fires_once(p, "steps-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, SimTimeNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.sim_time_per_step = -0.5;
+  expect_fires_once(p, "sim-time-per-step-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, ThresholdNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.threshold = 0.0;
+  expect_fires_once(p, "threshold-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, MemoryNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.mth = -1.0;
+  expect_fires_once(p, "memory-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, BandwidthNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.bw = 0.0;
+  expect_fires_once(p, "bandwidth-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, UnlimitedBudgetsAreFine) {
+  ScheduleProblem p = base_problem();
+  p.mth = scheduler::kNoLimit;
+  p.bw = scheduler::kNoLimit;
+  EXPECT_TRUE(scheduler::lint_problem(p).clean());
+}
+
+TEST(LintProblem, NoAnalyses) {
+  ScheduleProblem p = base_problem();
+  p.analyses.clear();
+  expect_fires_once(p, "no-analyses", LintSeverity::kError);
+}
+
+TEST(LintProblem, NegativeParameter) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].fm = -64.0;
+  expect_fires_once(p, "parameter-negative", LintSeverity::kError);
+}
+
+TEST(LintProblem, NanParameterIsNegative) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].ct = std::numeric_limits<double>::quiet_NaN();
+  const LintReport report = scheduler::lint_problem(p);
+  EXPECT_EQ(count_id(report, "parameter-negative"), 1) << report.to_string();
+}
+
+TEST(LintProblem, IntervalNotPositive) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].itv = 0;
+  expect_fires_once(p, "itv-not-positive", LintSeverity::kError);
+}
+
+TEST(LintProblem, IntervalExceedsSteps) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].itv = 101;
+  expect_fires_once(p, "interval-exceeds-steps", LintSeverity::kError);
+}
+
+// The budget cross-checks are warnings: activation is a decision variable,
+// so an analysis that can never be enabled leaves the model feasible — the
+// solver just proves it stays inactive.
+TEST(LintProblem, ActivationMemoryExceedsBudget) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].fm = 800.0;
+  p.analyses[0].im = 300.0;  // fm + im = 1100 > mth = 1000
+  expect_fires_once(p, "memory-exceeds-budget", LintSeverity::kWarning);
+}
+
+TEST(LintProblem, SingleStepExceedsTimeBudget) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].ft = 4.0;
+  p.analyses[0].ct = 5.0;
+  p.analyses[0].ot = 2.0;  // 4 + 5 + 2 = 11 > budget = 10
+  expect_fires_once(p, "step-cost-exceeds-budget", LintSeverity::kWarning);
+}
+
+TEST(LintProblem, OutputTimeCountsOnlyUnderEveryAnalysis) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].ft = 4.0;
+  p.analyses[0].ct = 5.0;
+  p.analyses[0].ot = 2.0;
+  p.output_policy = scheduler::OutputPolicy::kNone;  // 4 + 5 = 9 <= 10
+  EXPECT_TRUE(scheduler::lint_problem(p).clean());
+}
+
+// --- modelling smells (severity: warning / info) ---------------------------
+
+TEST(LintProblem, ZeroWeight) {
+  ScheduleProblem p = base_problem();
+  p.analyses[0].weight = 0.0;
+  expect_fires_once(p, "zero-weight", LintSeverity::kWarning);
+}
+
+TEST(LintProblem, DuplicateName) {
+  ScheduleProblem p = base_problem();
+  AnalysisParams twin = p.analyses[0];
+  twin.ct = 0.25;  // different costs: only the name collides
+  p.analyses.push_back(twin);
+  expect_fires_once(p, "duplicate-name", LintSeverity::kWarning);
+}
+
+TEST(LintProblem, DominatedAnalysis) {
+  ScheduleProblem p = base_problem();
+  AnalysisParams twin = p.analyses[0];
+  twin.name = "probe-copy";  // identical cost vector, different name
+  twin.weight = 0.5;
+  p.analyses.push_back(twin);
+  expect_fires_once(p, "dominated-analysis", LintSeverity::kInfo);
+}
+
+TEST(LintProblem, ExtremeTimeCoefficientRange) {
+  ScheduleProblem p = base_problem();
+  AnalysisParams tiny = p.analyses[0];
+  tiny.name = "tiny";
+  tiny.ct = 1e-9;  // 0.5 / 1e-9 = 5e8 > 1e8
+  p.analyses.push_back(tiny);
+  expect_fires_once(p, "extreme-coefficient-range", LintSeverity::kWarning);
+}
+
+TEST(LintProblem, ExtremeMemoryCoefficientRange) {
+  ScheduleProblem p = base_problem();
+  p.mth = scheduler::kNoLimit;  // keep the budget check out of the way
+  p.analyses[0].fm = 1e-6;
+  AnalysisParams big = p.analyses[0];
+  big.name = "big";
+  big.fm = 1e6;
+  p.analyses.push_back(big);
+  const LintReport report = scheduler::lint_problem(p);
+  EXPECT_EQ(count_id(report, "extreme-coefficient-range"), 1) << report.to_string();
+}
+
+// --- generated-model lint --------------------------------------------------
+
+TEST(LintModel, EmptyRowRedundantAndInfeasible) {
+  lp::Model m;
+  m.add_column("x", 0.0, 1.0, 1.0);
+  m.add_row("vacuous", lp::RowType::kLe, 5.0, {});
+  m.add_row("broken", lp::RowType::kGe, 1.0, {});
+  const LintReport report = scheduler::lint_model(m);
+  EXPECT_EQ(count_id(report, "empty-row"), 1) << report.to_string();
+  EXPECT_EQ(count_id(report, "empty-row-infeasible"), 1) << report.to_string();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, SingletonRow) {
+  lp::Model m;
+  const int x = m.add_column("x", 0.0, 10.0, 1.0);
+  m.add_row("bound_in_disguise", lp::RowType::kLe, 4.0, {{x, 2.0}});
+  const LintReport report = scheduler::lint_model(m);
+  EXPECT_EQ(count_id(report, "singleton-row"), 1) << report.to_string();
+  EXPECT_EQ(report.exit_code(), 0);  // info only
+}
+
+TEST(LintModel, DuplicateRow) {
+  lp::Model m;
+  const int x = m.add_column("x", 0.0, 10.0, 1.0);
+  const int y = m.add_column("y", 0.0, 10.0, 1.0);
+  m.add_row("r0", lp::RowType::kLe, 4.0, {{x, 1.0}, {y, 2.0}});
+  m.add_row("r1", lp::RowType::kLe, 4.0, {{y, 2.0}, {x, 1.0}});  // same, permuted
+  const LintReport report = scheduler::lint_model(m);
+  EXPECT_EQ(count_id(report, "duplicate-row"), 1) << report.to_string();
+}
+
+TEST(LintModel, FixedRowRedundantAndInfeasible) {
+  lp::Model m;
+  const int x = m.add_column("x", 3.0, 3.0, 1.0);  // fixed at 3
+  m.add_row("constant_ok", lp::RowType::kLe, 10.0, {{x, 1.0}});
+  m.add_row("constant_bad", lp::RowType::kGe, 10.0, {{x, 1.0}});
+  const LintReport report = scheduler::lint_model(m);
+  EXPECT_EQ(count_id(report, "fixed-row"), 1) << report.to_string();
+  EXPECT_EQ(count_id(report, "fixed-row-infeasible"), 1) << report.to_string();
+}
+
+TEST(LintModel, RowCoefficientRange) {
+  lp::Model m;
+  const int x = m.add_column("x", 0.0, 1.0, 1.0);
+  const int y = m.add_column("y", 0.0, 1.0, 1.0);
+  m.add_row("ill_scaled", lp::RowType::kLe, 1.0, {{x, 1e9}, {y, 1.0}});
+  const LintReport report = scheduler::lint_model(m);
+  EXPECT_EQ(count_id(report, "row-coefficient-range"), 1) << report.to_string();
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.exit_code(/*strict=*/true), 2);
+}
+
+// --- clean passes over the paper case studies ------------------------------
+
+TEST(LintCaseStudies, InstancesAndGeneratedModelsAreClean) {
+  const ScheduleProblem cases[] = {
+      casestudy::water_ions_problem(16384, 0.08),
+      casestudy::rhodopsin_problem(100.0),
+      casestudy::flash_problem({2.0, 1.0, 2.0}, 0.08),
+  };
+  for (const ScheduleProblem& p : cases) {
+    const LintReport instance = scheduler::lint_problem(p);
+    EXPECT_TRUE(instance.clean()) << instance.to_string();
+    const LintReport model =
+        scheduler::lint_model(scheduler::build_aggregate_milp(p).model);
+    EXPECT_TRUE(model.clean()) << model.to_string();
+  }
+}
+
+// --- report plumbing -------------------------------------------------------
+
+TEST(LintReport, ExitCodesAndCounts) {
+  LintReport report;
+  EXPECT_EQ(report.exit_code(), 0);
+  report.add(LintSeverity::kInfo, "note", "x", "m");
+  EXPECT_EQ(report.exit_code(), 0);  // info never affects the exit code
+  report.add(LintSeverity::kWarning, "warn", "x", "m");
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.exit_code(/*strict=*/true), 2);
+  report.add(LintSeverity::kError, "err", "x", "m");
+  EXPECT_EQ(report.exit_code(), 2);
+  EXPECT_EQ(report.count(LintSeverity::kInfo), 1);
+  EXPECT_EQ(report.count(LintSeverity::kWarning), 1);
+  EXPECT_EQ(report.count(LintSeverity::kError), 1);
+}
+
+TEST(LintReport, ToStringPutsErrorsFirst) {
+  LintReport report;
+  report.add(LintSeverity::kInfo, "note-id", "locus-a", "info message");
+  report.add(LintSeverity::kError, "err-id", "locus-b", "error message", "fix it");
+  const std::string text = report.to_string();
+  const auto err_pos = text.find("error: locus-b");
+  const auto info_pos = text.find("info: locus-a");
+  ASSERT_NE(err_pos, std::string::npos) << text;
+  ASSERT_NE(info_pos, std::string::npos) << text;
+  EXPECT_LT(err_pos, info_pos);
+  EXPECT_NE(text.find("(hint: fix it)"), std::string::npos);
+  EXPECT_NE(text.find("[err-id]"), std::string::npos);
+}
+
+TEST(LintReport, JsonEscapesAndCounts) {
+  LintReport report;
+  report.add(LintSeverity::kWarning, "w", "[analysis] \"q\"", "line1\nline2");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\\\"q\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos) << json;
+}
+
+// --- config-reader routing -------------------------------------------------
+
+TEST(LintConfig, ReaderThrowsTheSharedDiagnosticMessage) {
+  const std::string text = R"(
+[run]
+steps = 100
+threshold = -0.5
+
+[analysis]
+name = a
+ct = 0.1
+)";
+  try {
+    (void)scheduler::problem_from_string(text);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("config: [run] / threshold"), std::string::npos) << what;
+    EXPECT_NE(what.find("'threshold' must be positive, got -0.5"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(LintConfig, LenientParseDefersToLint) {
+  const std::string text = R"(
+[run]
+steps = 100
+threshold = -0.5
+
+[analysis]
+name = a
+ct = 0.1
+)";
+  const ScheduleProblem p =
+      scheduler::problem_from_config_lenient(Config::parse(text));
+  EXPECT_EQ(p.threshold, -0.5);  // kept for the linter to report
+  const LintReport report = scheduler::lint_problem(p);
+  EXPECT_EQ(count_id(report, "threshold-not-positive"), 1) << report.to_string();
+}
+
+TEST(LintConfig, SharedChecksAgreeWithReader) {
+  const auto bad = scheduler::check_positive_number("[run]", "threshold", -1.0);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->id, "threshold-not-positive");
+  EXPECT_EQ(bad->severity, LintSeverity::kError);
+  EXPECT_EQ(scheduler::config_error_message(*bad),
+            "config: [run] / threshold: 'threshold' must be positive, got -1");
+  EXPECT_FALSE(scheduler::check_positive_number("[run]", "threshold", 0.5).has_value());
+  EXPECT_FALSE(scheduler::check_interval_within_steps("[analysis] 'a'", 10, 100));
+  EXPECT_TRUE(scheduler::check_interval_within_steps("[analysis] 'a'", 101, 100));
+}
+
+}  // namespace
+}  // namespace insched

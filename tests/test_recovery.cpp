@@ -239,10 +239,11 @@ void sweep_hook(const Staircase& cs, fault::Hook hook) {
         << cs.name << ": no incumbent with " << fault::to_string(hook) << ":" << nth;
     EXPECT_NEAR(res.objective, cs.optimum, 1e-6)
         << cs.name << ": wrong optimum with " << fault::to_string(hook) << ":" << nth;
-    if (fault::injected(hook) > 0)
+    if (fault::injected(hook) > 0) {
       EXPECT_GT(res.counters.recoveries() + res.counters.lp_recover_residual, 0)
           << cs.name << ": fault " << fault::to_string(hook) << ":" << nth
           << " injected but no recovery counted";
+    }
   }
   EXPECT_GT(injected_total, 0) << cs.name;
 }
@@ -282,7 +283,9 @@ TEST(MipLimits, WorkLimitTerminatesDeterministically) {
   EXPECT_EQ(res.termination, mip::MipTermination::kWorkLimit);
   EXPECT_TRUE(res.truncated());
   // The root heuristic still provides an incumbent with a certified gap.
-  if (res.has_solution) EXPECT_GE(res.gap(), 0.0);
+  if (res.has_solution) {
+    EXPECT_GE(res.gap(), 0.0);
+  }
 }
 
 TEST(MipLimits, FaultSpecOptionArmsTheHarness) {

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "insched/analysis/gyration.hpp"
 #include "insched/analysis/msd.hpp"
@@ -77,6 +79,46 @@ TEST(Metrics, AggregationAndRendering) {
   EXPECT_DOUBLE_EQ(metrics.utilization(20.0), 0.5);
   EXPECT_DOUBLE_EQ(metrics.overhead_fraction(), 0.1);
   EXPECT_NE(metrics.to_string().find("rdf"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergesConcurrentShards) {
+  // Eight shard metrics folded in from four threads: counters add, the
+  // per-analysis rows join by name, and peak memory takes the max.
+  MetricsRegistry registry;
+  auto shard = [](int index) {
+    RunMetrics m;
+    m.steps = 10;
+    m.simulation_seconds = 1.5;
+    m.peak_memory_bytes = 100.0 * (index + 1);
+    AnalysisMetrics a;
+    a.name = index % 2 == 0 ? "rdf" : "msd";
+    a.analysis_steps = 2;
+    a.compute_seconds = 0.25;
+    m.analyses.push_back(a);
+    return m;
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&registry, &shard, t] {
+      registry.merge(shard(2 * t));
+      registry.merge(shard(2 * t + 1));
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.merges(), 8);
+  const RunMetrics total = registry.snapshot();
+  EXPECT_EQ(total.steps, 80);
+  EXPECT_DOUBLE_EQ(total.simulation_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(total.peak_memory_bytes, 800.0);
+  ASSERT_EQ(total.analyses.size(), 2u);
+  for (const AnalysisMetrics& a : total.analyses) {
+    EXPECT_EQ(a.analysis_steps, 8);
+    EXPECT_DOUBLE_EQ(a.compute_seconds, 1.0);
+  }
+
+  registry.reset();
+  EXPECT_EQ(registry.merges(), 0);
+  EXPECT_EQ(registry.snapshot().steps, 0);
 }
 
 TEST(Runtime, ExecutesScheduleOnRealSimulation) {

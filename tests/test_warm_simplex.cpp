@@ -141,7 +141,9 @@ TEST_P(WarmVsCold, BoundPerturbedResolveAgrees) {
       // same workspace must recover the answer.
       const SimplexResult fallback = ws.solve_cold(overrides);
       EXPECT_EQ(fallback.status, cold.status);
-      if (cold.optimal()) EXPECT_NEAR(fallback.objective, cold.objective, 1e-6);
+      if (cold.optimal()) {
+        EXPECT_NEAR(fallback.objective, cold.objective, 1e-6);
+      }
       continue;
     }
     EXPECT_EQ(warm.status, cold.status) << "trial " << trial;
@@ -162,7 +164,9 @@ TEST(WarmSimplex, ColdSolveOnWorkspaceMatchesSolveLp) {
     const SimplexResult a = ws.solve_cold();
     const SimplexResult b = solve_lp(m);
     ASSERT_EQ(a.status, b.status);
-    if (b.optimal()) EXPECT_NEAR(a.objective, b.objective, 1e-8);
+    if (b.optimal()) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-8);
+    }
   }
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the Clang thread-safety annotations
+# (src/insched/support/thread_annotations.hpp, docs/STATIC_ANALYSIS.md).
+#
+# Two syntax-only compiles under -Wthread-safety -Werror:
+#   tests/static_analysis/thread_safety_positive.cpp  must be ACCEPTED
+#   tests/static_analysis/thread_safety_negative.cpp  must be REJECTED,
+#     and rejected specifically by a thread-safety diagnostic
+#
+# The pair proves both directions: the annotations permit correct locking
+# and actually forbid a mis-locked access (i.e. they have not degraded to
+# no-ops under a compiler that should enforce them).
+#
+# Exit codes: 0 = gate passed, 1 = gate failed, 77 = skipped (no clang++ in
+# PATH / CLANGXX — the annotations are no-ops off Clang, so there is
+# nothing to check). 77 is ctest's skip convention (SKIP_RETURN_CODE).
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+clangxx="${CLANGXX:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "check_thread_safety: no '$clangxx' in PATH; skipping" \
+       "(thread-safety analysis is Clang-only)" >&2
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -Wthread-safety -Werror -I "$repo_root/src")
+
+echo "== positive TU: correctly locked code must compile"
+if ! "$clangxx" "${flags[@]}" \
+     "$repo_root/tests/static_analysis/thread_safety_positive.cpp"; then
+  echo "check_thread_safety: FAIL — correctly locked code was rejected;" \
+       "the annotations are inconsistent" >&2
+  exit 1
+fi
+
+echo "== negative TU: mis-locked access must be rejected"
+if out=$("$clangxx" "${flags[@]}" \
+         "$repo_root/tests/static_analysis/thread_safety_negative.cpp" 2>&1); then
+  echo "check_thread_safety: FAIL — the mis-locked TU compiled;" \
+       "-Wthread-safety is not enforcing the annotations" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"$out"; then
+  echo "check_thread_safety: FAIL — the negative TU failed for the wrong reason:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "check_thread_safety: OK — mis-locked access rejected, locked access accepted"

@@ -16,6 +16,9 @@
 //     --pareto              budget-vs-objective frontier around the budget
 //     --dump-model          print the MILP in CPLEX LP format
 //     --hybrid              in-situ / in-transit placement (needs [staging])
+//     --lint[=strict]       pre-solve lint of the instance and generated
+//                           MILP; errors (warnings too under =strict) abort
+//                           the solve with exit code 4
 
 #include <cmath>
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include "insched/scheduler/aggregate_milp.hpp"
 #include "insched/scheduler/coanalysis.hpp"
 #include "insched/scheduler/greedy.hpp"
+#include "insched/scheduler/lint.hpp"
 #include "insched/scheduler/problem_io.hpp"
 #include "insched/scheduler/recommend.hpp"
 #include "insched/scheduler/sensitivity.hpp"
@@ -46,7 +50,8 @@ int usage(const char* argv0) {
       "usage: %s <problem.ini> [--lexicographic] [--time-expanded]\n"
       "          [--baselines] [--sensitivity] [--render N] [--csv FILE]\n"
       "          [--dump-model]   (prints the MILP in CPLEX LP format)\n"
-      "          [--hybrid]       (in-situ / in-transit; needs [staging])\n",
+      "          [--hybrid]       (in-situ / in-transit; needs [staging])\n"
+      "          [--lint[=strict]] (pre-solve lint; blocking findings exit 4)\n",
       argv0);
   return 2;
 }
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
   bool sensitivity = false;
   bool dump_model = false;
   bool hybrid = false;
+  bool lint = false;
+  bool lint_strict = false;
   long render_steps = 0;
   bool gantt = false;
   bool pareto = false;
@@ -107,6 +114,11 @@ int main(int argc, char** argv) {
       dump_model = true;
     } else if (arg == "--hybrid") {
       hybrid = true;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint=strict") {
+      lint = true;
+      lint_strict = true;
     } else if (arg == "--render" && i + 1 < argc) {
       render_steps = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--csv" && i + 1 < argc) {
@@ -129,7 +141,8 @@ int main(int argc, char** argv) {
   if (config_path.empty()) return usage(argv[0]);
 
   // 0 = optimal/feasible plan, 1 = no schedule, 2 = usage, 3 = degraded
-  // (greedy fallback printed, but the MILP solve failed).
+  // (greedy fallback printed, but the MILP solve failed), 4 = --lint found
+  // blocking diagnostics and the solve was not attempted.
   int exit_code = 0;
   try {
     const Config config = Config::load(config_path);
@@ -156,7 +169,28 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const scheduler::ScheduleProblem problem = scheduler::problem_from_config(config);
+    // Under --lint the config is read leniently so the linter can report
+    // every value error at once instead of throwing on the first; blocking
+    // findings exit before the unvalidated values could reach the solver.
+    const scheduler::ScheduleProblem problem =
+        lint ? scheduler::problem_from_config_lenient(config)
+             : scheduler::problem_from_config(config);
+
+    if (lint) {
+      // Pre-solve static analysis; purely advisory unless it finds blocking
+      // diagnostics, so a clean config plans exactly as without --lint.
+      scheduler::LintReport lint_report = scheduler::lint_problem(problem);
+      // The generated model is only meaningful for a sane instance.
+      if (!lint_report.has_errors())
+        lint_report.merge(
+            scheduler::lint_model(scheduler::build_aggregate_milp(problem).model));
+      if (!lint_report.clean())
+        std::fprintf(stderr, "%s", lint_report.to_string().c_str());
+      if (lint_report.exit_code(lint_strict) >= 2) {
+        std::fprintf(stderr, "lint: blocking diagnostics, not solving\n");
+        return 4;
+      }
+    }
 
     if (dump_model) {
       // CPLEX LP format: feed the exact instance to an external solver.

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Aggregate static-analysis gate (docs/STATIC_ANALYSIS.md). Three stages,
+# each skipped gracefully when its toolchain is missing:
+#
+#   1. thread-safety negative-compile gate (tools/check_thread_safety.sh):
+#      Clang -Wthread-safety must accept correctly locked code and reject a
+#      deliberately mis-locked access.
+#   2. full tree build with Clang, -Wthread-safety and warnings-as-errors
+#      (-DINSCHED_WERROR=ON), in its own build tree so the default build is
+#      untouched; also exports compile_commands.json for stage 3.
+#   3. clang-tidy (config: .clang-tidy) over the src/ translation units.
+#
+# The runtime counterparts (ASan/UBSan, TSan) live in tools/run_asan.sh and
+# tools/run_tsan.sh; this script is the compile-time half of the gate and is
+# what the opt-in `static_analysis_smoke` ctest target runs.
+#
+#   tools/run_static_analysis.sh          # all stages
+#   BUILD_DIR=/tmp/sa tools/run_static_analysis.sh
+#
+# Exit codes: 0 = every runnable stage passed, 1 = a stage failed,
+# 77 = nothing could run (no Clang toolchain at all; ctest skip convention).
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-static-analysis}"
+clangxx="${CLANGXX:-clang++}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+ran=0
+failed=0
+
+echo "=== stage 1: thread-safety negative-compile gate"
+"$repo_root/tools/check_thread_safety.sh"
+rc=$?
+if [ "$rc" -eq 77 ]; then
+  echo "stage 1: skipped"
+elif [ "$rc" -ne 0 ]; then
+  ran=1
+  failed=1
+else
+  ran=1
+fi
+
+if command -v "$clangxx" >/dev/null 2>&1; then
+  echo "=== stage 2: Clang build with -Wthread-safety -Werror"
+  ran=1
+  if cmake -B "$build_dir" -S "$repo_root" \
+       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DCMAKE_CXX_COMPILER="$clangxx" \
+       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+       -DINSCHED_WERROR=ON &&
+     cmake --build "$build_dir" -j; then
+    echo "stage 2: OK"
+  else
+    echo "stage 2: FAIL (thread-safety or warnings-as-errors violation)" >&2
+    failed=1
+  fi
+
+  if command -v "$tidy" >/dev/null 2>&1 && [ -f "$build_dir/compile_commands.json" ]; then
+    echo "=== stage 3: clang-tidy over src/"
+    # shellcheck disable=SC2046 — the file list is intentionally word-split.
+    if "$tidy" -p "$build_dir" --quiet $(find "$repo_root/src" -name '*.cpp' | sort); then
+      echo "stage 3: OK"
+    else
+      echo "stage 3: FAIL (see diagnostics above; config in .clang-tidy)" >&2
+      failed=1
+    fi
+  else
+    echo "=== stage 3: clang-tidy not available; skipped"
+  fi
+else
+  echo "=== stages 2-3: no '$clangxx' in PATH; skipped"
+fi
+
+if [ "$ran" -eq 0 ]; then
+  echo "run_static_analysis: no Clang toolchain available; nothing ran" >&2
+  exit 77
+fi
+exit "$failed"
